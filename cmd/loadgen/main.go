@@ -1,0 +1,114 @@
+// Command loadgen drives closed-loop user load at a running TeaStore and
+// prints a throughput/latency report.
+//
+// Usage:
+//
+//	loadgen -webui http://127.0.0.1:PORT -persistence http://127.0.0.1:PORT \
+//	        [-users 64] [-duration 30s] [-warmup 5s] [-profile browse]
+//	        [-think-scale 1.0] [-catalog-users 100]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/workload"
+)
+
+func main() {
+	webui := flag.String("webui", "", "WebUI base URL (required)")
+	persistenceURL := flag.String("persistence", "", "Persistence base URL (required, for catalog discovery)")
+	users := flag.Int("users", 64, "closed-loop user population")
+	sweep := flag.String("sweep", "", "comma-separated user counts; runs one measurement per count and prints a scaling table (overrides -users)")
+	duration := flag.Duration("duration", 30*time.Second, "measured duration")
+	warmup := flag.Duration("warmup", 5*time.Second, "warmup before measurement")
+	profileName := flag.String("profile", "browse", "behaviour profile: browse or buy")
+	thinkScale := flag.Float64("think-scale", 1.0, "think-time multiplier")
+	catalogUsers := flag.Int("catalog-users", 100, "demo accounts in the store")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	profile, ok := workload.Profiles()[*profileName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "loadgen: unknown profile %q\n", *profileName)
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	base := loadgen.Config{
+		WebUIURL:       *webui,
+		PersistenceURL: *persistenceURL,
+		Profile:        profile,
+		Warmup:         *warmup,
+		Duration:       *duration,
+		ThinkScale:     *thinkScale,
+		CatalogUsers:   *catalogUsers,
+		Seed:           *seed,
+	}
+
+	if *sweep != "" {
+		counts, err := parseSweep(*sweep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%8s %12s %10s %10s %10s %8s\n", "users", "req/s", "p50 ms", "p99 ms", "requests", "errors")
+		for _, n := range counts {
+			cfg := base
+			cfg.Users = n
+			res, err := loadgen.Run(ctx, cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%8d %12.1f %10.2f %10.2f %10d %8d\n",
+				n, res.Throughput,
+				float64(res.Latency.P50)/1e6, float64(res.Latency.P99)/1e6,
+				res.Requests, res.Errors)
+		}
+		return
+	}
+
+	cfg := base
+	cfg.Users = *users
+	res, err := loadgen.Run(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("throughput: %.1f req/s (%d requests, %d errors)\n",
+		res.Throughput, res.Requests, res.Errors)
+	fmt.Printf("latency:    %v\n", res.Latency)
+	var types []workload.Request
+	for r := range res.PerRequest {
+		types = append(types, r)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, r := range types {
+		fmt.Printf("  %-10s %v\n", r, res.PerRequest[r])
+	}
+}
+
+// parseSweep parses "8,16,32" into user counts.
+func parseSweep(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad sweep element %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

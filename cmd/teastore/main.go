@@ -1,0 +1,74 @@
+// Command teastore runs the complete store — all six microservices wired
+// over loopback HTTP — in one process, and prints their addresses.
+//
+// Usage:
+//
+//	teastore [-host 127.0.0.1] [-algorithm popularity]
+//	         [-categories 6] [-products 100] [-users 100] [-orders 400]
+//
+// The process runs until interrupted.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/teastore"
+)
+
+func main() {
+	host := flag.String("host", "127.0.0.1", "address to bind service listeners on")
+	algorithm := flag.String("algorithm", "popularity", "recommender algorithm: popularity, slopeone, coocc")
+	categories := flag.Int("categories", 6, "catalog categories")
+	products := flag.Int("products", 100, "products per category")
+	users := flag.Int("users", 100, "demo user accounts")
+	orders := flag.Int("orders", 400, "seed orders for recommender training")
+	seed := flag.Int64("seed", 1, "catalog generation seed")
+	flag.Parse()
+
+	stack, err := teastore.Start(teastore.Config{
+		Host:      *host,
+		Algorithm: *algorithm,
+		Catalog: db.GenerateSpec{
+			Categories:          *categories,
+			ProductsPerCategory: *products,
+			Users:               *users,
+			SeedOrders:          *orders,
+			Seed:                *seed,
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teastore:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("TeaStore is up:")
+	services := stack.Services()
+	names := make([]string, 0, len(services))
+	for name := range services {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-12s %s\n", name, services[name])
+	}
+	fmt.Printf("\nOpen %s in a browser. Demo login: %s / %s\n",
+		stack.WebUIURL, db.EmailFor(0), db.PasswordFor(0))
+	fmt.Println("Ctrl-C to stop.")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	stack.Shutdown(ctx)
+	fmt.Println("bye")
+}

@@ -1,0 +1,40 @@
+// Command topoviz prints the modeled server topologies: the containment
+// tree (socket → NUMA → CCD → CCX → cores) and the NUMA distance matrix.
+//
+// Usage:
+//
+//	topoviz [-machine rome-2s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topology"
+)
+
+func main() {
+	name := flag.String("machine", "rome-2s", "preset: rome-1s, rome-2s, rome-1s-nps4, small")
+	flag.Parse()
+
+	machines := map[string]*topology.Machine{
+		"rome-1s":      topology.Rome1S(),
+		"rome-2s":      topology.Rome2S(),
+		"rome-1s-nps4": topology.Rome1SNPS4(),
+		"small":        topology.Small(),
+	}
+	m, ok := machines[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "topoviz: unknown machine %q\n", *name)
+		os.Exit(2)
+	}
+	fmt.Print(m.Describe())
+	fmt.Println("\nNUMA distances (SLIT):")
+	for a := 0; a < m.NumNUMA(); a++ {
+		for b := 0; b < m.NumNUMA(); b++ {
+			fmt.Printf("%4d", m.NUMADistance(a, b))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a Go reproduction of "Characterizing the Scale-Up
+// Performance of Microservices using TeaStore" (IISWC 2020): a full
+// reimplementation of the TeaStore microservice benchmark, a discrete-event
+// simulated many-core server (EPYC-Rome-like topology with SMT, per-CCX L3,
+// NUMA, and frequency boost), and the scale-up characterization and
+// topology-aware optimization methodology the paper contributes.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The benchmarks in bench_test.go regenerate every table and figure.
+package repro

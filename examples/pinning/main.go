@@ -1,0 +1,67 @@
+// Pinning compares deployment configurations on the simulated dual-socket
+// server: the OS-default single-instance layout, the performance-tuned
+// (replicated, unpinned) baseline, naive packed pinning, and the
+// topology-aware optimized plan — reproducing the paper's headline
+// experiment at reduced scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/desim"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func main() {
+	mach := topology.Rome2S()
+	fmt.Println("machine:", mach)
+
+	// Shrink think times so 3000 users saturate (see loadgen docs).
+	profile := workload.Browse()
+	profile.ThinkMedian /= 10
+
+	plans := core.BaselinePlans(mach, workload.Browse(), 1)
+	optimized, err := core.Optimize(mach, workload.Browse(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans["optimized"] = optimized
+
+	fmt.Println("\noptimizer rationale:")
+	for _, line := range optimized.Rationale {
+		fmt.Println("  -", line)
+	}
+	fmt.Println()
+
+	var tuned float64
+	for _, name := range []string{"os-default", "tuned", "packed", "optimized"} {
+		plan := plans[name]
+		res, err := sim.Run(sim.Config{
+			Machine:      mach,
+			Deployment:   plan.Deployment,
+			Workload:     profile,
+			Users:        3000,
+			Seed:         1,
+			Warmup:       desim.Duration(2 * desim.Second),
+			Measure:      desim.Duration(5 * desim.Second),
+			RouteNearest: plan.RouteNearest,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		delta := ""
+		if name == "tuned" {
+			tuned = res.Throughput
+		} else if tuned > 0 {
+			delta = fmt.Sprintf(" (%+.1f %% vs tuned)", (res.Throughput/tuned-1)*100)
+		}
+		fmt.Printf("%-11s %8.0f req/s  p50 %7.1fms  p99 %7.1fms  util %5.1f%%%s\n",
+			name, res.Throughput,
+			float64(res.Latency.P50)/1e6, float64(res.Latency.P99)/1e6,
+			res.MachineUtil*100, delta)
+	}
+}

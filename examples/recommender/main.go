@@ -1,0 +1,55 @@
+// Recommender trains all three recommendation algorithms on the same
+// generated order history and compares what they suggest — the
+// pluggable-algorithm facet of the TeaStore Recommender service.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/db"
+	"repro/internal/services/auth"
+	"repro/internal/services/recommender"
+)
+
+func main() {
+	store := db.NewStore()
+	if err := store.Generate(db.GenerateSpec{
+		Categories:          4,
+		ProductsPerCategory: 30,
+		Users:               40,
+		SeedOrders:          500,
+		Seed:                7,
+	}, auth.HashPassword); err != nil {
+		log.Fatal(err)
+	}
+	orders := store.AllOrders()
+	fmt.Printf("training corpus: %d orders across %d products by %d users\n\n",
+		len(orders), store.NumProducts(), store.NumUsers())
+
+	// A shopper who just put product 5 in their cart.
+	user, err := store.UserByEmail(db.EmailFor(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	current := []int64{5}
+	subject, _ := store.Product(5)
+	fmt.Printf("shopper %s is looking at #%d %q\n\n", user.Email, subject.ID, subject.Name)
+
+	for _, name := range recommender.AlgorithmNames() {
+		algo, err := recommender.NewAlgorithm(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		algo.Train(orders)
+		fmt.Printf("%s suggests:\n", name)
+		for _, id := range algo.Recommend(user.ID, current, 4) {
+			p, err := store.Product(id)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("  #%-4d %-45s $%d.%02d\n", p.ID, p.Name, p.PriceCents/100, p.PriceCents%100)
+		}
+		fmt.Println()
+	}
+}

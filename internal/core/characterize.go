@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/desim"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// ScalingClass labels how a service scales up.
+type ScalingClass int
+
+// Scaling classes, best first.
+const (
+	// ScalesLinearly: ≥70 % efficiency at 16 cores.
+	ScalesLinearly ScalingClass = iota
+	// ScalesPartially: 35–70 % efficiency at 16 cores.
+	ScalesPartially
+	// SerialLimited: <35 % efficiency at 16 cores — replicate instead of
+	// growing the allotment.
+	SerialLimited
+)
+
+func (c ScalingClass) String() string {
+	switch c {
+	case ScalesLinearly:
+		return "linear"
+	case ScalesPartially:
+		return "partial"
+	case SerialLimited:
+		return "serial-limited"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Character is one service's measured scale-up profile.
+type Character struct {
+	Service sim.Service
+	Points  []ScalingPoint
+	Fit     USLFit
+	Class   ScalingClass
+	// Efficiency16 is measured scaling efficiency at 16 cores (or the
+	// largest measured count when fewer).
+	Efficiency16 float64
+	// RecommendedCores is the allotment beyond which the fitted curve
+	// gains less than 5 % per doubling.
+	RecommendedCores int
+}
+
+// CharacterizeConfig controls a characterization run.
+type CharacterizeConfig struct {
+	Machine *topology.Machine
+	// CoreCounts are the allotments to measure; nil means {1,2,4,8,16,32}.
+	CoreCounts []int
+	// Demand is the handler demand for the microbenchmark; 0 means the
+	// mix-weighted mean demand of the service in the default specs.
+	Demand desim.Duration
+	Seed   int64
+	// Warmup/Measure per point; zero means 0.5 s / 2 s.
+	Warmup  desim.Duration
+	Measure desim.Duration
+}
+
+func (c CharacterizeConfig) withDefaults() CharacterizeConfig {
+	if len(c.CoreCounts) == 0 {
+		c.CoreCounts = []int{1, 2, 4, 8, 16, 32}
+	}
+	if c.Warmup == 0 {
+		c.Warmup = desim.Duration(500 * desim.Millisecond)
+	}
+	if c.Measure == 0 {
+		c.Measure = 2 * desim.Second
+	}
+	return c
+}
+
+// MeanDemand returns the mix-weighted mean handler demand of a service
+// under the given request specs and request mix.
+func MeanDemand(svc sim.Service, specs map[workload.Request]sim.RequestSpec, mix [workload.NumRequests]float64) desim.Duration {
+	var weighted, hits float64
+	for r, frac := range mix {
+		spec, ok := specs[workload.Request(r)]
+		if !ok {
+			continue
+		}
+		d := spec.DemandOn(svc)
+		if d > 0 {
+			weighted += frac * float64(d)
+			hits += frac
+		}
+	}
+	if hits == 0 {
+		return 0
+	}
+	return desim.Duration(weighted / hits)
+}
+
+// CharacterizeService measures one service's isolated scaling curve and
+// fits the USL to it.
+func CharacterizeService(svc sim.Service, cfg CharacterizeConfig) (Character, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Machine == nil {
+		return Character{}, fmt.Errorf("core: CharacterizeConfig.Machine is required")
+	}
+	demand := cfg.Demand
+	if demand == 0 {
+		mix := workload.Browse().Mix(rand.New(rand.NewSource(cfg.Seed)), 2000)
+		demand = MeanDemand(svc, sim.DefaultRequestSpecs(), mix)
+		if demand == 0 {
+			demand = desim.Duration(500 * desim.Microsecond)
+		}
+	}
+
+	ch := Character{Service: svc}
+	for _, cores := range cfg.CoreCounts {
+		if cores > cfg.Machine.NumCores() {
+			continue
+		}
+		res, err := sim.Microbench(sim.MicrobenchConfig{
+			Machine: cfg.Machine,
+			Service: svc,
+			Demand:  demand,
+			Cores:   cores,
+			Seed:    cfg.Seed,
+			Warmup:  cfg.Warmup,
+			Measure: cfg.Measure,
+		})
+		if err != nil {
+			return Character{}, err
+		}
+		ch.Points = append(ch.Points, ScalingPoint{Cores: cores, OpsPerSec: res.OpsPerSec})
+	}
+	sort.Slice(ch.Points, func(i, j int) bool { return ch.Points[i].Cores < ch.Points[j].Cores })
+	fit, err := FitUSL(ch.Points)
+	if err != nil {
+		return Character{}, err
+	}
+	ch.Fit = fit
+
+	// Measured efficiency at 16 cores (or the largest measured).
+	base := ch.Points[0]
+	ref := ch.Points[len(ch.Points)-1]
+	for _, p := range ch.Points {
+		if p.Cores == 16 {
+			ref = p
+		}
+	}
+	ch.Efficiency16 = ref.OpsPerSec / (float64(ref.Cores) / float64(base.Cores) * base.OpsPerSec)
+	switch {
+	case ch.Efficiency16 >= 0.70:
+		ch.Class = ScalesLinearly
+	case ch.Efficiency16 >= 0.35:
+		ch.Class = ScalesPartially
+	default:
+		ch.Class = SerialLimited
+	}
+
+	// Recommended allotment: stop doubling when the gain drops under 5 %.
+	rec := 1
+	for n := 1; n*2 <= cfg.Machine.NumCores(); n *= 2 {
+		gain := fit.Throughput(float64(n*2))/fit.Throughput(float64(n)) - 1
+		if gain < 0.05 {
+			break
+		}
+		rec = n * 2
+	}
+	ch.RecommendedCores = rec
+	return ch, nil
+}
+
+// CharacterizeAll characterizes every service except the registry (which
+// carries no request traffic).
+func CharacterizeAll(cfg CharacterizeConfig) (map[sim.Service]Character, error) {
+	out := map[sim.Service]Character{}
+	for _, svc := range sim.AllServices() {
+		if svc == sim.Registry {
+			continue
+		}
+		ch, err := CharacterizeService(svc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("characterizing %v: %w", svc, err)
+		}
+		out[svc] = ch
+	}
+	return out, nil
+}
+
+// AnalyticShares computes each service's share of total CPU demand from
+// the request specs and the workload's stationary request mix — the input
+// the placement builders size allotments with.
+func AnalyticShares(specs map[workload.Request]sim.RequestSpec, mix [workload.NumRequests]float64) placement.Shares {
+	shares := placement.Shares{}
+	for r, frac := range mix {
+		spec, ok := specs[workload.Request(r)]
+		if !ok {
+			continue
+		}
+		for _, svc := range sim.AllServices() {
+			shares[svc] += frac * float64(spec.DemandOn(svc))
+		}
+	}
+	// The registry serves no requests but needs a sliver for heartbeats.
+	shares[sim.Registry] = 0.005 * sumShares(shares)
+	return shares.Normalize()
+}
+
+func sumShares(s placement.Shares) float64 {
+	total := 0.0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+// WorkloadShares derives AnalyticShares for a workload profile by sampling
+// its request mix.
+func WorkloadShares(profile *workload.Profile, seed int64) placement.Shares {
+	mix := profile.Mix(rand.New(rand.NewSource(seed)), 4000)
+	return AnalyticShares(sim.DefaultRequestSpecs(), mix)
+}

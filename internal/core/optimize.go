@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Plan is the optimizer's output: a deployment plus the engine settings it
+// assumes.
+type Plan struct {
+	Deployment sim.Deployment
+	// RouteNearest must be set on sim.Config for the plan to behave as
+	// designed (cell-local RPC).
+	RouteNearest bool
+	// CellLevel records the partition granularity chosen.
+	CellLevel placement.CellLevel
+	// Shares are the demand shares the plan was sized with.
+	Shares placement.Shares
+	// Rationale lists human-readable decisions, for reports.
+	Rationale []string
+}
+
+// Optimize builds the topology-aware deployment for a machine and
+// workload, applying the paper's two insights:
+//
+//  1. Scaling properties: serialization-limited services are replicated
+//     (one replica per cell) instead of being given wider allotments.
+//  2. Topology: each cell is a topological unit (CCD, NUMA node, or
+//     socket) chosen so a full replica set fits, giving every replica a
+//     private L3 neighbourhood, local memory, and short RPC paths.
+func Optimize(mach *topology.Machine, profile *workload.Profile, seed int64) (Plan, error) {
+	if mach == nil {
+		return Plan{}, fmt.Errorf("core: Optimize requires a machine")
+	}
+	if profile == nil {
+		profile = workload.Browse()
+	}
+	shares := WorkloadShares(profile, seed)
+
+	plan := Plan{Shares: shares, RouteNearest: true}
+	plan.Rationale = append(plan.Rationale,
+		fmt.Sprintf("demand shares from %q mix: %s", profile.Name, formatShares(shares)))
+
+	// Pick the finest cell granularity that can host one replica of each
+	// request-serving service (5 of them).
+	const servicesPerCell = 5
+	levels := []placement.CellLevel{placement.CellPerCCD, placement.CellPerNUMA, placement.CellPerSocket}
+	coresPerCell := []int{
+		mach.NumCores() / mach.NumCCDs(),
+		mach.NumCores() / mach.NumNUMA(),
+		mach.NumCores() / mach.NumSockets(),
+	}
+	chosen := -1
+	for i, level := range levels {
+		if coresPerCell[i] >= servicesPerCell {
+			chosen = i
+			plan.CellLevel = level
+			break
+		}
+	}
+	if chosen < 0 {
+		return Plan{}, fmt.Errorf("core: no cell granularity of %s fits %d services", mach.Name(), servicesPerCell)
+	}
+	plan.Rationale = append(plan.Rationale,
+		fmt.Sprintf("cell granularity %v: %d cells of %d cores", plan.CellLevel,
+			mach.NumCores()/coresPerCell[chosen], coresPerCell[chosen]))
+
+	d, err := placement.Cells(mach, shares, plan.CellLevel)
+	if err != nil {
+		return Plan{}, err
+	}
+	d.Name = "optimized"
+	plan.Deployment = d
+	plan.Rationale = append(plan.Rationale,
+		"one replica of every service per cell (serialization-limited services gain a lock split per cell)",
+		"memory homed on each cell's NUMA node; nearest-replica routing keeps RPC inside the cell")
+	return plan, nil
+}
+
+func formatShares(s placement.Shares) string {
+	out := ""
+	for _, svc := range sim.AllServices() {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%.2f", svc, s[svc])
+	}
+	return out
+}
+
+// BaselinePlans returns the comparison configurations of experiment E7 for
+// a machine: the untuned default, the performance-tuned (replicated but
+// unpinned) baseline, and naive packed pinning.
+func BaselinePlans(mach *topology.Machine, profile *workload.Profile, seed int64) map[string]Plan {
+	shares := WorkloadShares(profile, seed)
+	return map[string]Plan{
+		"os-default": {Deployment: placement.OSDefault(mach), Shares: shares},
+		"tuned":      {Deployment: placement.Tuned(mach, shares, 0), Shares: shares},
+		"packed":     {Deployment: placement.Packed(mach, shares, 0), Shares: shares},
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/mva"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Prediction is an analytic capacity estimate for a deployment.
+type Prediction struct {
+	// PeakRequestsPerSec is the asymptotic throughput bound.
+	PeakRequestsPerSec float64
+	// Bottleneck names the limiting station ("persistence/serial",
+	// "webui/cpu", ...).
+	Bottleneck string
+	// Network is the underlying queueing model, for further analysis.
+	Network mva.Network
+}
+
+// PredictPeak builds a closed queueing model of a deployment — one CPU
+// station per instance (servers ≈ SMT-adjusted core count) plus one
+// serial station per instance of a serialization-limited service — and
+// returns the bottleneck throughput bound. It lets the optimizer reason
+// about a placement without simulating it; accuracy versus the simulator
+// is established in core's tests.
+func PredictPeak(mach *topology.Machine, d sim.Deployment, profile *workload.Profile, seed int64) (Prediction, error) {
+	if err := d.Validate(mach); err != nil {
+		return Prediction{}, err
+	}
+	if profile == nil {
+		profile = workload.Browse()
+	}
+	mix := profile.Mix(rand.New(rand.NewSource(seed)), 4000)
+	specs := sim.DefaultRequestSpecs()
+	profiles := sim.DefaultProfiles()
+
+	// Per-request demand on each service, mix weighted.
+	demand := map[sim.Service]float64{}
+	for r, frac := range mix {
+		spec, ok := specs[workload.Request(r)]
+		if !ok {
+			continue
+		}
+		for _, svc := range sim.AllServices() {
+			demand[svc] += frac * float64(spec.DemandOn(svc)) / 1e9
+		}
+	}
+
+	// The effective parallelism of an instance: physical cores scaled by
+	// the SMT yield of the second thread (2 × 0.62 per core), matching
+	// simcpu's default parameters.
+	const smtYield = 1.24
+	effServers := func(aff topology.CPUSet) int {
+		cores := map[int]bool{}
+		count := func(id int) { cores[mach.CPU(id).Core] = true }
+		if aff.Empty() {
+			for id := 0; id < mach.NumCPUs(); id++ {
+				count(id)
+			}
+		} else {
+			aff.ForEach(count)
+		}
+		n := int(float64(len(cores)) * smtYield)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	net := mva.Network{ThinkTime: float64(profile.ThinkMedian) / 1e9}
+	replicas := map[sim.Service]int{}
+	for _, inst := range d.Instances {
+		replicas[inst.Service]++
+	}
+	for i, inst := range d.Instances {
+		svc := inst.Service
+		perInstance := demand[svc] / float64(replicas[svc])
+		if perInstance <= 0 {
+			continue
+		}
+		net.Stations = append(net.Stations, mva.Station{
+			Name:    fmt.Sprintf("%s[%d]/cpu", svc, i),
+			Demand:  perInstance,
+			Servers: effServers(inst.Affinity),
+		})
+		if f := profiles[svc].SerialFrac; f > 0 {
+			net.Stations = append(net.Stations, mva.Station{
+				Name:    fmt.Sprintf("%s[%d]/serial", svc, i),
+				Demand:  perInstance * f,
+				Servers: 1,
+			})
+		}
+	}
+
+	peak, err := mva.MaxThroughput(net)
+	if err != nil {
+		return Prediction{}, err
+	}
+	pred := Prediction{PeakRequestsPerSec: peak, Network: net}
+	// Identify the bottleneck station.
+	var worst float64
+	for _, st := range net.Stations {
+		if d := st.Demand / float64(st.Servers); d > worst {
+			worst = d
+			pred.Bottleneck = st.Name
+		}
+	}
+	return pred, nil
+}

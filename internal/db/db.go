@@ -1,0 +1,339 @@
+// Package db is the embedded relational store behind the Persistence
+// service: categories, products, users, and orders with secondary indexes,
+// serializable writes, and a deterministic catalog generator.
+//
+// It replaces the MariaDB instance the original TeaStore uses; the
+// Persistence service exposes it over HTTP/JSON.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Category is a product grouping.
+type Category struct {
+	ID          int64  `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Product is one catalog item.
+type Product struct {
+	ID          int64  `json:"id"`
+	CategoryID  int64  `json:"categoryId"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// PriceCents avoids floating-point money.
+	PriceCents int64 `json:"priceCents"`
+}
+
+// User is a store account.
+type User struct {
+	ID       int64  `json:"id"`
+	Email    string `json:"email"`
+	RealName string `json:"realName"`
+	// PasswordHash is hex(PBKDF2-ish digest); never the plain password.
+	PasswordHash string `json:"passwordHash"`
+	Salt         string `json:"salt"`
+}
+
+// OrderItem is one line of an order.
+type OrderItem struct {
+	ProductID  int64 `json:"productId"`
+	Quantity   int   `json:"quantity"`
+	PriceCents int64 `json:"priceCents"`
+}
+
+// Order is a completed checkout.
+type Order struct {
+	ID         int64       `json:"id"`
+	UserID     int64       `json:"userId"`
+	PlacedAt   time.Time   `json:"placedAt"`
+	TotalCents int64       `json:"totalCents"`
+	Items      []OrderItem `json:"items"`
+}
+
+// Sentinel errors.
+var (
+	ErrNotFound  = errors.New("db: not found")
+	ErrDuplicate = errors.New("db: duplicate key")
+	ErrInvalid   = errors.New("db: invalid entity")
+)
+
+// Store is the in-memory database. All methods are safe for concurrent
+// use; reads take a shared lock, writes an exclusive one.
+type Store struct {
+	mu sync.RWMutex
+
+	categories map[int64]*Category
+	products   map[int64]*Product
+	users      map[int64]*User
+	orders     map[int64]*Order
+
+	// Secondary indexes.
+	productsByCategory map[int64][]int64
+	usersByEmail       map[string]int64
+	ordersByUser       map[int64][]int64
+
+	nextID int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		categories:         map[int64]*Category{},
+		products:           map[int64]*Product{},
+		users:              map[int64]*User{},
+		orders:             map[int64]*Order{},
+		productsByCategory: map[int64][]int64{},
+		usersByEmail:       map[string]int64{},
+		ordersByUser:       map[int64][]int64{},
+		nextID:             1,
+	}
+}
+
+// allocID hands out the next primary key. Callers must hold mu.
+func (s *Store) allocID() int64 {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// AddCategory inserts a category and returns it with its assigned ID.
+func (s *Store) AddCategory(c Category) (Category, error) {
+	if c.Name == "" {
+		return Category{}, fmt.Errorf("%w: category needs a name", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c.ID = s.allocID()
+	s.categories[c.ID] = &c
+	return c, nil
+}
+
+// Categories lists all categories ordered by ID.
+func (s *Store) Categories() []Category {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Category, 0, len(s.categories))
+	for _, c := range s.categories {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Category fetches one category.
+func (s *Store) Category(id int64) (Category, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.categories[id]
+	if !ok {
+		return Category{}, fmt.Errorf("%w: category %d", ErrNotFound, id)
+	}
+	return *c, nil
+}
+
+// AddProduct inserts a product; its category must exist.
+func (s *Store) AddProduct(p Product) (Product, error) {
+	if p.Name == "" || p.PriceCents <= 0 {
+		return Product{}, fmt.Errorf("%w: product needs name and positive price", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.categories[p.CategoryID]; !ok {
+		return Product{}, fmt.Errorf("%w: category %d", ErrNotFound, p.CategoryID)
+	}
+	p.ID = s.allocID()
+	s.products[p.ID] = &p
+	s.productsByCategory[p.CategoryID] = append(s.productsByCategory[p.CategoryID], p.ID)
+	return p, nil
+}
+
+// Product fetches one product.
+func (s *Store) Product(id int64) (Product, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.products[id]
+	if !ok {
+		return Product{}, fmt.Errorf("%w: product %d", ErrNotFound, id)
+	}
+	return *p, nil
+}
+
+// ProductsByCategory returns one page of a category's products, ordered by
+// ID. offset/limit paginate; limit ≤ 0 means 20.
+func (s *Store) ProductsByCategory(categoryID int64, offset, limit int) ([]Product, int, error) {
+	if limit <= 0 {
+		limit = 20
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.categories[categoryID]; !ok {
+		return nil, 0, fmt.Errorf("%w: category %d", ErrNotFound, categoryID)
+	}
+	ids := s.productsByCategory[categoryID]
+	total := len(ids)
+	if offset >= total {
+		return []Product{}, total, nil
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	out := make([]Product, 0, end-offset)
+	for _, id := range ids[offset:end] {
+		out = append(out, *s.products[id])
+	}
+	return out, total, nil
+}
+
+// NumProducts returns the catalog size.
+func (s *Store) NumProducts() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.products)
+}
+
+// AddUser inserts a user; email must be unique.
+func (s *Store) AddUser(u User) (User, error) {
+	if u.Email == "" || u.PasswordHash == "" {
+		return User{}, fmt.Errorf("%w: user needs email and password hash", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.usersByEmail[u.Email]; ok {
+		return User{}, fmt.Errorf("%w: email %q", ErrDuplicate, u.Email)
+	}
+	u.ID = s.allocID()
+	s.users[u.ID] = &u
+	s.usersByEmail[u.Email] = u.ID
+	return u, nil
+}
+
+// User fetches a user by ID.
+func (s *Store) User(id int64) (User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	u, ok := s.users[id]
+	if !ok {
+		return User{}, fmt.Errorf("%w: user %d", ErrNotFound, id)
+	}
+	return *u, nil
+}
+
+// UserByEmail fetches a user by unique email.
+func (s *Store) UserByEmail(email string) (User, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	id, ok := s.usersByEmail[email]
+	if !ok {
+		return User{}, fmt.Errorf("%w: user %q", ErrNotFound, email)
+	}
+	return *s.users[id], nil
+}
+
+// NumUsers returns the registered-user count.
+func (s *Store) NumUsers() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.users)
+}
+
+// PlaceOrder atomically validates and inserts an order: the user and every
+// product must exist, quantities must be positive, and the stored total is
+// recomputed server-side from current prices.
+func (s *Store) PlaceOrder(userID int64, items []OrderItem, at time.Time) (Order, error) {
+	if len(items) == 0 {
+		return Order{}, fmt.Errorf("%w: order needs items", ErrInvalid)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.users[userID]; !ok {
+		return Order{}, fmt.Errorf("%w: user %d", ErrNotFound, userID)
+	}
+	order := Order{UserID: userID, PlacedAt: at}
+	for _, it := range items {
+		if it.Quantity <= 0 {
+			return Order{}, fmt.Errorf("%w: quantity %d", ErrInvalid, it.Quantity)
+		}
+		p, ok := s.products[it.ProductID]
+		if !ok {
+			return Order{}, fmt.Errorf("%w: product %d", ErrNotFound, it.ProductID)
+		}
+		line := OrderItem{ProductID: it.ProductID, Quantity: it.Quantity, PriceCents: p.PriceCents}
+		order.Items = append(order.Items, line)
+		order.TotalCents += line.PriceCents * int64(line.Quantity)
+	}
+	order.ID = s.allocID()
+	s.orders[order.ID] = &order
+	s.ordersByUser[userID] = append(s.ordersByUser[userID], order.ID)
+	return order, nil
+}
+
+// Order fetches one order.
+func (s *Store) Order(id int64) (Order, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.orders[id]
+	if !ok {
+		return Order{}, fmt.Errorf("%w: order %d", ErrNotFound, id)
+	}
+	return *o, nil
+}
+
+// OrdersByUser lists a user's orders, newest first.
+func (s *Store) OrdersByUser(userID int64) ([]Order, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, ok := s.users[userID]; !ok {
+		return nil, fmt.Errorf("%w: user %d", ErrNotFound, userID)
+	}
+	ids := s.ordersByUser[userID]
+	out := make([]Order, 0, len(ids))
+	for i := len(ids) - 1; i >= 0; i-- {
+		out = append(out, *s.orders[ids[i]])
+	}
+	return out, nil
+}
+
+// AllOrders lists every order ordered by ID — the recommender's training
+// feed.
+func (s *Store) AllOrders() []Order {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Order, 0, len(s.orders))
+	for _, o := range s.orders {
+		out = append(out, *o)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumOrders returns the order count.
+func (s *Store) NumOrders() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.orders)
+}
+
+// Reset drops everything (test and regeneration support).
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.categories = map[int64]*Category{}
+	s.products = map[int64]*Product{}
+	s.users = map[int64]*User{}
+	s.orders = map[int64]*Order{}
+	s.productsByCategory = map[int64][]int64{}
+	s.usersByEmail = map[string]int64{}
+	s.ordersByUser = map[int64][]int64{}
+	s.nextID = 1
+}

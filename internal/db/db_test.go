@@ -1,0 +1,287 @@
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testHash(password, salt string) string { return "h:" + password + ":" + salt }
+
+func seeded(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore()
+	if err := s.Generate(GenerateSpec{
+		Categories: 3, ProductsPerCategory: 10, Users: 5, SeedOrders: 20, Seed: 1,
+	}, testHash); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCategoriesAndProducts(t *testing.T) {
+	s := seeded(t)
+	cats := s.Categories()
+	if len(cats) != 3 {
+		t.Fatalf("categories = %d, want 3", len(cats))
+	}
+	got, err := s.Category(cats[0].ID)
+	if err != nil || got.Name != cats[0].Name {
+		t.Fatalf("Category fetch wrong: %v %v", got, err)
+	}
+	if _, err := s.Category(9999); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing category error = %v", err)
+	}
+
+	page, total, err := s.ProductsByCategory(cats[0].ID, 0, 4)
+	if err != nil || total != 10 || len(page) != 4 {
+		t.Fatalf("page wrong: %d items, total %d, err %v", len(page), total, err)
+	}
+	page2, _, _ := s.ProductsByCategory(cats[0].ID, 4, 4)
+	if page[0].ID == page2[0].ID {
+		t.Fatal("pagination returned overlapping pages")
+	}
+	tail, _, _ := s.ProductsByCategory(cats[0].ID, 8, 4)
+	if len(tail) != 2 {
+		t.Fatalf("tail page = %d items, want 2", len(tail))
+	}
+	empty, _, _ := s.ProductsByCategory(cats[0].ID, 100, 4)
+	if len(empty) != 0 {
+		t.Fatal("beyond-end page should be empty")
+	}
+	if s.NumProducts() != 30 {
+		t.Fatalf("NumProducts = %d", s.NumProducts())
+	}
+}
+
+func TestProductLookupAndValidation(t *testing.T) {
+	s := seeded(t)
+	cats := s.Categories()
+	p, err := s.AddProduct(Product{CategoryID: cats[0].ID, Name: "X", PriceCents: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Product(p.ID)
+	if err != nil || got.Name != "X" {
+		t.Fatal("product fetch wrong")
+	}
+	if _, err := s.AddProduct(Product{CategoryID: 9999, Name: "X", PriceCents: 1}); !errors.Is(err, ErrNotFound) {
+		t.Fatal("orphan product accepted")
+	}
+	if _, err := s.AddProduct(Product{CategoryID: cats[0].ID, Name: "", PriceCents: 1}); !errors.Is(err, ErrInvalid) {
+		t.Fatal("nameless product accepted")
+	}
+	if _, err := s.AddProduct(Product{CategoryID: cats[0].ID, Name: "X", PriceCents: 0}); !errors.Is(err, ErrInvalid) {
+		t.Fatal("free product accepted")
+	}
+}
+
+func TestUsersUniqueEmail(t *testing.T) {
+	s := seeded(t)
+	u, err := s.UserByEmail(EmailFor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.PasswordHash != testHash(PasswordFor(0), u.Salt) {
+		t.Fatal("generated hash mismatch")
+	}
+	if _, err := s.AddUser(User{Email: EmailFor(0), PasswordHash: "x"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate email error = %v", err)
+	}
+	if _, err := s.User(u.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.User(987654); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing user error wrong")
+	}
+	if s.NumUsers() != 5 {
+		t.Fatalf("NumUsers = %d", s.NumUsers())
+	}
+}
+
+func TestPlaceOrderComputesTotals(t *testing.T) {
+	s := seeded(t)
+	u, _ := s.UserByEmail(EmailFor(1))
+	cats := s.Categories()
+	page, _, _ := s.ProductsByCategory(cats[0].ID, 0, 2)
+	items := []OrderItem{
+		{ProductID: page[0].ID, Quantity: 2, PriceCents: 1}, // client price ignored
+		{ProductID: page[1].ID, Quantity: 1},
+	}
+	before := s.NumOrders()
+	o, err := s.PlaceOrder(u.ID, items, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2*page[0].PriceCents + page[1].PriceCents
+	if o.TotalCents != want {
+		t.Fatalf("total = %d, want %d (server-side pricing)", o.TotalCents, want)
+	}
+	if s.NumOrders() != before+1 {
+		t.Fatal("order not stored")
+	}
+	fetched, err := s.Order(o.ID)
+	if err != nil || len(fetched.Items) != 2 {
+		t.Fatal("order fetch wrong")
+	}
+	mine, err := s.OrdersByUser(u.ID)
+	if err != nil || len(mine) == 0 || mine[0].ID != o.ID {
+		t.Fatal("OrdersByUser should list newest first")
+	}
+}
+
+func TestPlaceOrderAtomicOnFailure(t *testing.T) {
+	s := seeded(t)
+	u, _ := s.UserByEmail(EmailFor(1))
+	cats := s.Categories()
+	page, _, _ := s.ProductsByCategory(cats[0].ID, 0, 1)
+	before := s.NumOrders()
+	_, err := s.PlaceOrder(u.ID, []OrderItem{
+		{ProductID: page[0].ID, Quantity: 1},
+		{ProductID: 424242, Quantity: 1}, // missing product
+	}, time.Now())
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if s.NumOrders() != before {
+		t.Fatal("failed order left partial state")
+	}
+	if _, err := s.PlaceOrder(u.ID, nil, time.Now()); !errors.Is(err, ErrInvalid) {
+		t.Fatal("empty order accepted")
+	}
+	if _, err := s.PlaceOrder(u.ID, []OrderItem{{ProductID: page[0].ID, Quantity: 0}}, time.Now()); !errors.Is(err, ErrInvalid) {
+		t.Fatal("zero quantity accepted")
+	}
+	if _, err := s.PlaceOrder(99999, []OrderItem{{ProductID: page[0].ID, Quantity: 1}}, time.Now()); !errors.Is(err, ErrNotFound) {
+		t.Fatal("ghost user accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := NewStore(), NewStore()
+	spec := DefaultGenerateSpec()
+	spec.Categories, spec.ProductsPerCategory, spec.Users, spec.SeedOrders = 2, 5, 3, 10
+	if err := a.Generate(spec, testHash); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Generate(spec, testHash); err != nil {
+		t.Fatal(err)
+	}
+	pa, _, _ := a.ProductsByCategory(1, 0, 5)
+	pb, _, _ := b.ProductsByCategory(1, 0, 5)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("generation not deterministic: %v vs %v", pa[i], pb[i])
+		}
+	}
+	if a.NumOrders() != b.NumOrders() {
+		t.Fatal("order seeding not deterministic")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Generate(GenerateSpec{}, testHash); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if err := s.Generate(DefaultGenerateSpec(), nil); err == nil {
+		t.Fatal("nil hasher accepted")
+	}
+}
+
+func TestAllOrdersSorted(t *testing.T) {
+	s := seeded(t)
+	orders := s.AllOrders()
+	if len(orders) == 0 {
+		t.Fatal("seed orders missing")
+	}
+	for i := 1; i < len(orders); i++ {
+		if orders[i].ID < orders[i-1].ID {
+			t.Fatal("AllOrders not sorted")
+		}
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	s := seeded(t)
+	s.Reset()
+	if s.NumProducts() != 0 || s.NumUsers() != 0 || s.NumOrders() != 0 || len(s.Categories()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	// IDs restart.
+	c, _ := s.AddCategory(Category{Name: "fresh"})
+	if c.ID != 1 {
+		t.Fatalf("post-reset ID = %d, want 1", c.ID)
+	}
+}
+
+// Property: concurrent mixed readers/writers never corrupt invariants:
+// order totals always equal the sum of their lines, and unique email index
+// stays consistent.
+func TestConcurrentAccessInvariants(t *testing.T) {
+	s := seeded(t)
+	u, _ := s.UserByEmail(EmailFor(0))
+	cats := s.Categories()
+	page, _, _ := s.ProductsByCategory(cats[0].ID, 0, 5)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					_, _ = s.PlaceOrder(u.ID, []OrderItem{{ProductID: page[i%5].ID, Quantity: 1 + i%3}}, time.Now())
+				case 1:
+					_, _, _ = s.ProductsByCategory(cats[i%3].ID, i%7, 5)
+				case 2:
+					_, _ = s.UserByEmail(EmailFor(i % 5))
+				case 3:
+					_, _ = s.AddUser(User{Email: fmt.Sprintf("w%d-%d@x", w, i), PasswordHash: "h"})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, o := range s.AllOrders() {
+		var sum int64
+		for _, it := range o.Items {
+			sum += it.PriceCents * int64(it.Quantity)
+		}
+		if sum != o.TotalCents {
+			t.Fatalf("order %d total %d != line sum %d", o.ID, o.TotalCents, sum)
+		}
+	}
+}
+
+// Property: every generated product belongs to an existing category and
+// every seeded order references existing users/products.
+func TestPropertyGeneratedReferentialIntegrity(t *testing.T) {
+	f := func(seed int64) bool {
+		s := NewStore()
+		err := s.Generate(GenerateSpec{
+			Categories: 2, ProductsPerCategory: 6, Users: 4, SeedOrders: 15, Seed: seed,
+		}, testHash)
+		if err != nil {
+			return false
+		}
+		for _, o := range s.AllOrders() {
+			if _, err := s.User(o.UserID); err != nil {
+				return false
+			}
+			for _, it := range o.Items {
+				if _, err := s.Product(it.ProductID); err != nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

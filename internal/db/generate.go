@@ -1,0 +1,138 @@
+package db
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// GenerateSpec sizes a synthetic catalog. The defaults mirror the original
+// TeaStore generator (tea categories, ~100 products each).
+type GenerateSpec struct {
+	Categories          int
+	ProductsPerCategory int
+	Users               int
+	// SeedOrders places historic orders so the recommender has training
+	// data.
+	SeedOrders int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultGenerateSpec returns the standard catalog shape.
+func DefaultGenerateSpec() GenerateSpec {
+	return GenerateSpec{
+		Categories:          6,
+		ProductsPerCategory: 100,
+		Users:               100,
+		SeedOrders:          400,
+		Seed:                1,
+	}
+}
+
+var teaCategories = []string{
+	"Black Tea", "Green Tea", "Herbal Tea", "Oolong Tea", "White Tea",
+	"Rooibos", "Pu-erh", "Yellow Tea", "Matcha", "Chai",
+}
+
+var teaAdjectives = []string{
+	"Imperial", "Golden", "Misty", "Wild", "Smoked", "First Flush",
+	"Hand-Rolled", "Mountain", "Harbor", "Emerald", "Velvet", "Ancient",
+}
+
+var teaNouns = []string{
+	"Dragon", "Phoenix", "Blossom", "Needle", "Cloud", "Monkey",
+	"Pearl", "Garden", "Leaf", "Dawn", "Grove", "Summit",
+}
+
+// PasswordFor returns the deterministic demo password of a generated user
+// index — load generators log in with it.
+func PasswordFor(i int) string { return fmt.Sprintf("password%d", i) }
+
+// EmailFor returns the deterministic email of a generated user index.
+func EmailFor(i int) string { return fmt.Sprintf("user%d@teastore.test", i) }
+
+// Hasher derives password hashes; the auth package provides the real one.
+// It is a parameter so db does not depend on auth.
+type Hasher func(password, salt string) string
+
+// Generate populates the store with a deterministic catalog, users, and
+// seed orders. The store is reset first.
+func (s *Store) Generate(spec GenerateSpec, hash Hasher) error {
+	if spec.Categories <= 0 || spec.ProductsPerCategory <= 0 {
+		return fmt.Errorf("%w: need positive categories and products", ErrInvalid)
+	}
+	if hash == nil {
+		return fmt.Errorf("%w: nil hasher", ErrInvalid)
+	}
+	s.Reset()
+	rng := rand.New(rand.NewSource(spec.Seed))
+
+	var productIDs []int64
+	for c := 0; c < spec.Categories; c++ {
+		name := teaCategories[c%len(teaCategories)]
+		if c >= len(teaCategories) {
+			name = fmt.Sprintf("%s %d", name, c/len(teaCategories)+1)
+		}
+		cat, err := s.AddCategory(Category{
+			Name:        name,
+			Description: fmt.Sprintf("Our selection of %s.", name),
+		})
+		if err != nil {
+			return err
+		}
+		for p := 0; p < spec.ProductsPerCategory; p++ {
+			adj := teaAdjectives[rng.Intn(len(teaAdjectives))]
+			noun := teaNouns[rng.Intn(len(teaNouns))]
+			prod, err := s.AddProduct(Product{
+				CategoryID:  cat.ID,
+				Name:        fmt.Sprintf("%s %s %s No. %d", adj, noun, name, p+1),
+				Description: fmt.Sprintf("A %s blend of %s, lot %d.", adj, name, p+1),
+				PriceCents:  int64(495 + rng.Intn(4500)),
+			})
+			if err != nil {
+				return err
+			}
+			productIDs = append(productIDs, prod.ID)
+		}
+	}
+
+	var userIDs []int64
+	for i := 0; i < spec.Users; i++ {
+		salt := fmt.Sprintf("salt-%d-%d", spec.Seed, i)
+		u, err := s.AddUser(User{
+			Email:        EmailFor(i),
+			RealName:     fmt.Sprintf("Test User %d", i),
+			Salt:         salt,
+			PasswordHash: hash(PasswordFor(i), salt),
+		})
+		if err != nil {
+			return err
+		}
+		userIDs = append(userIDs, u.ID)
+	}
+
+	// Seed orders with zipf-ish popularity so recommenders have signal.
+	if spec.SeedOrders > 0 && len(userIDs) > 0 && len(productIDs) > 0 {
+		zipf := rand.NewZipf(rng, 1.2, 4, uint64(len(productIDs)-1))
+		base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+		for i := 0; i < spec.SeedOrders; i++ {
+			user := userIDs[rng.Intn(len(userIDs))]
+			n := 1 + rng.Intn(4)
+			items := make([]OrderItem, 0, n)
+			seen := map[int64]bool{}
+			for j := 0; j < n; j++ {
+				pid := productIDs[int(zipf.Uint64())]
+				if seen[pid] {
+					continue
+				}
+				seen[pid] = true
+				items = append(items, OrderItem{ProductID: pid, Quantity: 1 + rng.Intn(3)})
+			}
+			if _, err := s.PlaceOrder(user, items, base.Add(time.Duration(i)*time.Hour)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,90 @@
+package desim
+
+// Resource is a counted resource with a FIFO wait queue: the discrete-event
+// analogue of a semaphore. Grants happen inline (as part of the releasing
+// event) so acquisition order is deterministic.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  fifo
+	// MaxQueue, when > 0, bounds the wait queue; Acquire beyond it fails.
+	MaxQueue int
+}
+
+type waiter struct{ grant func() }
+
+// fifo is an amortized O(1) queue of waiters.
+type fifo struct {
+	head, tail []waiter
+}
+
+func (q *fifo) push(w waiter) { q.tail = append(q.tail, w) }
+func (q *fifo) len() int      { return len(q.head) + len(q.tail) }
+func (q *fifo) pop() (waiter, bool) {
+	if len(q.head) == 0 {
+		if len(q.tail) == 0 {
+			return waiter{}, false
+		}
+		// Reverse tail into head.
+		q.head = q.head[:0]
+		for i := len(q.tail) - 1; i >= 0; i-- {
+			q.head = append(q.head, q.tail[i])
+		}
+		q.tail = q.tail[:0]
+	}
+	w := q.head[len(q.head)-1]
+	q.head = q.head[:len(q.head)-1]
+	return w, true
+}
+
+// NewResource returns a resource with the given capacity managed by eng.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("desim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Capacity returns the resource's total units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Queued returns the number of waiting acquisitions.
+func (r *Resource) Queued() int { return r.waiters.len() }
+
+// Acquire requests one unit. grant runs immediately (synchronously) if a
+// unit is free, otherwise when one is released. Acquire reports false if
+// the wait queue is bounded and full, in which case grant will never run.
+func (r *Resource) Acquire(grant func()) bool {
+	if r.inUse < r.capacity {
+		r.inUse++
+		grant()
+		return true
+	}
+	if r.MaxQueue > 0 && r.waiters.len() >= r.MaxQueue {
+		return false
+	}
+	r.waiters.push(waiter{grant: grant})
+	return true
+}
+
+// Release returns one unit, handing it to the oldest waiter if any.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("desim: release of idle resource")
+	}
+	if w, ok := r.waiters.pop(); ok {
+		// Unit passes directly to the waiter; inUse is unchanged.
+		w.grant()
+		return
+	}
+	r.inUse--
+}
+
+// Utilization returns the fraction of capacity currently in use.
+func (r *Resource) Utilization() float64 {
+	return float64(r.inUse) / float64(r.capacity)
+}

@@ -1,0 +1,211 @@
+package desim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGStreamIndependence(t *testing.T) {
+	p := NewRNGPool(42)
+	a := p.Stream("a")
+	b := p.Stream("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams 'a' and 'b' produced %d identical draws", same)
+	}
+}
+
+func TestRNGStreamReproducible(t *testing.T) {
+	x := NewRNGPool(7).Stream("svc").Int63()
+	y := NewRNGPool(7).Stream("svc").Int63()
+	if x != y {
+		t.Fatalf("same pool+name diverged: %d vs %d", x, y)
+	}
+	z := NewRNGPool(8).Stream("svc").Int63()
+	if x == z {
+		t.Fatal("different seeds produced identical first draw")
+	}
+}
+
+func TestExpMeanRoughlyCorrect(t *testing.T) {
+	r := NewRNGPool(1).Stream("exp")
+	const n = 20000
+	mean := 10 * Millisecond
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(r.Exp(mean))
+	}
+	got := sum / n
+	want := float64(mean)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("Exp sample mean = %v, want within 5%% of %v", Duration(got), mean)
+	}
+}
+
+func TestExpNonPositiveMean(t *testing.T) {
+	r := NewRNGPool(1).Stream("exp")
+	if r.Exp(0) != 0 || r.Exp(-5) != 0 {
+		t.Fatal("Exp of non-positive mean should be 0")
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := NewRNGPool(2).Stream("ln")
+	const n = 20001
+	samples := make([]Duration, n)
+	for i := range samples {
+		samples[i] = r.LogNormal(5*Millisecond, 0.5)
+	}
+	// Median check: count below the target median.
+	below := 0
+	for _, s := range samples {
+		if s < 5*Millisecond {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("fraction below median = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	r := NewRNGPool(3).Stream("u")
+	for i := 0; i < 1000; i++ {
+		d := r.Uniform(2*Millisecond, 4*Millisecond)
+		if d < 2*Millisecond || d >= 4*Millisecond {
+			t.Fatalf("Uniform out of range: %v", d)
+		}
+	}
+	if r.Uniform(5, 5) != 5 {
+		t.Fatal("degenerate Uniform should return lo")
+	}
+}
+
+func TestPickDistribution(t *testing.T) {
+	r := NewRNGPool(4).Stream("pick")
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index picked %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("weight ratio = %.2f, want ~3", ratio)
+	}
+}
+
+func TestPickDegenerate(t *testing.T) {
+	r := NewRNGPool(5).Stream("pick")
+	if r.Pick(nil) != 0 {
+		t.Fatal("Pick(nil) != 0")
+	}
+	if r.Pick([]float64{0, 0}) != 0 {
+		t.Fatal("Pick(all zero) != 0")
+	}
+}
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := New()
+	r := NewResource(e, 2)
+	granted := 0
+	r.Acquire(func() { granted++ })
+	r.Acquire(func() { granted++ })
+	if granted != 2 || r.InUse() != 2 {
+		t.Fatalf("granted=%d inUse=%d, want 2,2", granted, r.InUse())
+	}
+	if r.Utilization() != 1.0 {
+		t.Fatalf("utilization = %v, want 1", r.Utilization())
+	}
+}
+
+func TestResourceQueuesFIFO(t *testing.T) {
+	e := New()
+	r := NewResource(e, 1)
+	var order []int
+	r.Acquire(func() {})
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Acquire(func() { order = append(order, i) })
+	}
+	if r.Queued() != 5 {
+		t.Fatalf("Queued = %d, want 5", r.Queued())
+	}
+	for i := 0; i < 5; i++ {
+		r.Release()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestResourceBoundedQueue(t *testing.T) {
+	e := New()
+	r := NewResource(e, 1)
+	r.MaxQueue = 2
+	r.Acquire(func() {})
+	if !r.Acquire(func() {}) || !r.Acquire(func() {}) {
+		t.Fatal("queue slots rejected")
+	}
+	if r.Acquire(func() {}) {
+		t.Fatal("over-bound acquire accepted")
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	e := New()
+	r := NewResource(e, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("release of idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero capacity did not panic")
+		}
+	}()
+	NewResource(New(), 0)
+}
+
+// Property: grants never exceed capacity, and every queued acquire is
+// eventually granted after enough releases.
+func TestPropertyResourceConservation(t *testing.T) {
+	f := func(capRaw uint8, nRaw uint8) bool {
+		capacity := int(capRaw%8) + 1
+		n := int(nRaw%64) + 1
+		e := New()
+		r := NewResource(e, capacity)
+		granted := 0
+		for i := 0; i < n; i++ {
+			r.Acquire(func() { granted++ })
+			if r.InUse() > capacity {
+				return false
+			}
+		}
+		// Drain: release until idle.
+		for r.InUse() > 0 {
+			r.Release()
+		}
+		return granted == n && r.Queued() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package desim
+
+import "testing"
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-period ticker did not panic")
+		}
+	}()
+	e.Ticker(0, func() {})
+}
+
+func TestTickerCancelFromWithinCallback(t *testing.T) {
+	e := New()
+	count := 0
+	var cancel func()
+	cancel = e.Ticker(Millisecond, func() {
+		count++
+		if count == 2 {
+			cancel()
+		}
+	})
+	e.RunFor(10 * Millisecond)
+	if count != 2 {
+		t.Fatalf("count = %d, want 2 (self-cancel)", count)
+	}
+}
+
+func TestCancelledEventIDState(t *testing.T) {
+	e := New()
+	id := e.After(Millisecond, func() {})
+	if id.Cancelled() {
+		t.Fatal("pending event reports cancelled")
+	}
+	e.Cancel(id)
+	if !id.Cancelled() {
+		t.Fatal("cancelled event reports live")
+	}
+	if (EventID{}).Cancelled() != true {
+		t.Fatal("zero EventID should read as cancelled")
+	}
+}
+
+func TestPendingCountsLiveEvents(t *testing.T) {
+	e := New()
+	a := e.After(Millisecond, func() {})
+	e.After(2*Millisecond, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("Pending after cancel = %d", e.Pending())
+	}
+}

@@ -1,0 +1,374 @@
+// Package experiments reproduces the paper's evaluation: each Ex function
+// regenerates one table or figure (see DESIGN.md's experiment index) and
+// returns it as a rendered table plus the raw series, so the same code
+// backs cmd/simstudy, the benchmark harness, and EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/desim"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// Options tune experiment scale. Quick mode shrinks populations and
+// windows ~10× so the suite runs in seconds (used by tests); full mode is
+// the published configuration.
+type Options struct {
+	Quick bool
+	Seed  int64
+}
+
+// scale shrinks a population in quick mode.
+func (o Options) scale(users int) int {
+	if o.Quick {
+		users /= 10
+		if users < 50 {
+			users = 50
+		}
+	}
+	return users
+}
+
+// windows returns warmup and measure durations.
+func (o Options) windows() (desim.Duration, desim.Duration) {
+	if o.Quick {
+		return 1 * desim.Second, 3 * desim.Second
+	}
+	return 4 * desim.Second, 10 * desim.Second
+}
+
+// browseShares computes demand shares for the browse profile.
+func (o Options) browseShares() placement.Shares {
+	return core.WorkloadShares(workload.Browse(), o.Seed)
+}
+
+// browse returns the workload profile for runs. Quick mode divides think
+// times by the same factor as the population, preserving offered load and
+// saturation behaviour with a tenth of the clients.
+func (o Options) browse() *workload.Profile {
+	p := workload.Browse()
+	if o.Quick {
+		p.ThinkMedian /= 10
+	}
+	return p
+}
+
+// E1ServiceInventory regenerates Table 1: the six services, their roles,
+// and their per-request median demand under the browse mix.
+func E1ServiceInventory(opt Options) metrics.Table {
+	roles := map[sim.Service]string{
+		sim.WebUI:       "front end; orchestrates every request",
+		sim.Auth:        "session tokens, password + cart crypto",
+		sim.Persistence: "catalog/user/order store",
+		sim.Recommender: "collaborative-filtering recommendations",
+		sim.Image:       "product image rendering + cache",
+		sim.Registry:    "service discovery + heartbeats",
+	}
+	mix := workload.Browse().Mix(rand.New(rand.NewSource(opt.Seed)), 4000)
+	specs := sim.DefaultRequestSpecs()
+	profiles := sim.DefaultProfiles()
+	shares := core.AnalyticShares(specs, mix)
+
+	tab := metrics.Table{
+		Title:   "E1 (Table 1): TeaStore service inventory",
+		Headers: []string{"service", "role", "mean demand/op", "demand share", "working set", "serial frac"},
+	}
+	for _, svc := range sim.AllServices() {
+		mean := core.MeanDemand(svc, specs, mix)
+		tab.AddRow(
+			svc.String(),
+			roles[svc],
+			fmt.Sprintf("%.2f ms", float64(mean)/1e6),
+			fmt.Sprintf("%.1f %%", shares[svc]*100),
+			fmt.Sprintf("%d MiB", profiles[svc].WSBytes>>20),
+			fmt.Sprintf("%.1f %%", profiles[svc].SerialFrac*100),
+		)
+	}
+	return tab
+}
+
+// E10Topology regenerates Table 2: the modeled server.
+func E10Topology() metrics.Table {
+	tab := metrics.Table{
+		Title:   "E10 (Table 2): modeled server configurations",
+		Headers: []string{"machine", "sockets", "cores", "logical CPUs", "CCXs", "L3/CCX", "NUMA nodes", "GHz base/boost"},
+	}
+	for _, m := range []*topology.Machine{topology.Rome1S(), topology.Rome2S(), topology.Rome1SNPS4()} {
+		cfg := m.Config()
+		tab.AddRow(
+			m.Name(),
+			fmt.Sprintf("%d", m.NumSockets()),
+			fmt.Sprintf("%d", m.NumCores()),
+			fmt.Sprintf("%d", m.NumCPUs()),
+			fmt.Sprintf("%d", m.NumCCXs()),
+			fmt.Sprintf("%d MiB", cfg.L3PerCCX>>20),
+			fmt.Sprintf("%d", m.NumNUMA()),
+			fmt.Sprintf("%.2f/%.2f", cfg.BaseGHz, cfg.BoostGHz),
+		)
+	}
+	return tab
+}
+
+// ScalePoint is one (logical CPUs, throughput) sample of both curves.
+type ScalePoint struct {
+	LogicalCPUs int
+	// Default is the os-default (one instance per service) throughput —
+	// the curve whose early saturation motivates the paper.
+	Default float64
+	// Tuned is the replicated-but-unpinned throughput at the same size.
+	Tuned float64
+}
+
+// E2ScaleUpCurve regenerates Fig 2: application throughput versus logical
+// CPU count on machines of growing size. The os-default deployment stops
+// scaling once its single Persistence instance's serialization saturates;
+// the tuned deployment (replication sized to the machine) keeps scaling —
+// together they are the paper's motivation.
+func E2ScaleUpCurve(opt Options) (metrics.Table, []ScalePoint, error) {
+	warmup, measure := opt.windows()
+	shares := opt.browseShares()
+	var points []ScalePoint
+	tab := metrics.Table{
+		Title:   "E2 (Fig 2): throughput vs logical CPU count",
+		Headers: []string{"logical CPUs", "os-default req/s", "default efficiency", "tuned req/s", "tuned efficiency"},
+	}
+	ccds := []int{1, 2, 4, 8}
+	if opt.Quick {
+		ccds = []int{1, 4, 8}
+	}
+	for _, n := range ccds {
+		cfg := topology.RomeSocketConfig()
+		cfg.CCDsPerSocket = n
+		cfg.NUMAPerSocket = 1
+		cfg.Name = fmt.Sprintf("rome-%dccd", n)
+		mach, err := topology.New(cfg)
+		if err != nil {
+			return tab, nil, err
+		}
+		run := func(d sim.Deployment) (float64, error) {
+			res, err := sim.Run(sim.Config{
+				Machine:    mach,
+				Deployment: d,
+				Workload:   opt.browse(),
+				Users:      opt.scale(300 * mach.NumCores()),
+				Seed:       opt.Seed,
+				Warmup:     warmup,
+				Measure:    measure,
+			})
+			return res.Throughput, err
+		}
+		pt := ScalePoint{LogicalCPUs: mach.NumCPUs()}
+		if pt.Default, err = run(placement.OSDefault(mach)); err != nil {
+			return tab, nil, err
+		}
+		if pt.Tuned, err = run(placement.Tuned(mach, shares, 0)); err != nil {
+			return tab, nil, err
+		}
+		points = append(points, pt)
+		base := points[0]
+		ideal := float64(pt.LogicalCPUs) / float64(base.LogicalCPUs)
+		tab.AddRow(
+			fmt.Sprintf("%d", pt.LogicalCPUs),
+			fmt.Sprintf("%.0f", pt.Default),
+			fmt.Sprintf("%.0f %%", pt.Default/base.Default/ideal*100),
+			fmt.Sprintf("%.0f", pt.Tuned),
+			fmt.Sprintf("%.0f %%", pt.Tuned/base.Tuned/ideal*100),
+		)
+	}
+	return tab, points, nil
+}
+
+// E3ServiceUtilization regenerates Fig 3: per-service CPU consumption
+// share under saturated browse load.
+func E3ServiceUtilization(opt Options) (metrics.Table, sim.Result, error) {
+	warmup, measure := opt.windows()
+	mach := topology.Rome1S()
+	res, err := sim.Run(sim.Config{
+		Machine:    mach,
+		Deployment: placement.Tuned(mach, opt.browseShares(), 0),
+		Workload:   opt.browse(),
+		Users:      opt.scale(20000),
+		Seed:       opt.Seed,
+		Warmup:     warmup,
+		Measure:    measure,
+	})
+	if err != nil {
+		return metrics.Table{}, sim.Result{}, err
+	}
+	tab := metrics.Table{
+		Title:   "E3 (Fig 3): per-service CPU share at saturation (browse profile)",
+		Headers: []string{"service", "replicas", "busy cores", "share %", "ops served", "mean exec ms"},
+	}
+	for _, st := range res.Services {
+		tab.AddRow(
+			st.Service.String(),
+			fmt.Sprintf("%d", st.Replicas),
+			fmt.Sprintf("%.2f", st.BusyCores),
+			fmt.Sprintf("%.1f", st.BusyShare*100),
+			fmt.Sprintf("%d", st.Served),
+			fmt.Sprintf("%.2f", st.MeanExecMs),
+		)
+	}
+	return tab, res, nil
+}
+
+// E4PerServiceScaling regenerates Fig 4: isolated per-service scaling
+// curves with fitted USL coefficients.
+func E4PerServiceScaling(opt Options) (metrics.Table, map[sim.Service]core.Character, error) {
+	mach := topology.Rome1S()
+	coreCounts := []int{1, 2, 4, 8, 16, 32}
+	if opt.Quick {
+		coreCounts = []int{1, 2, 4, 8, 16}
+	}
+	chars, err := core.CharacterizeAll(core.CharacterizeConfig{
+		Machine:    mach,
+		CoreCounts: coreCounts,
+		Seed:       opt.Seed,
+	})
+	if err != nil {
+		return metrics.Table{}, nil, err
+	}
+	tab := metrics.Table{
+		Title:   "E4 (Fig 4): isolated service scaling (ops/s by cores) + USL fit",
+		Headers: []string{"service", "1 core", "4 cores", "16 cores", "eff@16", "USL σ", "class", "rec. cores"},
+	}
+	for _, svc := range sim.AllServices() {
+		ch, ok := chars[svc]
+		if !ok {
+			continue
+		}
+		at := func(cores int) string {
+			for _, p := range ch.Points {
+				if p.Cores == cores {
+					return fmt.Sprintf("%.0f", p.OpsPerSec)
+				}
+			}
+			return "-"
+		}
+		tab.AddRow(
+			svc.String(),
+			at(1), at(4), at(16),
+			fmt.Sprintf("%.0f %%", ch.Efficiency16*100),
+			fmt.Sprintf("%.4f", ch.Fit.Sigma),
+			ch.Class.String(),
+			fmt.Sprintf("%d", ch.RecommendedCores),
+		)
+	}
+	return tab, chars, nil
+}
+
+// ReplicationPoint is one E5 sample.
+type ReplicationPoint struct {
+	Replicas   int
+	Throughput float64
+	P99Ms      float64
+}
+
+// E5Replication regenerates Fig 5: throughput versus replica count of the
+// serialization-limited Persistence service, everything else fixed.
+func E5Replication(opt Options) (metrics.Table, []ReplicationPoint, error) {
+	warmup, measure := opt.windows()
+	mach := topology.Rome1S()
+	shares := opt.browseShares()
+	baseReplicas := placement.TunedReplicas(mach, shares, 0)
+	var points []ReplicationPoint
+	tab := metrics.Table{
+		Title:   "E5 (Fig 5): replicating the serialization-limited persistence service",
+		Headers: []string{"persistence replicas", "throughput req/s", "p99 ms", "gain vs 1"},
+	}
+	counts := []int{1, 2, 4, 8}
+	if opt.Quick {
+		counts = []int{1, 4}
+	}
+	var base float64
+	for _, n := range counts {
+		replicas := map[sim.Service]int{}
+		for svc, c := range baseReplicas {
+			replicas[svc] = c
+		}
+		replicas[sim.Persistence] = n
+		res, err := sim.Run(sim.Config{
+			Machine:    mach,
+			Deployment: sim.Unpinned(mach, fmt.Sprintf("pers-x%d", n), replicas),
+			Workload:   opt.browse(),
+			Users:      opt.scale(20000),
+			Seed:       opt.Seed,
+			Warmup:     warmup,
+			Measure:    measure,
+		})
+		if err != nil {
+			return tab, nil, err
+		}
+		pt := ReplicationPoint{Replicas: n, Throughput: res.Throughput, P99Ms: float64(res.Latency.P99) / 1e6}
+		points = append(points, pt)
+		if base == 0 {
+			base = pt.Throughput
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", pt.Throughput),
+			fmt.Sprintf("%.1f", pt.P99Ms),
+			fmt.Sprintf("%+.1f %%", (pt.Throughput/base-1)*100),
+		)
+	}
+	return tab, points, nil
+}
+
+// SMTResult is E6's pair of samples.
+type SMTResult struct {
+	OneThreadPerCore  float64
+	TwoThreadsPerCore float64
+}
+
+// E6SMT regenerates Fig 6: the throughput value of SMT — 64 cores with one
+// versus two hardware threads each.
+func E6SMT(opt Options) (metrics.Table, SMTResult, error) {
+	warmup, measure := opt.windows()
+	shares := opt.browseShares()
+	var out SMTResult
+	tab := metrics.Table{
+		Title:   "E6 (Fig 6): SMT contribution (64 cores)",
+		Headers: []string{"threads/core", "logical CPUs", "throughput req/s", "p99 ms"},
+	}
+	for _, threads := range []int{1, 2} {
+		cfg := topology.RomeSocketConfig()
+		cfg.ThreadsPerCore = threads
+		cfg.Name = fmt.Sprintf("rome-smt%d", threads)
+		mach, err := topology.New(cfg)
+		if err != nil {
+			return tab, out, err
+		}
+		res, err := sim.Run(sim.Config{
+			Machine:    mach,
+			Deployment: placement.Tuned(mach, shares, 0),
+			Workload:   opt.browse(),
+			Users:      opt.scale(20000),
+			Seed:       opt.Seed,
+			Warmup:     warmup,
+			Measure:    measure,
+		})
+		if err != nil {
+			return tab, out, err
+		}
+		if threads == 1 {
+			out.OneThreadPerCore = res.Throughput
+		} else {
+			out.TwoThreadsPerCore = res.Throughput
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", threads),
+			fmt.Sprintf("%d", mach.NumCPUs()),
+			fmt.Sprintf("%.0f", res.Throughput),
+			fmt.Sprintf("%.1f", float64(res.Latency.P99)/1e6),
+		)
+	}
+	tab.AddRow("SMT gain", "", fmt.Sprintf("%.2f×", out.TwoThreadsPerCore/out.OneThreadPerCore), "")
+	return tab, out, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// LoadPoint is one E11 sample: offered load versus measured latency for
+// both configurations.
+type LoadPoint struct {
+	SessionsPerSec float64
+	TunedP99Ms     float64
+	OptP99Ms       float64
+	TunedTput      float64
+	OptTput        float64
+}
+
+// E11LoadLatency extends the evaluation with partly-open load: Poisson
+// session arrivals swept toward the tuned configuration's capacity, with
+// end-to-end p99 measured for tuned and optimized. The optimized curve's
+// knee sits at a higher offered load — the latency-vs-load view of the
+// headline result.
+func E11LoadLatency(opt Options) (metrics.Table, []LoadPoint, error) {
+	mach := topology.Rome2S()
+	// Short think times keep session lifetimes (and hence the warmup
+	// needed for steady state) small without changing offered request
+	// rate, which is arrivals × requests-per-session.
+	profile := workload.Browse()
+	profile.ThinkMedian /= 20
+
+	warmup, measure := opt.windows()
+	rates := []float64{400, 800, 1200, 1600, 2000}
+	if opt.Quick {
+		rates = []float64{400, 1600}
+	}
+
+	plan, err := core.Optimize(mach, workload.Browse(), opt.Seed)
+	if err != nil {
+		return metrics.Table{}, nil, err
+	}
+	tuned := placement.Tuned(mach, opt.browseShares(), 0)
+
+	run := func(d sim.Deployment, nearest bool, rate float64) (sim.Result, error) {
+		return sim.Run(sim.Config{
+			Machine:      mach,
+			Deployment:   d,
+			Workload:     profile,
+			SessionRate:  rate,
+			Seed:         opt.Seed,
+			Warmup:       warmup,
+			Measure:      measure,
+			RouteNearest: nearest,
+		})
+	}
+
+	tab := metrics.Table{
+		Title:   "E11 (extension): p99 latency vs offered load (partly-open, rome-2s)",
+		Headers: []string{"sessions/s", "tuned req/s", "tuned p99 ms", "optimized req/s", "optimized p99 ms"},
+	}
+	var points []LoadPoint
+	for _, rate := range rates {
+		tr, err := run(tuned, false, rate)
+		if err != nil {
+			return tab, nil, err
+		}
+		or, err := run(plan.Deployment, plan.RouteNearest, rate)
+		if err != nil {
+			return tab, nil, err
+		}
+		pt := LoadPoint{
+			SessionsPerSec: rate,
+			TunedP99Ms:     float64(tr.Latency.P99) / 1e6,
+			OptP99Ms:       float64(or.Latency.P99) / 1e6,
+			TunedTput:      tr.Throughput,
+			OptTput:        or.Throughput,
+		}
+		points = append(points, pt)
+		tab.AddRow(
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.0f", pt.TunedTput),
+			fmt.Sprintf("%.2f", pt.TunedP99Ms),
+			fmt.Sprintf("%.0f", pt.OptTput),
+			fmt.Sprintf("%.2f", pt.OptP99Ms),
+		)
+	}
+	return tab, points, nil
+}
+
+// NPSResult is one E12 cell.
+type NPSResult struct {
+	Machine    string
+	Config     string
+	Throughput float64
+	P99Ms      float64
+}
+
+// E12NPSSensitivity extends the evaluation with the NPS BIOS setting the
+// paper's platform exposes: splitting a socket into four NUMA quadrants
+// (NPS4) penalizes NUMA-oblivious deployments (their interleaved memory
+// now crosses quadrant boundaries) while the NUMA-aware optimized plan is
+// unaffected — the BIOS knob only pays with topology-aware software.
+func E12NPSSensitivity(opt Options) (metrics.Table, []NPSResult, error) {
+	warmup, measure := opt.windows()
+	users := opt.scale(20000)
+
+	tab := metrics.Table{
+		Title:   "E12 (extension): NPS1 vs NPS4 × software placement (rome-1s)",
+		Headers: []string{"NUMA config", "deployment", "throughput req/s", "p99 ms"},
+	}
+	var out []NPSResult
+	for _, mach := range []*topology.Machine{topology.Rome1S(), topology.Rome1SNPS4()} {
+		plan, err := core.Optimize(mach, workload.Browse(), opt.Seed)
+		if err != nil {
+			return tab, nil, err
+		}
+		configs := []struct {
+			name    string
+			d       sim.Deployment
+			nearest bool
+		}{
+			{"tuned", placement.Tuned(mach, opt.browseShares(), 0), false},
+			{"optimized", plan.Deployment, plan.RouteNearest},
+		}
+		for _, c := range configs {
+			res, err := sim.Run(sim.Config{
+				Machine:      mach,
+				Deployment:   c.d,
+				Workload:     opt.browse(),
+				Users:        users,
+				Seed:         opt.Seed,
+				Warmup:       warmup,
+				Measure:      measure,
+				RouteNearest: c.nearest,
+			})
+			if err != nil {
+				return tab, nil, err
+			}
+			r := NPSResult{
+				Machine:    mach.Name(),
+				Config:     c.name,
+				Throughput: res.Throughput,
+				P99Ms:      float64(res.Latency.P99) / 1e6,
+			}
+			out = append(out, r)
+			tab.AddRow(mach.Name(), c.name,
+				fmt.Sprintf("%.0f", r.Throughput), fmt.Sprintf("%.1f", r.P99Ms))
+		}
+	}
+	return tab, out, nil
+}

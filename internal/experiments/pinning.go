@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/microarch"
+	"repro/internal/placement"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// PolicyResult is one E7 configuration's outcome.
+type PolicyResult struct {
+	Name       string
+	Throughput float64
+	P50Ms      float64
+	P99Ms      float64
+	Util       float64
+}
+
+// E7Outcome carries the headline deltas of the optimized configuration
+// versus the performance-tuned baseline.
+type E7Outcome struct {
+	Policies []PolicyResult
+	// ThroughputGain is optimized/tuned − 1 (paper: +22 %).
+	ThroughputGain float64
+	// P99Reduction is 1 − optimized/tuned (paper: −18 % latency).
+	P99Reduction float64
+	// P50Reduction is the median-latency counterpart.
+	P50Reduction float64
+}
+
+// E7PinningPolicies regenerates Fig 7, the paper's headline experiment:
+// the four deployment configurations on the dual-socket machine at
+// saturating load. "optimized" is the core.Optimize plan — per-service
+// replication of serialization-limited services plus topology-aware cell
+// placement with local memory and nearest-replica routing.
+func E7PinningPolicies(opt Options) (metrics.Table, E7Outcome, error) {
+	warmup, measure := opt.windows()
+	mach := topology.Rome2S()
+	users := opt.scale(30000)
+
+	plans := core.BaselinePlans(mach, workload.Browse(), opt.Seed)
+	optimized, err := core.Optimize(mach, workload.Browse(), opt.Seed)
+	if err != nil {
+		return metrics.Table{}, E7Outcome{}, err
+	}
+	order := []string{"os-default", "tuned", "packed", "optimized"}
+	plans["optimized"] = optimized
+
+	var outcome E7Outcome
+	tab := metrics.Table{
+		Title:   "E7 (Fig 7): deployment configurations on rome-2s (saturating browse load)",
+		Headers: []string{"configuration", "throughput req/s", "p50 ms", "p99 ms", "util %", "vs tuned"},
+	}
+	results := map[string]PolicyResult{}
+	for _, name := range order {
+		plan := plans[name]
+		res, err := sim.Run(sim.Config{
+			Machine:      mach,
+			Deployment:   plan.Deployment,
+			Workload:     opt.browse(),
+			Users:        users,
+			Seed:         opt.Seed,
+			Warmup:       warmup,
+			Measure:      measure,
+			RouteNearest: plan.RouteNearest,
+		})
+		if err != nil {
+			return tab, outcome, err
+		}
+		pr := PolicyResult{
+			Name:       name,
+			Throughput: res.Throughput,
+			P50Ms:      float64(res.Latency.P50) / 1e6,
+			P99Ms:      float64(res.Latency.P99) / 1e6,
+			Util:       res.MachineUtil,
+		}
+		results[name] = pr
+		outcome.Policies = append(outcome.Policies, pr)
+	}
+	tuned := results["tuned"]
+	for _, name := range order {
+		pr := results[name]
+		tab.AddRow(
+			pr.Name,
+			fmt.Sprintf("%.0f", pr.Throughput),
+			fmt.Sprintf("%.1f", pr.P50Ms),
+			fmt.Sprintf("%.1f", pr.P99Ms),
+			fmt.Sprintf("%.1f", pr.Util*100),
+			fmt.Sprintf("%+.1f %%", (pr.Throughput/tuned.Throughput-1)*100),
+		)
+	}
+	optRes := results["optimized"]
+	outcome.ThroughputGain = optRes.Throughput/tuned.Throughput - 1
+	outcome.P99Reduction = 1 - optRes.P99Ms/tuned.P99Ms
+	outcome.P50Reduction = 1 - optRes.P50Ms/tuned.P50Ms
+	tab.AddRow("headline", fmt.Sprintf("throughput %+.1f %%", outcome.ThroughputGain*100),
+		fmt.Sprintf("p50 %+.1f %%", -outcome.P50Reduction*100),
+		fmt.Sprintf("p99 %+.1f %%", -outcome.P99Reduction*100), "", "(optimized vs tuned)")
+	return tab, outcome, nil
+}
+
+// E8Outcome carries the two latency distributions.
+type E8Outcome struct {
+	Tuned     metrics.Snapshot
+	Optimized metrics.Snapshot
+	TunedCCDF []metrics.CCDFPoint
+	OptCCDF   []metrics.CCDFPoint
+}
+
+// E8LatencyDistribution regenerates Fig 8: the full end-to-end latency
+// distribution of tuned versus optimized at a common (below-saturation)
+// load — the whole distribution shifts left and the tail compresses.
+func E8LatencyDistribution(opt Options) (metrics.Table, E8Outcome, error) {
+	warmup, measure := opt.windows()
+	mach := topology.Rome2S()
+	users := opt.scale(16000)
+
+	var out E8Outcome
+	run := func(d sim.Deployment, nearest bool) (sim.Result, error) {
+		return sim.Run(sim.Config{
+			Machine: mach, Deployment: d, Workload: opt.browse(),
+			Users: users, Seed: opt.Seed,
+			Warmup: warmup, Measure: measure, RouteNearest: nearest,
+		})
+	}
+	tunedRes, err := run(placement.Tuned(mach, opt.browseShares(), 0), false)
+	if err != nil {
+		return metrics.Table{}, out, err
+	}
+	plan, err := core.Optimize(mach, workload.Browse(), opt.Seed)
+	if err != nil {
+		return metrics.Table{}, out, err
+	}
+	optRes, err := run(plan.Deployment, plan.RouteNearest)
+	if err != nil {
+		return metrics.Table{}, out, err
+	}
+	out.Tuned = tunedRes.Latency
+	out.Optimized = optRes.Latency
+	out.TunedCCDF = tunedRes.Histogram.CCDF()
+	out.OptCCDF = optRes.Histogram.CCDF()
+
+	tab := metrics.Table{
+		Title:   fmt.Sprintf("E8 (Fig 8): latency distribution at %d users (rome-2s)", users),
+		Headers: []string{"percentile", "tuned ms", "optimized ms", "reduction"},
+	}
+	rows := []struct {
+		label      string
+		tuned, opt int64
+	}{
+		{"p50", out.Tuned.P50, out.Optimized.P50},
+		{"p90", out.Tuned.P90, out.Optimized.P90},
+		{"p95", out.Tuned.P95, out.Optimized.P95},
+		{"p99", out.Tuned.P99, out.Optimized.P99},
+		{"p99.9", out.Tuned.P999, out.Optimized.P999},
+	}
+	for _, r := range rows {
+		tab.AddRow(
+			r.label,
+			fmt.Sprintf("%.2f", float64(r.tuned)/1e6),
+			fmt.Sprintf("%.2f", float64(r.opt)/1e6),
+			fmt.Sprintf("%.1f %%", (1-float64(r.opt)/float64(r.tuned))*100),
+		)
+	}
+	return tab, out, nil
+}
+
+// E9Microarch regenerates Fig 9 / Table 3: the counter-model comparison of
+// TeaStore services against SPEC-like compute workloads, at the cache
+// operating point of the tuned deployment (high miss ratio, interleaved
+// memory).
+func E9Microarch(opt Options) (metrics.Table, []microarch.Row) {
+	const (
+		tunedMissRatio = 0.65 // spread working sets, diluted L3
+		tunedLatFactor = 1.55 // interleaved memory on 2 sockets
+	)
+	rows := microarch.Compare(tunedMissRatio, tunedLatFactor)
+	tab := metrics.Table{
+		Title:   "E9 (Fig 9): microarchitectural character vs CPU-design workloads",
+		Headers: []string{"workload", "effective IPC", "frontend stall %", "I-cache MPKI", "L3 MPKI", "code footprint"},
+	}
+	for _, r := range rows {
+		tab.AddRow(
+			r.Name,
+			fmt.Sprintf("%.2f", r.EffectiveIPC),
+			fmt.Sprintf("%.0f", r.FrontendStallPct),
+			fmt.Sprintf("%.1f", r.ICacheMPKI),
+			fmt.Sprintf("%.1f", r.L3MPKI),
+			fmt.Sprintf("%d KiB", r.InstrFootprintKB),
+		)
+	}
+	return tab, rows
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+)
+
+// NamedTable pairs an experiment id with its rendered table.
+type NamedTable struct {
+	ID    string
+	Table metrics.Table
+}
+
+// Collect runs every experiment in order and returns the tables plus the
+// E7 headline outcome.
+func Collect(opt Options) ([]NamedTable, E7Outcome, error) {
+	var tables []NamedTable
+	add := func(id string, t metrics.Table) { tables = append(tables, NamedTable{ID: id, Table: t}) }
+
+	add("E1", E1ServiceInventory(opt))
+	add("E10", E10Topology())
+
+	t2, _, err := E2ScaleUpCurve(opt)
+	if err != nil {
+		return nil, E7Outcome{}, fmt.Errorf("E2: %w", err)
+	}
+	add("E2", t2)
+
+	t3, _, err := E3ServiceUtilization(opt)
+	if err != nil {
+		return nil, E7Outcome{}, fmt.Errorf("E3: %w", err)
+	}
+	add("E3", t3)
+
+	t4, _, err := E4PerServiceScaling(opt)
+	if err != nil {
+		return nil, E7Outcome{}, fmt.Errorf("E4: %w", err)
+	}
+	add("E4", t4)
+
+	t5, _, err := E5Replication(opt)
+	if err != nil {
+		return nil, E7Outcome{}, fmt.Errorf("E5: %w", err)
+	}
+	add("E5", t5)
+
+	t6, _, err := E6SMT(opt)
+	if err != nil {
+		return nil, E7Outcome{}, fmt.Errorf("E6: %w", err)
+	}
+	add("E6", t6)
+
+	t7, outcome, err := E7PinningPolicies(opt)
+	if err != nil {
+		return nil, E7Outcome{}, fmt.Errorf("E7: %w", err)
+	}
+	add("E7", t7)
+
+	t8, _, err := E8LatencyDistribution(opt)
+	if err != nil {
+		return tables, outcome, fmt.Errorf("E8: %w", err)
+	}
+	add("E8", t8)
+
+	t9, _ := E9Microarch(opt)
+	add("E9", t9)
+
+	t11, _, err := E11LoadLatency(opt)
+	if err != nil {
+		return tables, outcome, fmt.Errorf("E11: %w", err)
+	}
+	add("E11", t11)
+
+	t12, _, err := E12NPSSensitivity(opt)
+	if err != nil {
+		return tables, outcome, fmt.Errorf("E12: %w", err)
+	}
+	add("E12", t12)
+	return tables, outcome, nil
+}
+
+// RunAll executes every experiment in order, streaming rendered tables to
+// w. It returns the E7 headline outcome for EXPERIMENTS.md.
+func RunAll(w io.Writer, opt Options) (E7Outcome, error) {
+	tables, outcome, err := Collect(opt)
+	for _, nt := range tables {
+		fmt.Fprintln(w, nt.Table.String())
+	}
+	if err != nil {
+		return outcome, err
+	}
+	fmt.Fprintf(w, "Headline (E7, optimized vs tuned): throughput %+.1f %%, p99 latency %+.1f %%, p50 latency %+.1f %%\n",
+		outcome.ThroughputGain*100, -outcome.P99Reduction*100, -outcome.P50Reduction*100)
+	fmt.Fprintln(w, "Paper claim: +22 % throughput, −18 % latency over the performance-tuned baseline.")
+	return outcome, nil
+}

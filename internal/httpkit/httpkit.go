@@ -1,0 +1,244 @@
+// Package httpkit is the shared scaffolding of the TeaStore services:
+// JSON request/response helpers, a typed error envelope, a pooled JSON
+// client, and a Server wrapper with health endpoints and graceful
+// shutdown.
+package httpkit
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// ErrorBody is the JSON error envelope every service returns.
+type ErrorBody struct {
+	Status  int    `json:"status"`
+	Message string `json:"message"`
+}
+
+// Error implements error so callers can propagate decoded envelopes.
+func (e *ErrorBody) Error() string {
+	return fmt.Sprintf("http %d: %s", e.Status, e.Message)
+}
+
+// WriteJSON encodes v with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if v != nil {
+		_ = json.NewEncoder(w).Encode(v)
+	}
+}
+
+// WriteError sends the standard error envelope.
+func WriteError(w http.ResponseWriter, status int, format string, args ...any) {
+	WriteJSON(w, status, ErrorBody{Status: status, Message: fmt.Sprintf(format, args...)})
+}
+
+// maxBodyBytes bounds request bodies; TeaStore payloads are small.
+const maxBodyBytes = 1 << 20
+
+// ReadJSON decodes the request body into v, rejecting unknown fields and
+// oversized bodies.
+func ReadJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("httpkit: decoding body: %w", err)
+	}
+	return nil
+}
+
+// Recover wraps a handler so panics become 500s instead of killing the
+// connection.
+func Recover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				WriteError(w, http.StatusInternalServerError, "internal error: %v", p)
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Server hosts one service with /health and /ready endpoints and graceful
+// shutdown. Construct with NewServer, then Start.
+type Server struct {
+	name  string
+	srv   *http.Server
+	lis   net.Listener
+	ready atomic.Bool
+	reqs  atomic.Int64
+}
+
+// NewServer wires the mux under the standard middleware. addr may be
+// ":0" for an ephemeral port.
+func NewServer(name, addr string, mux *http.ServeMux) (*Server, error) {
+	s := &Server{name: name}
+	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"service": name, "status": "up"})
+	})
+	mux.HandleFunc("GET /ready", func(w http.ResponseWriter, r *http.Request) {
+		if s.ready.Load() {
+			WriteJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+		WriteError(w, http.StatusServiceUnavailable, "not ready")
+	})
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpkit: listen %s for %s: %w", addr, name, err)
+	}
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.reqs.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+	s.lis = lis
+	s.srv = &http.Server{
+		Handler:           Recover(counted),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s, nil
+}
+
+// Addr returns the bound address (host:port).
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// URL returns the base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Name returns the service name.
+func (s *Server) Name() string { return s.name }
+
+// Requests returns the number of requests served.
+func (s *Server) Requests() int64 { return s.reqs.Load() }
+
+// SetReady flips the readiness probe.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Start serves in a background goroutine and marks the server ready.
+func (s *Server) Start() {
+	s.ready.Store(true)
+	go func() {
+		if err := s.srv.Serve(s.lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serving errors after shutdown are expected; others surface
+			// on the health endpoint going away.
+			_ = err
+		}
+	}()
+}
+
+// Shutdown drains connections within the context deadline.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.ready.Store(false)
+	return s.srv.Shutdown(ctx)
+}
+
+// Client is a pooled JSON client for service-to-service calls.
+type Client struct {
+	http *http.Client
+}
+
+// NewClient returns a client with sane pooling for loopback traffic.
+func NewClient(timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &Client{
+		http: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        512,
+				MaxIdleConnsPerHost: 128,
+				IdleConnTimeout:     60 * time.Second,
+			},
+		},
+	}
+}
+
+// GetJSON GETs url and decodes into out (which may be nil to discard).
+func (c *Client) GetJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// PostJSON POSTs in as JSON and decodes the response into out.
+func (c *Client) PostJSON(ctx context.Context, url string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// GetBytes GETs a binary payload (images).
+func (c *Client) GetBytes(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("httpkit: decoding response from %s: %w", req.URL, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *ErrorBody when possible.
+func decodeError(resp *http.Response) error {
+	var body ErrorBody
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+	if json.Unmarshal(data, &body) == nil && body.Status != 0 {
+		return &body
+	}
+	return &ErrorBody{Status: resp.StatusCode, Message: string(data)}
+}
+
+// IsStatus reports whether err is an ErrorBody with the given status.
+func IsStatus(err error, status int) bool {
+	var e *ErrorBody
+	return errors.As(err, &e) && e.Status == status
+}

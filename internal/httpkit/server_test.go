@@ -1,0 +1,23 @@
+package httpkit
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestNewServerBadAddress(t *testing.T) {
+	if _, err := NewServer("x", "256.0.0.1:99999", http.NewServeMux()); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestNewServerPortCollision(t *testing.T) {
+	a, err := NewServer("a", "127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Shutdown(t.Context()) }()
+	if _, err := NewServer("b", a.Addr(), http.NewServeMux()); err == nil {
+		t.Fatal("port collision accepted")
+	}
+}

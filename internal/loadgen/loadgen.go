@@ -1,0 +1,351 @@
+// Package loadgen drives a running TeaStore over real HTTP with the same
+// closed-loop user-behaviour model the simulator uses: each simulated user
+// keeps a cookie session, walks the workload profile's Markov chain, and
+// thinks between requests. It reports throughput and per-request-type
+// latency distributions.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/metrics"
+	"repro/internal/services/persistence"
+	"repro/internal/workload"
+)
+
+// Config parameterizes a load run.
+type Config struct {
+	// WebUIURL is the storefront base URL.
+	WebUIURL string
+	// PersistenceURL is used once at start-up to discover the catalog.
+	PersistenceURL string
+	// Profile is the behaviour model; nil means workload.Browse().
+	Profile *workload.Profile
+	// Users is the closed-loop population.
+	Users int
+	// Warmup and Duration split the run; only Duration is measured.
+	Warmup   time.Duration
+	Duration time.Duration
+	// ThinkScale multiplies think times (use ~0.01 in tests); 0 means 1.
+	ThinkScale float64
+	// CatalogUsers is how many demo accounts exist (db.GenerateSpec.Users).
+	CatalogUsers int
+	Seed         int64
+}
+
+// Result is a load run's measurements.
+type Result struct {
+	// Throughput is measured completed requests per second.
+	Throughput float64
+	// Latency summarizes all requests.
+	Latency metrics.Snapshot
+	// PerRequest breaks latency down by request type.
+	PerRequest map[workload.Request]metrics.Snapshot
+	// Requests and Errors count measured operations.
+	Requests int64
+	Errors   int64
+}
+
+// catalog is the discovered store shape.
+type catalog struct {
+	categoryIDs []int64
+	productIDs  []int64
+}
+
+// Run executes the configured load and gathers results.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.WebUIURL == "" || cfg.PersistenceURL == "" {
+		return Result{}, fmt.Errorf("loadgen: WebUIURL and PersistenceURL are required")
+	}
+	if cfg.Users <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Users must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Duration must be positive")
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = workload.Browse()
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.ThinkScale <= 0 {
+		cfg.ThinkScale = 1
+	}
+	if cfg.CatalogUsers <= 0 {
+		cfg.CatalogUsers = db.DefaultGenerateSpec().Users
+	}
+
+	cat, err := discover(ctx, cfg.PersistenceURL)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var measuring atomic.Bool
+	var errCount atomic.Int64
+	workers := make([]*worker, cfg.Users)
+	var wg sync.WaitGroup
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	for i := range workers {
+		w, err := newWorker(cfg, cat, int64(i), &measuring, &errCount)
+		if err != nil {
+			return Result{}, err
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(runCtx)
+		}()
+	}
+
+	// Warmup, then measure.
+	select {
+	case <-time.After(cfg.Warmup):
+	case <-ctx.Done():
+		cancel()
+		wg.Wait()
+		return Result{}, ctx.Err()
+	}
+	measuring.Store(true)
+	start := time.Now()
+	select {
+	case <-time.After(cfg.Duration):
+	case <-ctx.Done():
+	}
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	cancel()
+	wg.Wait()
+
+	// Merge worker histograms.
+	res := Result{PerRequest: map[workload.Request]metrics.Snapshot{}}
+	var all metrics.Histogram
+	var byReq [workload.NumRequests]metrics.Histogram
+	for _, w := range workers {
+		all.Merge(&w.all)
+		for r := range w.byReq {
+			byReq[r].Merge(&w.byReq[r])
+		}
+	}
+	res.Latency = all.Snapshot()
+	res.Requests = all.Count()
+	res.Errors = errCount.Load()
+	res.Throughput = float64(all.Count()) / elapsed.Seconds()
+	for r := range byReq {
+		if byReq[r].Count() > 0 {
+			res.PerRequest[workload.Request(r)] = byReq[r].Snapshot()
+		}
+	}
+	return res, nil
+}
+
+// discover fetches the catalog shape from persistence.
+func discover(ctx context.Context, persistenceURL string) (catalog, error) {
+	client := persistence.NewClient(persistenceURL, nil)
+	cats, err := client.Categories(ctx)
+	if err != nil {
+		return catalog{}, fmt.Errorf("loadgen: discovering catalog: %w", err)
+	}
+	if len(cats) == 0 {
+		return catalog{}, fmt.Errorf("loadgen: store has no categories — generate the catalog first")
+	}
+	var out catalog
+	for _, c := range cats {
+		out.categoryIDs = append(out.categoryIDs, c.ID)
+		page, err := client.Products(ctx, c.ID, 0, 50)
+		if err != nil {
+			return catalog{}, err
+		}
+		for _, p := range page.Products {
+			out.productIDs = append(out.productIDs, p.ID)
+		}
+	}
+	if len(out.productIDs) == 0 {
+		return catalog{}, fmt.Errorf("loadgen: store has no products")
+	}
+	return out, nil
+}
+
+// worker is one closed-loop user.
+type worker struct {
+	cfg       Config
+	cat       catalog
+	rng       *rand.Rand
+	http      *http.Client
+	measuring *atomic.Bool
+	errCount  *atomic.Int64
+
+	all   metrics.Histogram
+	byReq [workload.NumRequests]metrics.Histogram
+
+	lastProduct int64
+	userIdx     int
+}
+
+func newWorker(cfg Config, cat catalog, id int64, measuring *atomic.Bool, errCount *atomic.Int64) (*worker, error) {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + id))
+	return &worker{
+		cfg: cfg, cat: cat, rng: rng,
+		http:      &http.Client{Jar: jar, Timeout: 30 * time.Second},
+		measuring: measuring, errCount: errCount,
+		userIdx: int(id) % cfg.CatalogUsers,
+	}, nil
+}
+
+// run loops sessions until the context ends.
+func (w *worker) run(ctx context.Context) {
+	// Stagger start across one think time.
+	if !w.sleep(ctx, w.think()) {
+		return
+	}
+	for {
+		walker := workload.NewWalker(w.cfg.Profile, w.rng)
+		for {
+			req, ok := walker.Next()
+			if !ok {
+				break
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			start := time.Now()
+			err := w.issue(ctx, req)
+			lat := time.Since(start).Nanoseconds()
+			if w.measuring.Load() {
+				if err != nil {
+					w.errCount.Add(1)
+				} else {
+					w.all.Record(lat)
+					w.byReq[req].Record(lat)
+				}
+			}
+			if !w.sleep(ctx, w.think()) {
+				return
+			}
+		}
+	}
+}
+
+func (w *worker) think() time.Duration {
+	median := float64(w.cfg.Profile.ThinkMedian) * w.cfg.ThinkScale
+	// Lognormal with the profile's sigma.
+	d := time.Duration(median * expApprox(w.rng.NormFloat64()*w.cfg.Profile.ThinkSigma))
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// expApprox is math.Exp with the tails clamped so a single draw can never
+// produce a multi-minute think time.
+func expApprox(x float64) float64 {
+	if x > 4 {
+		x = 4
+	}
+	if x < -4 {
+		x = -4
+	}
+	return math.Exp(x)
+}
+
+func (w *worker) sleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// issue maps one workload request onto HTTP.
+func (w *worker) issue(ctx context.Context, req workload.Request) error {
+	switch req {
+	case workload.ReqHome:
+		return w.get(ctx, "/")
+	case workload.ReqLogin:
+		return w.postForm(ctx, "/login", url.Values{
+			"email":    {db.EmailFor(w.userIdx)},
+			"password": {db.PasswordFor(w.userIdx)},
+		})
+	case workload.ReqCategory:
+		id := w.cat.categoryIDs[w.rng.Intn(len(w.cat.categoryIDs))]
+		page := w.rng.Intn(3)
+		return w.get(ctx, fmt.Sprintf("/category/%d?page=%d", id, page))
+	case workload.ReqProduct:
+		w.lastProduct = w.cat.productIDs[w.rng.Intn(len(w.cat.productIDs))]
+		return w.get(ctx, fmt.Sprintf("/product/%d", w.lastProduct))
+	case workload.ReqAddToCart:
+		id := w.lastProduct
+		if id == 0 {
+			id = w.cat.productIDs[w.rng.Intn(len(w.cat.productIDs))]
+		}
+		return w.postForm(ctx, "/cart/add", url.Values{"productId": {strconv.FormatInt(id, 10)}})
+	case workload.ReqViewCart:
+		return w.get(ctx, "/cart")
+	case workload.ReqCheckout:
+		return w.postForm(ctx, "/cart/checkout", url.Values{})
+	case workload.ReqProfile:
+		return w.get(ctx, "/profile")
+	case workload.ReqLogout:
+		return w.get(ctx, "/logout")
+	default:
+		return fmt.Errorf("loadgen: unmapped request %v", req)
+	}
+}
+
+func (w *worker) get(ctx context.Context, path string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.cfg.WebUIURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return w.do(req)
+}
+
+func (w *worker) postForm(ctx context.Context, path string, form url.Values) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.WebUIURL+path,
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	return w.do(req)
+}
+
+func (w *worker) do(req *http.Request) error {
+	resp, err := w.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	// 401 on login-after-expiry etc. counts as an application response,
+	// not a load error; 5xx and transport failures are errors.
+	if resp.StatusCode >= 500 {
+		return fmt.Errorf("loadgen: %s %s → %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/teastore"
+	"repro/internal/workload"
+)
+
+func startStack(t *testing.T) *teastore.Stack {
+	t.Helper()
+	st, err := teastore.Start(teastore.Config{
+		Catalog: db.GenerateSpec{
+			Categories: 2, ProductsPerCategory: 8, Users: 4, SeedOrders: 20, Seed: 3,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		st.Shutdown(ctx)
+	})
+	return st
+}
+
+func TestRunAgainstRealStack(t *testing.T) {
+	st := startStack(t)
+	res, err := Run(context.Background(), Config{
+		WebUIURL:       st.WebUIURL,
+		PersistenceURL: st.PersistenceURL,
+		Users:          8,
+		Warmup:         200 * time.Millisecond,
+		Duration:       2 * time.Second,
+		ThinkScale:     0.02,
+		CatalogUsers:   4,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Throughput <= 0 {
+		t.Fatalf("no load delivered: %+v", res)
+	}
+	if res.Errors > res.Requests/10 {
+		t.Fatalf("error rate too high: %d errors of %d requests", res.Errors, res.Requests)
+	}
+	if res.Latency.P99 < res.Latency.P50 {
+		t.Fatal("latency percentiles inverted")
+	}
+	// The browse profile must exercise several distinct flows. Exact type
+	// coverage in a short window is timing-dependent (the race detector
+	// slows PNG rendering ~20×), so only diversity is asserted.
+	if len(res.PerRequest) < 2 {
+		t.Fatalf("only %d request types issued: %v", len(res.PerRequest), res.PerRequest)
+	}
+	_ = workload.ReqHome
+}
+
+func TestRunValidation(t *testing.T) {
+	ctx := context.Background()
+	cases := []Config{
+		{},
+		{WebUIURL: "http://x", PersistenceURL: "", Users: 1, Duration: time.Second},
+		{WebUIURL: "http://x", PersistenceURL: "http://y", Users: 0, Duration: time.Second},
+		{WebUIURL: "http://x", PersistenceURL: "http://y", Users: 1, Duration: 0},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(ctx, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunFailsOnEmptyStore(t *testing.T) {
+	st := startStack(t)
+	st.Store.Reset()
+	_, err := Run(context.Background(), Config{
+		WebUIURL:       st.WebUIURL,
+		PersistenceURL: st.PersistenceURL,
+		Users:          1,
+		Duration:       time.Second,
+	})
+	if err == nil {
+		t.Fatal("empty store accepted")
+	}
+}
+
+func TestRunHonoursContextCancel(t *testing.T) {
+	st := startStack(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, Config{
+		WebUIURL:       st.WebUIURL,
+		PersistenceURL: st.PersistenceURL,
+		Users:          2,
+		Warmup:         10 * time.Second, // cancel should cut this short
+		Duration:       10 * time.Second,
+		ThinkScale:     0.05,
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not stop the run promptly")
+	}
+}

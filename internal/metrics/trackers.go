@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// BusyTracker accumulates time-weighted busy fractions for a pool of
+// identical resources (e.g. a CPU's two SMT threads, or a service's worker
+// pool). Callers report level changes with SetBusy at monotonically
+// non-decreasing timestamps.
+type BusyTracker struct {
+	capacity int
+	busy     int
+	lastT    int64
+	busyNS   int64 // ∑ busy·dt
+	startT   int64
+	started  bool
+	maxBusy  int
+}
+
+// NewBusyTracker returns a tracker for capacity parallel units.
+func NewBusyTracker(capacity int) *BusyTracker {
+	if capacity <= 0 {
+		panic("metrics: BusyTracker capacity must be positive")
+	}
+	return &BusyTracker{capacity: capacity}
+}
+
+// SetBusy records that from time t onward, busy units are active.
+func (b *BusyTracker) SetBusy(t int64, busy int) {
+	if busy < 0 || busy > b.capacity {
+		panic(fmt.Sprintf("metrics: busy=%d outside [0,%d]", busy, b.capacity))
+	}
+	if !b.started {
+		b.started = true
+		b.startT = t
+		b.lastT = t
+		b.busy = busy
+		if busy > b.maxBusy {
+			b.maxBusy = busy
+		}
+		return
+	}
+	if t < b.lastT {
+		panic(fmt.Sprintf("metrics: time went backwards: %d < %d", t, b.lastT))
+	}
+	b.busyNS += int64(b.busy) * (t - b.lastT)
+	b.lastT = t
+	b.busy = busy
+	if busy > b.maxBusy {
+		b.maxBusy = busy
+	}
+}
+
+// Adjust changes the busy level by delta at time t.
+func (b *BusyTracker) Adjust(t int64, delta int) { b.SetBusy(t, b.busy+delta) }
+
+// Busy returns the current busy level.
+func (b *BusyTracker) Busy() int { return b.busy }
+
+// MaxBusy returns the high-water busy level.
+func (b *BusyTracker) MaxBusy() int { return b.maxBusy }
+
+// Utilization returns the mean busy fraction over [start, now]. now must be
+// ≥ the last reported timestamp.
+func (b *BusyTracker) Utilization(now int64) float64 {
+	if !b.started || now <= b.startT {
+		return 0
+	}
+	total := b.busyNS + int64(b.busy)*(now-b.lastT)
+	return float64(total) / float64(int64(b.capacity)*(now-b.startT))
+}
+
+// BusySeconds returns total busy resource-seconds up to now.
+func (b *BusyTracker) BusySeconds(now int64) float64 {
+	if !b.started {
+		return 0
+	}
+	total := b.busyNS + int64(b.busy)*(now-b.lastT)
+	return float64(total) / 1e9
+}
+
+// Reset restarts accounting from time t with the current busy level.
+func (b *BusyTracker) Reset(t int64) {
+	busy := b.busy
+	*b = BusyTracker{capacity: b.capacity}
+	b.SetBusy(t, busy)
+}
+
+// Throughput counts completions over an interval.
+type Throughput struct {
+	count  int64
+	startT int64
+	endT   int64
+	open   bool
+}
+
+// Start begins a measurement window at t, discarding prior counts.
+func (t *Throughput) Start(at int64) { *t = Throughput{startT: at, open: true} }
+
+// Add records n completions; ignored before Start or after Stop, which is
+// exactly the warmup/drain behaviour measurement windows need.
+func (t *Throughput) Add(n int64) {
+	if t.open {
+		t.count += n
+	}
+}
+
+// Stop closes the window at time at.
+func (t *Throughput) Stop(at int64) {
+	t.endT = at
+	t.open = false
+}
+
+// Count returns completions inside the window.
+func (t *Throughput) Count() int64 { return t.count }
+
+// PerSecond returns the completion rate. Zero-length windows return 0.
+func (t *Throughput) PerSecond() float64 {
+	dur := t.endT - t.startT
+	if dur <= 0 {
+		return 0
+	}
+	return float64(t.count) / (float64(dur) / 1e9)
+}
+
+// Counter is a simple named tally.
+type Counter struct {
+	n int64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current tally.
+func (c *Counter) Value() int64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Table renders rows of label → formatted values as an aligned text table;
+// shared by cmd/simstudy and the benchmark harness for figure output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb []byte
+	if t.Title != "" {
+		sb = append(sb, t.Title...)
+		sb = append(sb, '\n')
+	}
+	appendRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb = append(sb, ' ', ' ')
+			}
+			sb = append(sb, c...)
+			if i < len(widths) {
+				for p := len(c); p < widths[i]; p++ {
+					sb = append(sb, ' ')
+				}
+			}
+		}
+		sb = append(sb, '\n')
+	}
+	appendRow(t.Headers)
+	for _, row := range t.Rows {
+		appendRow(row)
+	}
+	return string(sb)
+}
+
+// SortRowsByFirstColumn orders rows lexically; useful for deterministic
+// test output when rows were accumulated from map iteration.
+func (t *Table) SortRowsByFirstColumn() {
+	sort.Slice(t.Rows, func(i, j int) bool { return t.Rows[i][0] < t.Rows[j][0] })
+}
+
+// CSV renders the table as RFC-4180-ish CSV (header row first) for
+// plotting pipelines.
+func (t Table) CSV() string {
+	var sb []byte
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb = append(sb, ',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				sb = append(sb, '"')
+				sb = append(sb, strings.ReplaceAll(c, `"`, `""`)...)
+				sb = append(sb, '"')
+			} else {
+				sb = append(sb, c...)
+			}
+		}
+		sb = append(sb, '\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return string(sb)
+}

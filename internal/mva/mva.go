@@ -1,0 +1,179 @@
+// Package mva implements exact Mean Value Analysis for closed
+// product-form queueing networks — the classical analytic model of a
+// closed-loop multi-station system.
+//
+// It serves two purposes in this repository:
+//
+//  1. Validation: on configurations without the simulator's non-product-
+//     form mechanisms (SMT, cache CPI, serialization locks), MVA's
+//     predicted throughput and response time must match the discrete-event
+//     simulator closely. The cross-check lives in the package tests.
+//  2. Planning: core's capacity estimates use it to predict saturation
+//     points from per-service demands without running a simulation.
+//
+// The implementation is the standard exact single-class MVA recursion
+// over N customers: for each station k,
+//
+//	R_k(n) = D_k × (1 + Q_k(n−1))   (queueing station)
+//	R_k(n) = D_k                    (delay station / think time)
+//	X(n)   = n / (Z + Σ R_k(n))
+//	Q_k(n) = X(n) × R_k(n)
+//
+// extended with Seidmann's approximation for m-server stations: the
+// station is modeled as a single queueing server of demand D/m in series
+// with a pure delay of D(m−1)/m, which is exact at both asymptotes (no
+// load and saturation).
+package mva
+
+import (
+	"fmt"
+	"math"
+)
+
+// Station is one service centre.
+type Station struct {
+	// Name labels the station in reports.
+	Name string
+	// Demand is the total service demand per job visit-weighted, in
+	// seconds (D_k = V_k × S_k).
+	Demand float64
+	// Servers is the parallelism (1 = classic queueing station). For
+	// m > 1 the load-dependent rate is approximated by the standard
+	// m-server correction.
+	Servers int
+}
+
+// Network is a closed single-class queueing network.
+type Network struct {
+	// ThinkTime is the delay-station demand Z in seconds.
+	ThinkTime float64
+	Stations  []Station
+}
+
+// Validate reports the first structural problem.
+func (n Network) Validate() error {
+	if n.ThinkTime < 0 {
+		return fmt.Errorf("mva: negative think time %v", n.ThinkTime)
+	}
+	if len(n.Stations) == 0 {
+		return fmt.Errorf("mva: no stations")
+	}
+	for _, s := range n.Stations {
+		if s.Demand < 0 {
+			return fmt.Errorf("mva: station %q has negative demand", s.Name)
+		}
+		if s.Servers < 1 {
+			return fmt.Errorf("mva: station %q has %d servers", s.Name, s.Servers)
+		}
+	}
+	return nil
+}
+
+// Result is the network's solution at a population.
+type Result struct {
+	Population int
+	// Throughput is jobs/second.
+	Throughput float64
+	// ResponseTime is Σ R_k in seconds (excluding think time).
+	ResponseTime float64
+	// StationQueue is mean customers at each station, indexed as
+	// Network.Stations.
+	StationQueue []float64
+	// Utilization is per-station utilization (of all servers).
+	Utilization []float64
+	// Bottleneck is the index of the highest-utilization station.
+	Bottleneck int
+}
+
+// Solve runs the exact MVA recursion for populations 1..N and returns the
+// solution at N.
+func Solve(net Network, customers int) (Result, error) {
+	if err := net.Validate(); err != nil {
+		return Result{}, err
+	}
+	if customers < 1 {
+		return Result{}, fmt.Errorf("mva: population %d must be ≥ 1", customers)
+	}
+	k := len(net.Stations)
+	// Per Seidmann, the queueing part of each station has demand D/m; the
+	// remaining D(m−1)/m is a fixed delay.
+	queue := make([]float64, k) // customers at the queueing part
+	resp := make([]float64, k)  // full per-station response times
+	var x float64
+	for n := 1; n <= customers; n++ {
+		total := net.ThinkTime
+		for i, st := range net.Stations {
+			resp[i] = 0
+			if st.Demand == 0 {
+				continue
+			}
+			m := float64(st.Servers)
+			dq := st.Demand / m
+			resp[i] = dq*(1+queue[i]) + st.Demand*(m-1)/m
+			total += resp[i]
+		}
+		x = float64(n) / total
+		for i, st := range net.Stations {
+			if st.Demand == 0 {
+				continue
+			}
+			m := float64(st.Servers)
+			dq := st.Demand / m
+			// Only the queueing part's population feeds the recursion.
+			queue[i] = x * dq * (1 + queue[i])
+		}
+	}
+	res := Result{
+		Population:   customers,
+		Throughput:   x,
+		StationQueue: make([]float64, k),
+		Utilization:  make([]float64, k),
+	}
+	for i, st := range net.Stations {
+		res.ResponseTime += resp[i]
+		res.StationQueue[i] = x * resp[i]
+		res.Utilization[i] = x * st.Demand / float64(st.Servers)
+		if res.Utilization[i] > res.Utilization[res.Bottleneck] {
+			res.Bottleneck = i
+		}
+	}
+	return res, nil
+}
+
+// SaturationPopulation returns the classic asymptotic knee
+// N* = (Z + Σ D_k) / max_k(D_k/m_k): the population beyond which the
+// bottleneck saturates.
+func SaturationPopulation(net Network) (float64, error) {
+	if err := net.Validate(); err != nil {
+		return 0, err
+	}
+	var sum, maxD float64
+	for _, s := range net.Stations {
+		sum += s.Demand
+		if d := s.Demand / float64(s.Servers); d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		return math.Inf(1), nil
+	}
+	return (net.ThinkTime + sum) / maxD, nil
+}
+
+// MaxThroughput returns the asymptotic throughput bound
+// 1 / max_k(D_k/m_k).
+func MaxThroughput(net Network) (float64, error) {
+	if err := net.Validate(); err != nil {
+		return 0, err
+	}
+	var maxD float64
+	for _, s := range net.Stations {
+		if d := s.Demand / float64(s.Servers); d > maxD {
+			maxD = d
+		}
+	}
+	if maxD == 0 {
+		return math.Inf(1), nil
+	}
+	return 1 / maxD, nil
+}

@@ -1,0 +1,158 @@
+package mva
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Network{
+		{},
+		{ThinkTime: -1, Stations: []Station{{Demand: 1, Servers: 1}}},
+		{Stations: []Station{{Demand: -1, Servers: 1}}},
+		{Stations: []Station{{Demand: 1, Servers: 0}}},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad network %d accepted", i)
+		}
+	}
+	if _, err := Solve(Network{Stations: []Station{{Demand: 1, Servers: 1}}}, 0); err == nil {
+		t.Error("zero population accepted")
+	}
+}
+
+// Single M/M/1-like station with think time: compare against the known
+// closed-form for N=1 and the asymptotes.
+func TestSingleStationLimits(t *testing.T) {
+	net := Network{
+		ThinkTime: 1.0,
+		Stations:  []Station{{Name: "cpu", Demand: 0.1, Servers: 1}},
+	}
+	one, err := Solve(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With one customer there is no queueing: X = 1/(Z+D).
+	want := 1 / 1.1
+	if math.Abs(one.Throughput-want) > 1e-9 {
+		t.Fatalf("X(1) = %v, want %v", one.Throughput, want)
+	}
+	if math.Abs(one.ResponseTime-0.1) > 1e-9 {
+		t.Fatalf("R(1) = %v, want 0.1", one.ResponseTime)
+	}
+
+	// Far past saturation: X → 1/D.
+	big, err := Solve(net, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, _ := MaxThroughput(net)
+	if math.Abs(big.Throughput-bound)/bound > 0.01 {
+		t.Fatalf("X(200) = %v, want ≈%v", big.Throughput, bound)
+	}
+	if big.Utilization[0] < 0.99 {
+		t.Fatalf("bottleneck util = %v at N=200", big.Utilization[0])
+	}
+}
+
+func TestBottleneckIdentification(t *testing.T) {
+	net := Network{
+		ThinkTime: 0.5,
+		Stations: []Station{
+			{Name: "fast", Demand: 0.01, Servers: 1},
+			{Name: "slow", Demand: 0.05, Servers: 1},
+			{Name: "wide", Demand: 0.08, Servers: 4}, // 0.02 per server
+		},
+	}
+	res, err := Solve(net, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Stations[res.Bottleneck].Name != "slow" {
+		t.Fatalf("bottleneck = %q, want slow", net.Stations[res.Bottleneck].Name)
+	}
+	sat, _ := SaturationPopulation(net)
+	if sat <= 1 {
+		t.Fatalf("N* = %v", sat)
+	}
+	// Below N*, throughput ≈ N/(Z+ΣD); above, ≈ 1/Dmax.
+	below, _ := Solve(net, 2)
+	approx := 2 / (0.5 + 0.01 + 0.05 + 0.08)
+	if math.Abs(below.Throughput-approx)/approx > 0.15 {
+		t.Fatalf("light-load X = %v, want ≈%v", below.Throughput, approx)
+	}
+}
+
+func TestMultiServerBeatsSingle(t *testing.T) {
+	single := Network{ThinkTime: 0.2, Stations: []Station{{Demand: 0.1, Servers: 1}}}
+	quad := Network{ThinkTime: 0.2, Stations: []Station{{Demand: 0.1, Servers: 4}}}
+	xs, _ := Solve(single, 50)
+	xq, _ := Solve(quad, 50)
+	if xq.Throughput <= xs.Throughput {
+		t.Fatalf("4 servers (%v) should beat 1 (%v)", xq.Throughput, xs.Throughput)
+	}
+	bs, _ := MaxThroughput(single)
+	bq, _ := MaxThroughput(quad)
+	if math.Abs(bq-4*bs) > 1e-9 {
+		t.Fatalf("bounds: single %v quad %v", bs, bq)
+	}
+}
+
+func TestZeroDemandStationIgnored(t *testing.T) {
+	net := Network{
+		ThinkTime: 0.1,
+		Stations: []Station{
+			{Name: "real", Demand: 0.02, Servers: 1},
+			{Name: "idle", Demand: 0, Servers: 1},
+		},
+	}
+	res, err := Solve(net, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StationQueue[1] != 0 || res.Utilization[1] != 0 {
+		t.Fatal("zero-demand station accumulated load")
+	}
+	if inf, _ := MaxThroughput(Network{Stations: []Station{{Demand: 0, Servers: 1}}}); !math.IsInf(inf, 1) {
+		t.Fatal("all-zero network bound should be +Inf")
+	}
+}
+
+// Property: throughput is non-decreasing in N and never exceeds both
+// asymptotic bounds: N/(Z+ΣD) and 1/Dmax.
+func TestPropertyMVABounds(t *testing.T) {
+	f := func(dRaw [3]uint8, zRaw uint8, nRaw uint8) bool {
+		net := Network{ThinkTime: float64(zRaw) / 100}
+		var sum float64
+		for i, d := range dRaw {
+			demand := float64(d%50+1) / 1000
+			net.Stations = append(net.Stations, Station{
+				Name: string(rune('a' + i)), Demand: demand, Servers: i%3 + 1,
+			})
+			sum += demand
+		}
+		n := int(nRaw%50) + 1
+		prev := 0.0
+		for pop := 1; pop <= n; pop++ {
+			res, err := Solve(net, pop)
+			if err != nil {
+				return false
+			}
+			if res.Throughput < prev-1e-12 {
+				return false
+			}
+			prev = res.Throughput
+			bound1 := float64(pop) / (net.ThinkTime + sum)
+			bound2, _ := MaxThroughput(net)
+			if res.Throughput > bound1+1e-9 || res.Throughput > bound2+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// A monolithic-L3 (Intel-like) part: one CCX spanning the socket. The
+// builders must still produce valid deployments — there is just no CCX
+// boundary for placement to exploit.
+func TestBuildersOnMonolithicMachine(t *testing.T) {
+	mach := topology.MustNew(topology.MonolithicConfig(28))
+	if mach.NumCCXs() != 1 {
+		t.Fatalf("monolithic machine has %d CCXs", mach.NumCCXs())
+	}
+	for name, d := range map[string]sim.Deployment{
+		"os-default": OSDefault(mach),
+		"tuned":      Tuned(mach, DefaultShares(), 0),
+		"packed":     Packed(mach, DefaultShares(), 0),
+	} {
+		if err := d.Validate(mach); err != nil {
+			t.Fatalf("%s on monolithic: %v", name, err)
+		}
+	}
+	cells, err := Cells(mach, DefaultShares(), CellPerCCD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cells.Validate(mach); err != nil {
+		t.Fatal(err)
+	}
+	// One CCD → one cell → one replica per service.
+	if cells.Replicas(sim.WebUI) != 1 {
+		t.Fatalf("monolithic cells webui replicas = %d", cells.Replicas(sim.WebUI))
+	}
+}
+
+func TestPackedWrapsAllocatorSafely(t *testing.T) {
+	// Tiny machine forces the allocator to hand out every core; the
+	// registry core must still be available via wrap-around.
+	mach := topology.Small() // 8 cores
+	d := Packed(mach, DefaultShares(), 1)
+	if err := d.Validate(mach); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, inst := range d.Instances {
+		total += inst.Affinity.Count()
+	}
+	if total < mach.NumCPUs() {
+		t.Fatalf("packed left CPUs unassigned: %d of %d", total, mach.NumCPUs())
+	}
+}
+
+func TestTunedReplicasRespectCoresPerInstance(t *testing.T) {
+	mach := topology.Rome1S()
+	fine := TunedReplicas(mach, DefaultShares(), 2)
+	coarse := TunedReplicas(mach, DefaultShares(), 16)
+	for _, s := range []sim.Service{sim.WebUI, sim.Image, sim.Persistence} {
+		if fine[s] < coarse[s] {
+			t.Fatalf("%v: finer sizing gave fewer replicas (%d < %d)", s, fine[s], coarse[s])
+		}
+	}
+}

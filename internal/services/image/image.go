@@ -1,0 +1,202 @@
+// Package image implements TeaStore's ImageProvider service: it renders
+// deterministic product artwork as PNG at several sizes and serves it
+// through a byte-bounded LRU cache. Rendering is genuinely CPU-heavy
+// (per-pixel generation plus PNG compression), matching the service's
+// role as one of the workload's dominant CPU consumers.
+package image
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"net/http"
+	"strconv"
+
+	"repro/internal/httpkit"
+)
+
+// Size names a product image variant.
+type Size string
+
+// The supported variants and their pixel edge lengths.
+const (
+	SizeIcon    Size = "icon"    // 64 px
+	SizePreview Size = "preview" // 125 px
+	SizeLarge   Size = "large"   // 256 px
+	SizeFull    Size = "full"    // 400 px
+)
+
+// Pixels returns the edge length of a size, or 0 for unknown sizes.
+func (s Size) Pixels() int {
+	switch s {
+	case SizeIcon:
+		return 64
+	case SizePreview:
+		return 125
+	case SizeLarge:
+		return 256
+	case SizeFull:
+		return 400
+	default:
+		return 0
+	}
+}
+
+// Sizes lists the supported variants.
+func Sizes() []Size { return []Size{SizeIcon, SizePreview, SizeLarge, SizeFull} }
+
+// splitmix produces the deterministic per-product parameter stream.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Render generates the artwork for a product at the given edge length:
+// a banded radial interference pattern whose palette and geometry derive
+// from the product ID. Identical inputs produce identical bytes.
+func Render(productID int64, px int) ([]byte, error) {
+	if px <= 0 || px > 1024 {
+		return nil, fmt.Errorf("image: invalid size %d", px)
+	}
+	h1 := splitmix(uint64(productID))
+	h2 := splitmix(h1)
+	h3 := splitmix(h2)
+
+	base := color.RGBA{
+		R: uint8(h1), G: uint8(h1 >> 8), B: uint8(h1 >> 16), A: 255,
+	}
+	accent := color.RGBA{
+		R: uint8(h2), G: uint8(h2 >> 8), B: uint8(h2 >> 16), A: 255,
+	}
+	// Geometry parameters.
+	fx := 2 + float64(h3%5)
+	fy := 2 + float64((h3>>8)%5)
+	rings := 3 + float64((h3>>16)%6)
+
+	img := image.NewRGBA(image.Rect(0, 0, px, px))
+	for y := 0; y < px; y++ {
+		for x := 0; x < px; x++ {
+			u := float64(x)/float64(px) - 0.5
+			v := float64(y)/float64(px) - 0.5
+			r := math.Sqrt(u*u + v*v)
+			w := 0.5 +
+				0.25*math.Sin(fx*math.Pi*u)*math.Cos(fy*math.Pi*v) +
+				0.25*math.Sin(rings*2*math.Pi*r)
+			if w < 0 {
+				w = 0
+			}
+			if w > 1 {
+				w = 1
+			}
+			img.SetRGBA(x, y, color.RGBA{
+				R: lerp(base.R, accent.R, w),
+				G: lerp(base.G, accent.G, w),
+				B: lerp(base.B, accent.B, w),
+				A: 255,
+			})
+		}
+	}
+	var buf bytes.Buffer
+	if err := png.Encode(&buf, img); err != nil {
+		return nil, fmt.Errorf("image: encoding: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func lerp(a, b uint8, w float64) uint8 {
+	return uint8(float64(a)*(1-w) + float64(b)*w)
+}
+
+// Service is one ImageProvider instance.
+type Service struct {
+	cache *Cache
+}
+
+// New returns an ImageProvider with a cache of cacheBytes (0 → 64 MiB).
+func New(cacheBytes int64) *Service {
+	if cacheBytes <= 0 {
+		cacheBytes = 64 << 20
+	}
+	return &Service{cache: NewCache(cacheBytes, 16)}
+}
+
+// Cache exposes cache statistics.
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Image returns the (possibly cached) PNG for a product at a size.
+func (s *Service) Image(productID int64, size Size) ([]byte, error) {
+	px := size.Pixels()
+	if px == 0 {
+		return nil, fmt.Errorf("image: unknown size %q", size)
+	}
+	key := strconv.FormatInt(productID, 10) + "/" + string(size)
+	if data, ok := s.cache.Get(key); ok {
+		return data, nil
+	}
+	data, err := Render(productID, px)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Put(key, data)
+	return data, nil
+}
+
+// Mux returns the HTTP API:
+//
+//	GET /image/{productID}?size=preview   → image/png
+//	GET /cache/stats                      → {hits, misses, bytes, entries}
+func (s *Service) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /image/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "bad product id %q", r.PathValue("id"))
+			return
+		}
+		size := Size(r.URL.Query().Get("size"))
+		if size == "" {
+			size = SizePreview
+		}
+		data, err := s.Image(id, size)
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		w.Header().Set("Content-Type", "image/png")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("GET /cache/stats", func(w http.ResponseWriter, r *http.Request) {
+		hits, misses := s.cache.Stats()
+		httpkit.WriteJSON(w, http.StatusOK, map[string]int64{
+			"hits": hits, "misses": misses,
+			"bytes": s.cache.Bytes(), "entries": int64(s.cache.Len()),
+		})
+	})
+	return mux
+}
+
+// Client fetches images from a remote ImageProvider.
+type Client struct {
+	http *httpkit.Client
+	base string
+}
+
+// NewClient returns a client for an ImageProvider at baseURL.
+func NewClient(baseURL string, hc *httpkit.Client) *Client {
+	if hc == nil {
+		hc = httpkit.NewClient(0)
+	}
+	return &Client{http: hc, base: baseURL}
+}
+
+// Image fetches one product image.
+func (c *Client) Image(ctx context.Context, productID int64, size Size) ([]byte, error) {
+	return c.http.GetBytes(ctx, fmt.Sprintf("%s/image/%d?size=%s", c.base, productID, size))
+}

@@ -1,0 +1,206 @@
+package image
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"image/png"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/httpkit"
+)
+
+func TestRenderDeterministic(t *testing.T) {
+	a, err := Render(42, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Render(42, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same product rendered differently")
+	}
+	c, _ := Render(43, 64)
+	if bytes.Equal(a, c) {
+		t.Fatal("different products rendered identically")
+	}
+}
+
+func TestRenderProducesValidPNGOfRightSize(t *testing.T) {
+	for _, size := range Sizes() {
+		data, err := Render(7, size.Pixels())
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := png.Decode(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("size %s: invalid png: %v", size, err)
+		}
+		if img.Bounds().Dx() != size.Pixels() || img.Bounds().Dy() != size.Pixels() {
+			t.Fatalf("size %s: got %v", size, img.Bounds())
+		}
+	}
+}
+
+func TestRenderValidation(t *testing.T) {
+	if _, err := Render(1, 0); err == nil {
+		t.Fatal("size 0 accepted")
+	}
+	if _, err := Render(1, 4096); err == nil {
+		t.Fatal("huge size accepted")
+	}
+	if Size("bogus").Pixels() != 0 {
+		t.Fatal("unknown size has pixels")
+	}
+}
+
+func TestServiceCachesRenders(t *testing.T) {
+	s := New(0)
+	a, err := s.Image(5, SizeIcon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Image(5, SizeIcon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached image differs")
+	}
+	hits, misses := s.Cache().Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1,1", hits, misses)
+	}
+	if _, err := s.Image(5, Size("bogus")); err == nil {
+		t.Fatal("bogus size accepted")
+	}
+}
+
+func TestLRUBasics(t *testing.T) {
+	c := NewCache(100, 1)
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40))
+	if c.Bytes() != 80 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+	// Touch a so b becomes LRU; insert c → b evicted.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("c", make([]byte, 40))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU victim b survived")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently-used a evicted")
+	}
+}
+
+func TestLRUReplaceInPlace(t *testing.T) {
+	c := NewCache(100, 1)
+	c.Put("a", make([]byte, 10))
+	c.Put("a", make([]byte, 30))
+	if c.Bytes() != 30 || c.Len() != 1 {
+		t.Fatalf("replace accounting wrong: bytes=%d len=%d", c.Bytes(), c.Len())
+	}
+}
+
+func TestLRUOversizeValueSkipped(t *testing.T) {
+	c := NewCache(64, 1)
+	c.Put("big", make([]byte, 100))
+	if c.Len() != 0 {
+		t.Fatal("oversize value cached")
+	}
+}
+
+// Property: cache never exceeds capacity and byte accounting is exact.
+func TestPropertyLRUAccounting(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := NewCache(1<<12, 4)
+		live := map[string]int{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op%37)
+			size := int(op % 600)
+			c.Put(key, make([]byte, size))
+			if size <= int(c.shards[0].capacity) {
+				live[key] = size
+			}
+			if c.Bytes() > c.Capacity() {
+				return false
+			}
+		}
+		// Recount bytes from shard state.
+		var manual int64
+		for _, s := range c.shards {
+			s.mu.Lock()
+			for _, el := range s.items {
+				manual += int64(len(el.Value.(*lruEntry).data))
+			}
+			s.mu.Unlock()
+		}
+		return manual == c.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheConcurrentSafety(t *testing.T) {
+	c := NewCache(1<<16, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (w*31+i)%64)
+				if i%2 == 0 {
+					c.Put(key, make([]byte, i%800))
+				} else {
+					c.Get(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Bytes() > c.Capacity() {
+		t.Fatal("capacity exceeded under concurrency")
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	s := New(1 << 20)
+	srv := httptest.NewServer(s.Mux())
+	defer srv.Close()
+	c := NewClient(srv.URL, httpkit.NewClient(5*time.Second))
+	ctx := context.Background()
+
+	data, err := c.Image(ctx, 11, SizePreview)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(bytes.NewReader(data)); err != nil {
+		t.Fatalf("served bytes not a png: %v", err)
+	}
+	// Default size applies.
+	raw, err := c.http.GetBytes(ctx, srv.URL+"/image/11")
+	if err != nil || !bytes.Equal(raw, data) {
+		t.Fatal("default size should be preview")
+	}
+	if _, err := c.Image(ctx, 11, Size("huge")); !httpkit.IsStatus(err, 400) {
+		t.Fatalf("bad size err = %v", err)
+	}
+	var stats map[string]int64
+	if err := httpkit.NewClient(time.Second).GetJSON(ctx, srv.URL+"/cache/stats", &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["entries"] != 1 || stats["hits"] < 1 {
+		t.Fatalf("stats = %v", stats)
+	}
+}

@@ -1,0 +1,310 @@
+// Package persistence exposes the embedded db.Store over HTTP/JSON — the
+// TeaStore Persistence service, standing in for the original's
+// MariaDB-backed registry of categories, products, users, and orders.
+package persistence
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/httpkit"
+	"repro/internal/services/auth"
+)
+
+// Service wraps a store with its HTTP API.
+type Service struct {
+	store *db.Store
+}
+
+// New returns a Persistence service over the given store.
+func New(store *db.Store) *Service {
+	return &Service{store: store}
+}
+
+// Store exposes the underlying store (embedded/in-process callers).
+func (s *Service) Store() *db.Store { return s.store }
+
+// statusFor maps store errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, db.ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, db.ErrDuplicate):
+		return http.StatusConflict
+	case errors.Is(err, db.ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeStoreError(w http.ResponseWriter, err error) {
+	httpkit.WriteError(w, statusFor(err), "%v", err)
+}
+
+// ProductPage is the paginated product list response.
+type ProductPage struct {
+	Products []db.Product `json:"products"`
+	Total    int          `json:"total"`
+	Offset   int          `json:"offset"`
+}
+
+// OrderRequest is the checkout write.
+type OrderRequest struct {
+	UserID int64          `json:"userId"`
+	Items  []db.OrderItem `json:"items"`
+}
+
+// Mux returns the HTTP API:
+//
+//	GET  /categories
+//	GET  /categories/{id}
+//	GET  /categories/{id}/products?offset=&limit=
+//	GET  /products/{id}
+//	GET  /user-by-email/{email}
+//	GET  /users/{id}
+//	GET  /users/{id}/orders
+//	POST /orders                    {userId, items}
+//	GET  /orders/all                (recommender training feed)
+//	POST /generate                  db.GenerateSpec
+//	GET  /stats
+func (s *Service) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /categories", func(w http.ResponseWriter, r *http.Request) {
+		httpkit.WriteJSON(w, http.StatusOK, s.store.Categories())
+	})
+	mux.HandleFunc("GET /categories/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := pathID(r, "id")
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		cat, err := s.store.Category(id)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, cat)
+	})
+	mux.HandleFunc("GET /categories/{id}/products", func(w http.ResponseWriter, r *http.Request) {
+		id, err := pathID(r, "id")
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		offset := queryInt(r, "offset", 0)
+		limit := queryInt(r, "limit", 20)
+		products, total, err := s.store.ProductsByCategory(id, offset, limit)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, ProductPage{Products: products, Total: total, Offset: offset})
+	})
+	mux.HandleFunc("GET /products/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := pathID(r, "id")
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		p, err := s.store.Product(id)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("GET /user-by-email/{email}", func(w http.ResponseWriter, r *http.Request) {
+		email, err := url.PathUnescape(r.PathValue("email"))
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "bad email: %v", err)
+			return
+		}
+		u, err := s.store.UserByEmail(email)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, u)
+	})
+	mux.HandleFunc("GET /users/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := pathID(r, "id")
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		u, err := s.store.User(id)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, u)
+	})
+	mux.HandleFunc("GET /users/{id}/orders", func(w http.ResponseWriter, r *http.Request) {
+		id, err := pathID(r, "id")
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		orders, err := s.store.OrdersByUser(id)
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, orders)
+	})
+	mux.HandleFunc("POST /orders", func(w http.ResponseWriter, r *http.Request) {
+		var req OrderRequest
+		if err := httpkit.ReadJSON(r, &req); err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		order, err := s.store.PlaceOrder(req.UserID, req.Items, time.Now())
+		if err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusCreated, order)
+	})
+	mux.HandleFunc("GET /orders/all", func(w http.ResponseWriter, r *http.Request) {
+		httpkit.WriteJSON(w, http.StatusOK, s.store.AllOrders())
+	})
+	mux.HandleFunc("POST /generate", func(w http.ResponseWriter, r *http.Request) {
+		spec := db.DefaultGenerateSpec()
+		if r.ContentLength > 0 {
+			if err := httpkit.ReadJSON(r, &spec); err != nil {
+				httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+		}
+		if err := s.store.Generate(spec, auth.HashPassword); err != nil {
+			writeStoreError(w, err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, map[string]int{
+			"categories": len(s.store.Categories()),
+			"products":   s.store.NumProducts(),
+			"users":      s.store.NumUsers(),
+			"orders":     s.store.NumOrders(),
+		})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		httpkit.WriteJSON(w, http.StatusOK, map[string]int{
+			"categories": len(s.store.Categories()),
+			"products":   s.store.NumProducts(),
+			"users":      s.store.NumUsers(),
+			"orders":     s.store.NumOrders(),
+		})
+	})
+	return mux
+}
+
+func pathID(r *http.Request, key string) (int64, error) {
+	id, err := strconv.ParseInt(r.PathValue(key), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("persistence: bad %s %q", key, r.PathValue(key))
+	}
+	return id, nil
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// Client is the typed client for remote Persistence access.
+type Client struct {
+	http *httpkit.Client
+	base string
+}
+
+// NewClient returns a client for a Persistence instance at baseURL.
+func NewClient(baseURL string, hc *httpkit.Client) *Client {
+	if hc == nil {
+		hc = httpkit.NewClient(0)
+	}
+	return &Client{http: hc, base: baseURL}
+}
+
+// Categories lists categories.
+func (c *Client) Categories(ctx context.Context) ([]db.Category, error) {
+	var out []db.Category
+	err := c.http.GetJSON(ctx, c.base+"/categories", &out)
+	return out, err
+}
+
+// Category fetches one category.
+func (c *Client) Category(ctx context.Context, id int64) (db.Category, error) {
+	var out db.Category
+	err := c.http.GetJSON(ctx, fmt.Sprintf("%s/categories/%d", c.base, id), &out)
+	return out, err
+}
+
+// Products pages a category's products.
+func (c *Client) Products(ctx context.Context, categoryID int64, offset, limit int) (ProductPage, error) {
+	var out ProductPage
+	err := c.http.GetJSON(ctx,
+		fmt.Sprintf("%s/categories/%d/products?offset=%d&limit=%d", c.base, categoryID, offset, limit), &out)
+	return out, err
+}
+
+// Product fetches one product.
+func (c *Client) Product(ctx context.Context, id int64) (db.Product, error) {
+	var out db.Product
+	err := c.http.GetJSON(ctx, fmt.Sprintf("%s/products/%d", c.base, id), &out)
+	return out, err
+}
+
+// UserByEmail fetches a user record for Auth; it satisfies the
+// persistence interface auth.Service needs.
+func (c *Client) UserByEmail(ctx context.Context, email string) (auth.UserRecord, error) {
+	var out auth.UserRecord
+	err := c.http.GetJSON(ctx, c.base+"/user-by-email/"+url.PathEscape(email), &out)
+	return out, err
+}
+
+// User fetches a user by ID.
+func (c *Client) User(ctx context.Context, id int64) (db.User, error) {
+	var out db.User
+	err := c.http.GetJSON(ctx, fmt.Sprintf("%s/users/%d", c.base, id), &out)
+	return out, err
+}
+
+// Orders lists a user's orders.
+func (c *Client) Orders(ctx context.Context, userID int64) ([]db.Order, error) {
+	var out []db.Order
+	err := c.http.GetJSON(ctx, fmt.Sprintf("%s/users/%d/orders", c.base, userID), &out)
+	return out, err
+}
+
+// PlaceOrder writes an order.
+func (c *Client) PlaceOrder(ctx context.Context, userID int64, items []db.OrderItem) (db.Order, error) {
+	var out db.Order
+	err := c.http.PostJSON(ctx, c.base+"/orders", OrderRequest{UserID: userID, Items: items}, &out)
+	return out, err
+}
+
+// AllOrders fetches the training feed.
+func (c *Client) AllOrders(ctx context.Context) ([]db.Order, error) {
+	var out []db.Order
+	err := c.http.GetJSON(ctx, c.base+"/orders/all", &out)
+	return out, err
+}
+
+// Generate (re)seeds the catalog.
+func (c *Client) Generate(ctx context.Context, spec db.GenerateSpec) error {
+	return c.http.PostJSON(ctx, c.base+"/generate", spec, nil)
+}

@@ -1,0 +1,55 @@
+package recommender
+
+import "repro/internal/db"
+
+// PreprocessedSlopeOne is Slope One with the per-user rankings fully
+// materialized at training time, mirroring TeaStore's
+// PreprocessedSlopeOneRecommender: recommendation becomes a lookup plus an
+// exclusion filter, trading training time and memory for serving latency.
+type PreprocessedSlopeOne struct {
+	inner SlopeOne
+	// ranked[user] is the user's full preference-ordered product list.
+	ranked map[int64][]int64
+	// fallback is the popularity ordering for unknown users.
+	fallback []int64
+}
+
+// Name implements Algorithm.
+func (p *PreprocessedSlopeOne) Name() string { return "slopeone-pre" }
+
+// Train builds the deviation model and materializes every known user's
+// ranking.
+func (p *PreprocessedSlopeOne) Train(orders []db.Order) {
+	p.inner.Train(orders)
+	p.fallback = topN(p.inner.pop, nil, 0)
+	p.ranked = make(map[int64][]int64, len(p.inner.byUser))
+	for user := range p.inner.byUser {
+		p.ranked[user] = p.inner.Recommend(user, nil, 0)
+	}
+}
+
+// Recommend implements Algorithm via the precomputed ranking.
+func (p *PreprocessedSlopeOne) Recommend(userID int64, current []int64, max int) []int64 {
+	if max <= 0 {
+		max = 10
+	}
+	ranking, ok := p.ranked[userID]
+	if !ok {
+		ranking = p.fallback
+	}
+	excluded := make(map[int64]bool, len(current))
+	for _, id := range current {
+		excluded[id] = true
+	}
+	out := make([]int64, 0, max)
+	for _, id := range ranking {
+		if excluded[id] {
+			continue
+		}
+		out = append(out, id)
+		if len(out) == max {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package recommender
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestPreprocessedMatchesSlopeOne(t *testing.T) {
+	orders := mkOrders()
+	live := &SlopeOne{}
+	live.Train(orders)
+	pre := &PreprocessedSlopeOne{}
+	pre.Train(orders)
+
+	// Every known user, several exclusion sets: the materialized variant
+	// must return exactly what live Slope One returns.
+	users := []int64{0, 1, 2, 3, 4, 50}
+	currents := [][]int64{nil, {1}, {2, 3}, {4}}
+	for _, u := range users {
+		for _, cur := range currents {
+			want := live.Recommend(u, cur, 5)
+			got := pre.Recommend(u, cur, 5)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("user %d cur %v: pre %v != live %v", u, cur, got, want)
+			}
+		}
+	}
+}
+
+func TestPreprocessedColdUserFallback(t *testing.T) {
+	pre := &PreprocessedSlopeOne{}
+	pre.Train(mkOrders())
+	got := pre.Recommend(9999, nil, 1)
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("cold-user fallback = %v, want [1]", got)
+	}
+}
+
+func TestPreprocessedDefaultMax(t *testing.T) {
+	pre := &PreprocessedSlopeOne{}
+	pre.Train(mkOrders())
+	got := pre.Recommend(0, nil, 0)
+	if len(got) == 0 || len(got) > 10 {
+		t.Fatalf("default max wrong: %d results", len(got))
+	}
+}
+
+func TestPreprocessedEmptyTraining(t *testing.T) {
+	pre := &PreprocessedSlopeOne{}
+	pre.Train(nil)
+	if got := pre.Recommend(1, []int64{5}, 3); len(got) != 0 {
+		t.Fatalf("empty history recommended %v", got)
+	}
+}

@@ -1,0 +1,158 @@
+package recommender
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/db"
+	"repro/internal/httpkit"
+)
+
+// ordersSource feeds training data; the Persistence client satisfies it.
+type ordersSource interface {
+	AllOrders(ctx context.Context) ([]db.Order, error)
+}
+
+// Service hosts one algorithm behind the HTTP API.
+type Service struct {
+	mu      sync.RWMutex
+	algo    Algorithm
+	source  ordersSource
+	trained bool
+	orders  int
+}
+
+// New returns a Recommender running the named algorithm, training from
+// source.
+func New(algorithm string, source ordersSource) (*Service, error) {
+	algo, err := NewAlgorithm(algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{algo: algo, source: source}, nil
+}
+
+// Train pulls the order history and rebuilds the model.
+func (s *Service) Train(ctx context.Context) (int, error) {
+	if s.source == nil {
+		return 0, fmt.Errorf("recommender: no order source configured")
+	}
+	orders, err := s.source.AllOrders(ctx)
+	if err != nil {
+		return 0, fmt.Errorf("recommender: fetching orders: %w", err)
+	}
+	s.TrainOn(orders)
+	return len(orders), nil
+}
+
+// TrainOn rebuilds the model from the given orders (embedded use).
+func (s *Service) TrainOn(orders []db.Order) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.algo.Train(orders)
+	s.trained = true
+	s.orders = len(orders)
+}
+
+// Recommend ranks products; it returns an error until trained.
+func (s *Service) Recommend(userID int64, current []int64, max int) ([]int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if !s.trained {
+		return nil, fmt.Errorf("recommender: model not trained")
+	}
+	if max <= 0 {
+		max = 10
+	}
+	return s.algo.Recommend(userID, current, max), nil
+}
+
+// Algorithm returns the configured algorithm name.
+func (s *Service) Algorithm() string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.algo.Name()
+}
+
+// RecommendRequest is the /recommend body.
+type RecommendRequest struct {
+	UserID  int64   `json:"userId"`
+	ItemIDs []int64 `json:"itemIds"`
+	Max     int     `json:"max"`
+}
+
+// Mux returns the HTTP API:
+//
+//	POST /train                         → {orders}
+//	POST /recommend  RecommendRequest   → {products: [...ids]}
+//	GET  /info                          → {algorithm, trained, orders}
+func (s *Service) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /train", func(w http.ResponseWriter, r *http.Request) {
+		n, err := s.Train(r.Context())
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadGateway, "%v", err)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, map[string]int{"orders": n})
+	})
+	mux.HandleFunc("POST /recommend", func(w http.ResponseWriter, r *http.Request) {
+		var req RecommendRequest
+		if err := httpkit.ReadJSON(r, &req); err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		products, err := s.Recommend(req.UserID, req.ItemIDs, req.Max)
+		if err != nil {
+			httpkit.WriteError(w, http.StatusConflict, "%v", err)
+			return
+		}
+		if products == nil {
+			products = []int64{}
+		}
+		httpkit.WriteJSON(w, http.StatusOK, map[string][]int64{"products": products})
+	})
+	mux.HandleFunc("GET /info", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		httpkit.WriteJSON(w, http.StatusOK, map[string]any{
+			"algorithm": s.algo.Name(), "trained": s.trained, "orders": s.orders,
+		})
+	})
+	return mux
+}
+
+// Client reaches a remote Recommender.
+type Client struct {
+	http *httpkit.Client
+	base string
+}
+
+// NewClient returns a client for a Recommender instance at baseURL.
+func NewClient(baseURL string, hc *httpkit.Client) *Client {
+	if hc == nil {
+		hc = httpkit.NewClient(0)
+	}
+	return &Client{http: hc, base: baseURL}
+}
+
+// Train triggers remote retraining.
+func (c *Client) Train(ctx context.Context) (int, error) {
+	var out struct {
+		Orders int `json:"orders"`
+	}
+	err := c.http.PostJSON(ctx, c.base+"/train", nil, &out)
+	return out.Orders, err
+}
+
+// Recommend fetches recommendations.
+func (c *Client) Recommend(ctx context.Context, userID int64, items []int64, max int) ([]int64, error) {
+	var out struct {
+		Products []int64 `json:"products"`
+	}
+	err := c.http.PostJSON(ctx, c.base+"/recommend",
+		RecommendRequest{UserID: userID, ItemIDs: items, Max: max}, &out)
+	return out.Products, err
+}

@@ -1,0 +1,466 @@
+// Package webui implements TeaStore's front end: HTML pages that fan out
+// to the Auth, Persistence, Recommender, and ImageProvider services,
+// embedding rendered product images as base64 data URIs exactly like the
+// original. It is the orchestrator every user request passes through.
+package webui
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/services/auth"
+	imagesvc "repro/internal/services/image"
+	"repro/internal/services/persistence"
+	"repro/internal/services/recommender"
+)
+
+// Backends bundles the downstream clients the WebUI orchestrates.
+type Backends struct {
+	Auth        *auth.Client
+	Persistence *persistence.Client
+	Recommender *recommender.Client
+	Image       *imagesvc.Client
+}
+
+// validate reports missing backends.
+func (b Backends) validate() error {
+	switch {
+	case b.Auth == nil:
+		return fmt.Errorf("webui: Auth backend is required")
+	case b.Persistence == nil:
+		return fmt.Errorf("webui: Persistence backend is required")
+	case b.Recommender == nil:
+		return fmt.Errorf("webui: Recommender backend is required")
+	case b.Image == nil:
+		return fmt.Errorf("webui: Image backend is required")
+	}
+	return nil
+}
+
+// Cookie names.
+const (
+	cookieToken = "teastore_token"
+	cookieCart  = "teastore_cart"
+)
+
+const productsPerPage = 8
+
+// Service is one WebUI instance.
+type Service struct {
+	backends Backends
+}
+
+// New returns a WebUI over the given backends.
+func New(backends Backends) (*Service, error) {
+	if err := backends.validate(); err != nil {
+		return nil, err
+	}
+	return &Service{backends: backends}, nil
+}
+
+// nav is the data every page's chrome needs.
+type nav struct {
+	Title      string
+	Categories []db.Category
+	CartCount  int
+	User       string
+}
+
+// session is the per-request authentication/cart state.
+type session struct {
+	token    string
+	claims   auth.Token
+	loggedIn bool
+	cart     []auth.CartItem
+}
+
+// loadSession resolves cookies against the Auth service.
+func (s *Service) loadSession(r *http.Request) session {
+	var sess session
+	if c, err := r.Cookie(cookieToken); err == nil && c.Value != "" {
+		if claims, err := s.backends.Auth.Validate(r.Context(), c.Value); err == nil {
+			sess.token = c.Value
+			sess.claims = claims
+			sess.loggedIn = true
+		}
+	}
+	if c, err := r.Cookie(cookieCart); err == nil && c.Value != "" {
+		if items, err := s.backends.Auth.VerifyCart(r.Context(), c.Value); err == nil {
+			sess.cart = items
+		}
+	}
+	return sess
+}
+
+func (sess session) cartCount() int {
+	n := 0
+	for _, it := range sess.cart {
+		n += it.Quantity
+	}
+	return n
+}
+
+// nav assembles the chrome; category fetch failures degrade to an empty
+// nav rather than failing the page.
+func (s *Service) nav(ctx context.Context, title string, sess session) nav {
+	cats, _ := s.backends.Persistence.Categories(ctx)
+	n := nav{Title: title, Categories: cats, CartCount: sess.cartCount()}
+	if sess.loggedIn {
+		n.User = sess.claims.Email
+	}
+	return n
+}
+
+func price(cents int64) string {
+	return fmt.Sprintf("$%d.%02d", cents/100, cents%100)
+}
+
+// renderError writes the error page.
+func (s *Service) renderError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.WriteHeader(status)
+	_ = pageTemplates.ExecuteTemplate(w, "error", struct {
+		nav
+		Message string
+	}{s.nav(r.Context(), "Error", session{}), fmt.Sprintf(format, args...)})
+}
+
+func render(w http.ResponseWriter, name string, data any) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = pageTemplates.ExecuteTemplate(w, name, data)
+}
+
+// productCard is a grid tile with an embedded image.
+type productCard struct {
+	ID       int64
+	Name     string
+	Price    string
+	ImageB64 string
+}
+
+// fetchImages loads images for products concurrently, returning base64
+// strings aligned with the input. Failures yield empty strings (broken
+// image) rather than failing the page.
+func (s *Service) fetchImages(ctx context.Context, products []db.Product, size imagesvc.Size) []string {
+	out := make([]string, len(products))
+	var wg sync.WaitGroup
+	for i, p := range products {
+		wg.Add(1)
+		go func(i int, id int64) {
+			defer wg.Done()
+			if data, err := s.backends.Image.Image(ctx, id, size); err == nil {
+				out[i] = base64.StdEncoding.EncodeToString(data)
+			}
+		}(i, p.ID)
+	}
+	wg.Wait()
+	return out
+}
+
+func (s *Service) cards(ctx context.Context, products []db.Product, size imagesvc.Size) []productCard {
+	images := s.fetchImages(ctx, products, size)
+	cards := make([]productCard, len(products))
+	for i, p := range products {
+		cards[i] = productCard{ID: p.ID, Name: p.Name, Price: price(p.PriceCents), ImageB64: images[i]}
+	}
+	return cards
+}
+
+// recommendedCards resolves recommendation IDs into display cards.
+func (s *Service) recommendedCards(ctx context.Context, userID int64, current []int64, max int, withImages bool) []productCard {
+	ids, err := s.backends.Recommender.Recommend(ctx, userID, current, max)
+	if err != nil {
+		return nil
+	}
+	var products []db.Product
+	for _, id := range ids {
+		if p, err := s.backends.Persistence.Product(ctx, id); err == nil {
+			products = append(products, p)
+		}
+	}
+	if withImages {
+		return s.cards(ctx, products, imagesvc.SizeIcon)
+	}
+	cards := make([]productCard, len(products))
+	for i, p := range products {
+		cards[i] = productCard{ID: p.ID, Name: p.Name, Price: price(p.PriceCents)}
+	}
+	return cards
+}
+
+// Mux returns the storefront routes.
+func (s *Service) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleHome)
+	mux.HandleFunc("GET /category/{id}", s.handleCategory)
+	mux.HandleFunc("GET /product/{id}", s.handleProduct)
+	mux.HandleFunc("GET /login", s.handleLoginForm)
+	mux.HandleFunc("POST /login", s.handleLogin)
+	mux.HandleFunc("GET /logout", s.handleLogout)
+	mux.HandleFunc("GET /cart", s.handleCart)
+	mux.HandleFunc("POST /cart/add", s.handleCartAdd)
+	mux.HandleFunc("POST /cart/checkout", s.handleCheckout)
+	mux.HandleFunc("GET /profile", s.handleProfile)
+	return mux
+}
+
+func (s *Service) handleHome(w http.ResponseWriter, r *http.Request) {
+	sess := s.loadSession(r)
+	cats, err := s.backends.Persistence.Categories(r.Context())
+	if err != nil {
+		s.renderError(w, r, http.StatusBadGateway, "catalog unavailable: %v", err)
+		return
+	}
+	render(w, "home", struct {
+		nav
+		Tagline string
+		Cards   []db.Category
+	}{s.nav(r.Context(), "Home", sess), "Fine teas, microservice fresh.", cats})
+}
+
+func (s *Service) handleCategory(w http.ResponseWriter, r *http.Request) {
+	sess := s.loadSession(r)
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.renderError(w, r, http.StatusBadRequest, "bad category id")
+		return
+	}
+	page, _ := strconv.Atoi(r.URL.Query().Get("page"))
+	if page < 0 {
+		page = 0
+	}
+	cat, err := s.backends.Persistence.Category(r.Context(), id)
+	if err != nil {
+		s.renderError(w, r, http.StatusNotFound, "category %d: %v", id, err)
+		return
+	}
+	listing, err := s.backends.Persistence.Products(r.Context(), id, page*productsPerPage, productsPerPage)
+	if err != nil {
+		s.renderError(w, r, http.StatusBadGateway, "products unavailable: %v", err)
+		return
+	}
+	render(w, "category", struct {
+		nav
+		Category db.Category
+		Products []productCard
+		Total    int
+		Page     int
+		PrevPage int
+		NextPage int
+		HasNext  bool
+	}{
+		s.nav(r.Context(), cat.Name, sess),
+		cat,
+		s.cards(r.Context(), listing.Products, imagesvc.SizePreview),
+		listing.Total,
+		page, page - 1, page + 1,
+		(page+1)*productsPerPage < listing.Total,
+	})
+}
+
+func (s *Service) handleProduct(w http.ResponseWriter, r *http.Request) {
+	sess := s.loadSession(r)
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		s.renderError(w, r, http.StatusBadRequest, "bad product id")
+		return
+	}
+	p, err := s.backends.Persistence.Product(r.Context(), id)
+	if err != nil {
+		s.renderError(w, r, http.StatusNotFound, "product %d: %v", id, err)
+		return
+	}
+	var img string
+	if data, err := s.backends.Image.Image(r.Context(), p.ID, imagesvc.SizeFull); err == nil {
+		img = base64.StdEncoding.EncodeToString(data)
+	}
+	render(w, "product", struct {
+		nav
+		Product     db.Product
+		Price       string
+		ImageB64    string
+		Recommended []productCard
+	}{
+		s.nav(r.Context(), p.Name, sess),
+		p, price(p.PriceCents), img,
+		s.recommendedCards(r.Context(), sess.claims.UserID, []int64{p.ID}, 4, true),
+	})
+}
+
+func (s *Service) handleLoginForm(w http.ResponseWriter, r *http.Request) {
+	sess := s.loadSession(r)
+	render(w, "login", struct {
+		nav
+		Message, Email string
+	}{s.nav(r.Context(), "Login", sess), "", ""})
+}
+
+func (s *Service) handleLogin(w http.ResponseWriter, r *http.Request) {
+	if err := r.ParseForm(); err != nil {
+		s.renderError(w, r, http.StatusBadRequest, "bad form: %v", err)
+		return
+	}
+	email := r.PostFormValue("email")
+	result, err := s.backends.Auth.Login(r.Context(), email, r.PostFormValue("password"))
+	if err != nil {
+		w.WriteHeader(http.StatusUnauthorized)
+		render(w, "login", struct {
+			nav
+			Message, Email string
+		}{s.nav(r.Context(), "Login", session{}), "Invalid credentials.", email})
+		return
+	}
+	http.SetCookie(w, &http.Cookie{
+		Name: cookieToken, Value: result.Token, Path: "/",
+		Expires: result.Expires, HttpOnly: true,
+	})
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+func (s *Service) handleLogout(w http.ResponseWriter, r *http.Request) {
+	for _, name := range []string{cookieToken, cookieCart} {
+		http.SetCookie(w, &http.Cookie{Name: name, Value: "", Path: "/", MaxAge: -1})
+	}
+	http.Redirect(w, r, "/", http.StatusSeeOther)
+}
+
+// cartLine is one rendered cart row.
+type cartLine struct {
+	ID       int64
+	Name     string
+	Quantity int
+	Price    string
+}
+
+func (s *Service) handleCart(w http.ResponseWriter, r *http.Request) {
+	sess := s.loadSession(r)
+	var lines []cartLine
+	var total int64
+	var ids []int64
+	for _, it := range sess.cart {
+		p, err := s.backends.Persistence.Product(r.Context(), it.ProductID)
+		if err != nil {
+			continue
+		}
+		lines = append(lines, cartLine{
+			ID: p.ID, Name: p.Name, Quantity: it.Quantity,
+			Price: price(p.PriceCents * int64(it.Quantity)),
+		})
+		total += p.PriceCents * int64(it.Quantity)
+		ids = append(ids, p.ID)
+	}
+	render(w, "cart", struct {
+		nav
+		Lines       []cartLine
+		Total       string
+		Recommended []productCard
+	}{
+		s.nav(r.Context(), "Cart", sess),
+		lines, price(total),
+		s.recommendedCards(r.Context(), sess.claims.UserID, ids, 3, false),
+	})
+}
+
+func (s *Service) handleCartAdd(w http.ResponseWriter, r *http.Request) {
+	sess := s.loadSession(r)
+	if err := r.ParseForm(); err != nil {
+		s.renderError(w, r, http.StatusBadRequest, "bad form: %v", err)
+		return
+	}
+	id, err := strconv.ParseInt(r.PostFormValue("productId"), 10, 64)
+	if err != nil {
+		s.renderError(w, r, http.StatusBadRequest, "bad product id")
+		return
+	}
+	if _, err := s.backends.Persistence.Product(r.Context(), id); err != nil {
+		s.renderError(w, r, http.StatusNotFound, "product %d: %v", id, err)
+		return
+	}
+	found := false
+	for i := range sess.cart {
+		if sess.cart[i].ProductID == id {
+			sess.cart[i].Quantity++
+			found = true
+			break
+		}
+	}
+	if !found {
+		sess.cart = append(sess.cart, auth.CartItem{ProductID: id, Quantity: 1})
+	}
+	signed, err := s.backends.Auth.SignCart(r.Context(), sess.cart)
+	if err != nil {
+		s.renderError(w, r, http.StatusBadGateway, "cart signing failed: %v", err)
+		return
+	}
+	http.SetCookie(w, &http.Cookie{
+		Name: cookieCart, Value: signed, Path: "/",
+		Expires: time.Now().Add(24 * time.Hour), HttpOnly: true,
+	})
+	http.Redirect(w, r, "/cart", http.StatusSeeOther)
+}
+
+func (s *Service) handleCheckout(w http.ResponseWriter, r *http.Request) {
+	sess := s.loadSession(r)
+	if !sess.loggedIn {
+		http.Redirect(w, r, "/login", http.StatusSeeOther)
+		return
+	}
+	if len(sess.cart) == 0 {
+		http.Redirect(w, r, "/cart", http.StatusSeeOther)
+		return
+	}
+	items := make([]db.OrderItem, len(sess.cart))
+	for i, it := range sess.cart {
+		items[i] = db.OrderItem{ProductID: it.ProductID, Quantity: it.Quantity}
+	}
+	order, err := s.backends.Persistence.PlaceOrder(r.Context(), sess.claims.UserID, items)
+	if err != nil {
+		s.renderError(w, r, http.StatusBadGateway, "checkout failed: %v", err)
+		return
+	}
+	http.SetCookie(w, &http.Cookie{Name: cookieCart, Value: "", Path: "/", MaxAge: -1})
+	render(w, "checkedout", struct {
+		nav
+		OrderID int64
+		Total   string
+	}{s.nav(r.Context(), "Order placed", session{loggedIn: sess.loggedIn, claims: sess.claims}), order.ID, price(order.TotalCents)})
+}
+
+func (s *Service) handleProfile(w http.ResponseWriter, r *http.Request) {
+	sess := s.loadSession(r)
+	if !sess.loggedIn {
+		http.Redirect(w, r, "/login", http.StatusSeeOther)
+		return
+	}
+	user, err := s.backends.Persistence.User(r.Context(), sess.claims.UserID)
+	if err != nil {
+		s.renderError(w, r, http.StatusBadGateway, "profile unavailable: %v", err)
+		return
+	}
+	orders, err := s.backends.Persistence.Orders(r.Context(), sess.claims.UserID)
+	if err != nil {
+		s.renderError(w, r, http.StatusBadGateway, "orders unavailable: %v", err)
+		return
+	}
+	type row struct {
+		ID     int64
+		Placed string
+		Items  int
+		Total  string
+	}
+	rows := make([]row, len(orders))
+	for i, o := range orders {
+		rows[i] = row{ID: o.ID, Placed: o.PlacedAt.Format("2006-01-02 15:04"), Items: len(o.Items), Total: price(o.TotalCents)}
+	}
+	render(w, "profile", struct {
+		nav
+		RealName, Email string
+		Orders          []row
+	}{s.nav(r.Context(), "Profile", sess), user.RealName, user.Email, rows})
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/desim"
+	"repro/internal/topology"
+)
+
+func TestOpenLoopDeliversOfferedLoad(t *testing.T) {
+	mach := topology.Small()
+	res, err := Run(Config{
+		Machine:     mach,
+		Deployment:  Unpinned(mach, "open", nil),
+		SessionRate: 20, // sessions/s, far below capacity
+		Seed:        9,
+		// A session lasts ~7 s wall (13 requests × ~0.55 s think), so
+		// steady state needs a long warmup and window.
+		Warmup:  15 * desim.Second,
+		Measure: 60 * desim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Completed sessions per second should match the arrival rate.
+	if math.Abs(res.SessionsPerSec-20)/20 > 0.2 {
+		t.Fatalf("sessions/s = %.1f, want ≈20", res.SessionsPerSec)
+	}
+	if res.Throughput <= 0 || res.Latency.Count == 0 {
+		t.Fatal("no requests measured")
+	}
+}
+
+func TestOpenLoopLatencyGrowsWithLoad(t *testing.T) {
+	mach := topology.Small()
+	run := func(rate float64) Result {
+		res, err := Run(Config{
+			Machine:     mach,
+			Deployment:  Unpinned(mach, "open", nil),
+			SessionRate: rate,
+			Seed:        9,
+			Warmup:      2 * desim.Second,
+			Measure:     8 * desim.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	light := run(10)
+	// The small machine handles ~230 sessions/s (3000 req/s ÷ 13
+	// req/session); 180 is deep in the knee.
+	heavy := run(180)
+	if heavy.Latency.P99 <= light.Latency.P99 {
+		t.Fatalf("p99 did not grow with load: %.2fms vs %.2fms",
+			float64(heavy.Latency.P99)/1e6, float64(light.Latency.P99)/1e6)
+	}
+	if heavy.Throughput <= light.Throughput {
+		t.Fatal("heavier offered load should complete more requests below saturation")
+	}
+}
+
+func TestUsersAndSessionRateMutuallyExclusive(t *testing.T) {
+	mach := topology.Small()
+	base := Config{
+		Machine: mach, Deployment: Unpinned(mach, "x", nil),
+		Warmup: desim.Second, Measure: desim.Second,
+	}
+	both := base
+	both.Users = 10
+	both.SessionRate = 5
+	if _, err := Run(both); err == nil {
+		t.Fatal("both load modes accepted")
+	}
+	neither := base
+	if _, err := Run(neither); err == nil {
+		t.Fatal("no load mode accepted")
+	}
+}

@@ -1,0 +1,170 @@
+// Package sim is the full-system simulator: it deploys the TeaStore
+// service graph onto a simulated multi-socket server (simcpu + memmodel +
+// simnet) and drives it with closed-loop users following a workload
+// profile, reproducing the paper's scale-up experiments without the
+// original hardware.
+//
+// The performance model composes four calibrated mechanisms:
+//
+//  1. per-request CPU demands per service (lognormal), plus the per-message
+//     CPU tax of RPC;
+//  2. intra-instance serialization: a SerialFrac share of every handler
+//     executes under the instance's critical section (the Universal
+//     Scalability Law's σ) — this is what makes some services "not scale"
+//     and replication pay off;
+//  3. cache and NUMA effects via memmodel CPI multipliers;
+//  4. SMT contention and frequency boost via simcpu.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/desim"
+)
+
+// Service identifies one of the six TeaStore microservices.
+type Service int
+
+// The TeaStore services.
+const (
+	WebUI Service = iota
+	Auth
+	Persistence
+	Recommender
+	Image
+	Registry
+	numServices
+)
+
+var serviceNames = [...]string{"webui", "auth", "persistence", "recommender", "image", "registry"}
+
+func (s Service) String() string {
+	if s < 0 || s >= numServices {
+		return fmt.Sprintf("service(%d)", int(s))
+	}
+	return serviceNames[s]
+}
+
+// NumServices is the count of distinct services.
+const NumServices = int(numServices)
+
+// AllServices lists every service.
+func AllServices() []Service {
+	out := make([]Service, NumServices)
+	for i := range out {
+		out[i] = Service(i)
+	}
+	return out
+}
+
+// ParseService resolves a service name.
+func ParseService(name string) (Service, error) {
+	for i, n := range serviceNames {
+		if n == name {
+			return Service(i), nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown service %q", name)
+}
+
+// ServiceProfile captures a service's intrinsic performance character —
+// the per-service properties the paper's characterization measures.
+type ServiceProfile struct {
+	// WSBytes is the per-instance working set (heap the service actually
+	// touches per unit time).
+	WSBytes int64
+	// MemWeight is memory sensitivity: the fraction of baseline runtime
+	// that stalls on memory at 100 % miss ratio and local latency.
+	MemWeight float64
+	// SerialFrac is the fraction of every handler's demand that executes
+	// inside the instance's global critical section (store lock, cache
+	// lock, connection-pool mutex). It is the USL σ of the service: one
+	// instance's throughput can never exceed 1/(SerialFrac×demand)
+	// regardless of how many cores it gets — the mechanism behind the
+	// paper's "some services do not scale up" finding, and the reason
+	// replication helps them.
+	SerialFrac float64
+	// DemandSigma is the lognormal shape of handler demand variation.
+	DemandSigma float64
+	// FrontendStall is the frontend-bound CPI fraction (big instruction
+	// footprint); it feeds the microarch counter model and adds a
+	// constant CPI term.
+	FrontendStall float64
+}
+
+// serialLock is an instance's critical section: a capacity-1 resource with
+// a FIFO queue, granted inline for determinism. Grants carry the CPU the
+// releaser just vacated, so the next holder continues without a scheduling
+// gap — direct lock-plus-CPU handoff.
+type serialLock struct {
+	busy bool
+	q    []func(cpu int)
+}
+
+// acquire runs fn once the lock is free (immediately, on the caller's cpu,
+// when uncontended; later on the releaser's cpu when queued).
+func (l *serialLock) acquire(cpu int, fn func(cpu int)) {
+	if !l.busy {
+		l.busy = true
+		fn(cpu)
+		return
+	}
+	l.q = append(l.q, fn)
+}
+
+// release hands the lock (and the vacated cpu) to the oldest waiter, or
+// frees it.
+func (l *serialLock) release(cpu int) {
+	if !l.busy {
+		panic("sim: release of free serial lock")
+	}
+	if len(l.q) > 0 {
+		next := l.q[0]
+		l.q = l.q[1:]
+		next(cpu)
+		return
+	}
+	l.busy = false
+}
+
+// DefaultProfiles returns the calibrated per-service profiles.
+//
+// The shapes encode the characterization the paper reports: Auth is a
+// stateless CPU-bound service that scales nearly linearly; Persistence
+// serializes on its store and scales worst; Image is cache-footprint heavy;
+// Recommender is memory-bound but read-only; WebUI is the orchestration
+// front end with a large instruction footprint; Registry is negligible.
+func DefaultProfiles() map[Service]ServiceProfile {
+	return map[Service]ServiceProfile{
+		WebUI: {
+			WSBytes: 48 << 20, MemWeight: 0.50, SerialFrac: 0.02,
+			DemandSigma: 0.30, FrontendStall: 0.35,
+		},
+		Auth: {
+			WSBytes: 8 << 20, MemWeight: 0.15, SerialFrac: 0.005,
+			DemandSigma: 0.20, FrontendStall: 0.15,
+		},
+		Persistence: {
+			WSBytes: 64 << 20, MemWeight: 0.60, SerialFrac: 0.22,
+			DemandSigma: 0.35, FrontendStall: 0.25,
+		},
+		Recommender: {
+			WSBytes: 96 << 20, MemWeight: 0.70, SerialFrac: 0.03,
+			DemandSigma: 0.30, FrontendStall: 0.20,
+		},
+		Image: {
+			WSBytes: 80 << 20, MemWeight: 0.55, SerialFrac: 0.10,
+			DemandSigma: 0.40, FrontendStall: 0.20,
+		},
+		Registry: {
+			WSBytes: 4 << 20, MemWeight: 0.10, SerialFrac: 0,
+			DemandSigma: 0.10, FrontendStall: 0.10,
+		},
+	}
+}
+
+// HeartbeatPeriod is how often every instance pings the registry.
+const HeartbeatPeriod = desim.Duration(desim.Second)
+
+// Heartbeatdemand is the registry CPU cost of one heartbeat.
+const heartbeatDemand = desim.Duration(50 * desim.Microsecond)

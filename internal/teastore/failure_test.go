@@ -1,0 +1,103 @@
+package teastore
+
+import (
+	"context"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/httpkit"
+)
+
+// shutdownService stops one named server in the stack, simulating a
+// backend outage.
+func shutdownService(t *testing.T, st *Stack, name string) {
+	t.Helper()
+	for _, srv := range st.servers {
+		if srv.Name() == name {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			if err := srv.Shutdown(ctx); err != nil {
+				t.Fatal(err)
+			}
+			return
+		}
+	}
+	t.Fatalf("no service %q", name)
+}
+
+// TestPersistenceOutageRendersErrorPage: with the catalog store down, the
+// WebUI must degrade to its error page, not crash or hang.
+func TestPersistenceOutageRendersErrorPage(t *testing.T) {
+	st := startStack(t, "")
+	shutdownService(t, st, "persistence")
+	b := newBrowser(t, st.WebUIURL)
+	page := b.get("/", 502)
+	if !strings.Contains(page, "Something went wrong") {
+		t.Fatalf("outage page wrong:\n%.200s", page)
+	}
+}
+
+// TestAuthOutageDegradesToAnonymous: with Auth down, pages still render —
+// sessions just cannot be validated, so the user appears logged out.
+func TestAuthOutageDegradesToAnonymous(t *testing.T) {
+	st := startStack(t, "")
+	b := newBrowser(t, st.WebUIURL)
+	b.post("/login", url.Values{
+		"email": {"user0@teastore.test"}, "password": {"password0"},
+	}, 200)
+	shutdownService(t, st, "auth")
+	home := b.get("/", 200)
+	if strings.Contains(home, "user0@teastore.test") {
+		t.Fatal("session considered valid with auth down")
+	}
+	if !strings.Contains(home, "Login") {
+		t.Fatal("home page should degrade to anonymous")
+	}
+}
+
+// TestRecommenderOutageDropsRecommendations: product pages render without
+// the recommendation strip when the recommender is down.
+func TestRecommenderOutageDropsRecommendations(t *testing.T) {
+	st := startStack(t, "")
+	shutdownService(t, st, "recommender")
+	b := newBrowser(t, st.WebUIURL)
+	page := b.get("/product/2", 200)
+	if !strings.Contains(page, "Add to cart") {
+		t.Fatal("product page broken without recommender")
+	}
+}
+
+// TestImageOutageKeepsPagesServing: category pages render with broken
+// images rather than failing.
+func TestImageOutageKeepsPagesServing(t *testing.T) {
+	st := startStack(t, "")
+	shutdownService(t, st, "image")
+	b := newBrowser(t, st.WebUIURL)
+	page := b.get("/category/1", 200)
+	if !strings.Contains(page, "/product/") {
+		t.Fatal("category page lost products without images")
+	}
+}
+
+// TestRegistryReflectsOutage: a stopped service eventually vanishes from
+// lookups once its TTL lapses (simulated by sweeping with a short TTL —
+// the stack registry uses the default TTL, so we assert deregistration
+// instead).
+func TestRegistryDeregistration(t *testing.T) {
+	st := startStack(t, "")
+	reg := st.Registry()
+	before := reg.Lookup("image")
+	if len(before) != 1 {
+		t.Fatalf("image instances = %v", before)
+	}
+	hc := httpkit.NewClient(time.Second)
+	if err := hc.PostJSON(context.Background(), st.RegistryURL+"/deregister",
+		map[string]string{"service": "image", "address": before[0]}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if after := reg.Lookup("image"); len(after) != 0 {
+		t.Fatalf("image still registered: %v", after)
+	}
+}

@@ -1,0 +1,179 @@
+// Package teastore boots the complete store — all six services wired
+// together over real HTTP on loopback — in one process. It is the
+// embedded/all-in-one deployment used by cmd/teastore, the examples, and
+// the integration tests.
+package teastore
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/httpkit"
+	"repro/internal/services/auth"
+	imagesvc "repro/internal/services/image"
+	"repro/internal/services/persistence"
+	"repro/internal/services/recommender"
+	"repro/internal/services/registry"
+	"repro/internal/services/webui"
+)
+
+// Config parameterizes a stack boot.
+type Config struct {
+	// Catalog seeds the store; zero value means db.DefaultGenerateSpec.
+	Catalog db.GenerateSpec
+	// Algorithm selects the recommender ("popularity", "slopeone",
+	// "coocc"); empty means popularity.
+	Algorithm string
+	// Key signs sessions; empty means a fixed development key.
+	Key []byte
+	// Host binds listeners; empty means 127.0.0.1 with ephemeral ports.
+	Host string
+	// ImageCacheBytes bounds the image cache (0 → 64 MiB).
+	ImageCacheBytes int64
+}
+
+// Stack is a running all-in-one TeaStore.
+type Stack struct {
+	servers []*httpkit.Server
+	reg     *registry.Registry
+	stopSwp func()
+
+	Store *db.Store
+
+	RegistryURL    string
+	AuthURL        string
+	PersistenceURL string
+	RecommenderURL string
+	ImageURL       string
+	WebUIURL       string
+}
+
+// Start boots every service, seeds the catalog, trains the recommender,
+// and registers all instances with the registry.
+func Start(cfg Config) (*Stack, error) {
+	if cfg.Host == "" {
+		cfg.Host = "127.0.0.1"
+	}
+	if len(cfg.Key) == 0 {
+		cfg.Key = []byte("teastore-dev-key-0123456789")
+	}
+	if cfg.Catalog.Categories == 0 {
+		cfg.Catalog = db.DefaultGenerateSpec()
+	}
+	st := &Stack{Store: db.NewStore()}
+	fail := func(err error) (*Stack, error) {
+		st.Shutdown(context.Background())
+		return nil, err
+	}
+	listen := func(name string, mux *http.ServeMux) (*httpkit.Server, error) {
+		srv, err := httpkit.NewServer(name, cfg.Host+":0", mux)
+		if err != nil {
+			return nil, err
+		}
+		srv.Start()
+		st.servers = append(st.servers, srv)
+		return srv, nil
+	}
+
+	// Registry first: everything else announces itself there.
+	st.reg = registry.New(0)
+	st.stopSwp = st.reg.StartSweeper(time.Second)
+	regSrv, err := listen("registry", st.reg.Mux())
+	if err != nil {
+		return fail(err)
+	}
+	st.RegistryURL = regSrv.URL()
+
+	// Persistence over the seeded store.
+	if err := st.Store.Generate(cfg.Catalog, auth.HashPassword); err != nil {
+		return fail(fmt.Errorf("teastore: seeding catalog: %w", err))
+	}
+	persistSvc := persistence.New(st.Store)
+	persistSrv, err := listen("persistence", persistSvc.Mux())
+	if err != nil {
+		return fail(err)
+	}
+	st.PersistenceURL = persistSrv.URL()
+	hc := httpkit.NewClient(10 * time.Second)
+	persistClient := persistence.NewClient(st.PersistenceURL, hc)
+
+	// Auth verifies against persistence.
+	authSvc, err := auth.New(cfg.Key, persistClient)
+	if err != nil {
+		return fail(err)
+	}
+	authSrv, err := listen("auth", authSvc.Mux())
+	if err != nil {
+		return fail(err)
+	}
+	st.AuthURL = authSrv.URL()
+
+	// Recommender trains on the order history.
+	recSvc, err := recommender.New(cfg.Algorithm, persistClient)
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := recSvc.Train(context.Background()); err != nil {
+		return fail(err)
+	}
+	recSrv, err := listen("recommender", recSvc.Mux())
+	if err != nil {
+		return fail(err)
+	}
+	st.RecommenderURL = recSrv.URL()
+
+	// Image provider.
+	imgSvc := imagesvc.New(cfg.ImageCacheBytes)
+	imgSrv, err := listen("image", imgSvc.Mux())
+	if err != nil {
+		return fail(err)
+	}
+	st.ImageURL = imgSrv.URL()
+
+	// WebUI fans out to everything.
+	ui, err := webui.New(webui.Backends{
+		Auth:        auth.NewClient(st.AuthURL, hc),
+		Persistence: persistClient,
+		Recommender: recommender.NewClient(st.RecommenderURL, hc),
+		Image:       imagesvc.NewClient(st.ImageURL, hc),
+	})
+	if err != nil {
+		return fail(err)
+	}
+	uiSrv, err := listen("webui", ui.Mux())
+	if err != nil {
+		return fail(err)
+	}
+	st.WebUIURL = uiSrv.URL()
+
+	// Announce everyone.
+	for _, srv := range st.servers {
+		st.reg.Register(registry.Registration{Service: srv.Name(), Address: srv.Addr()})
+	}
+	return st, nil
+}
+
+// Services lists the running servers (name → base URL).
+func (s *Stack) Services() map[string]string {
+	out := map[string]string{}
+	for _, srv := range s.servers {
+		out[srv.Name()] = srv.URL()
+	}
+	return out
+}
+
+// Registry exposes the in-process registry.
+func (s *Stack) Registry() *registry.Registry { return s.reg }
+
+// Shutdown stops every server.
+func (s *Stack) Shutdown(ctx context.Context) {
+	if s.stopSwp != nil {
+		s.stopSwp()
+	}
+	for _, srv := range s.servers {
+		_ = srv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,245 @@
+package teastore
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/httpkit"
+)
+
+// startStack boots a small catalog stack for tests.
+func startStack(t *testing.T, algorithm string) *Stack {
+	t.Helper()
+	st, err := Start(Config{
+		Catalog: db.GenerateSpec{
+			Categories: 3, ProductsPerCategory: 12, Users: 5, SeedOrders: 40, Seed: 7,
+		},
+		Algorithm: algorithm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		st.Shutdown(ctx)
+	})
+	return st
+}
+
+// browser is a cookie-keeping test client.
+type browser struct {
+	t    *testing.T
+	http *http.Client
+	base string
+}
+
+func newBrowser(t *testing.T, base string) *browser {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &browser{t: t, base: base, http: &http.Client{Jar: jar, Timeout: 10 * time.Second}}
+}
+
+// get fetches a path, asserting the status, and returns the body.
+func (b *browser) get(path string, wantStatus int) string {
+	b.t.Helper()
+	resp, err := b.http.Get(b.base + path)
+	if err != nil {
+		b.t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		b.t.Fatalf("GET %s = %d, want %d\n%s", path, resp.StatusCode, wantStatus, body)
+	}
+	return string(body)
+}
+
+// post submits a form, following redirects, and returns the final body.
+func (b *browser) post(path string, form url.Values, wantStatus int) string {
+	b.t.Helper()
+	resp, err := b.http.PostForm(b.base+path, form)
+	if err != nil {
+		b.t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != wantStatus {
+		b.t.Fatalf("POST %s = %d, want %d\n%s", path, resp.StatusCode, wantStatus, body)
+	}
+	return string(body)
+}
+
+func TestStackBootsAndRegisters(t *testing.T) {
+	st := startStack(t, "")
+	if len(st.Services()) != 6 {
+		t.Fatalf("services = %v", st.Services())
+	}
+	for _, svc := range []string{"registry", "auth", "persistence", "recommender", "image", "webui"} {
+		if addrs := st.Registry().Lookup(svc); len(addrs) != 1 {
+			t.Fatalf("registry lookup %q = %v", svc, addrs)
+		}
+	}
+	// Every health endpoint answers.
+	hc := httpkit.NewClient(2 * time.Second)
+	for name, base := range st.Services() {
+		if err := hc.GetJSON(context.Background(), base+"/health", nil); err != nil {
+			t.Fatalf("%s health: %v", name, err)
+		}
+	}
+}
+
+// TestFullUserJourney drives the classic browse-profile session through
+// real HTTP across all six services.
+func TestFullUserJourney(t *testing.T) {
+	st := startStack(t, "coocc")
+	b := newBrowser(t, st.WebUIURL)
+
+	home := b.get("/", 200)
+	if !strings.Contains(home, "Welcome to the TeaStore") {
+		t.Fatal("home page wrong")
+	}
+	if !strings.Contains(home, "Login") {
+		t.Fatal("anonymous home should offer login")
+	}
+
+	// Login with a generated demo user.
+	logged := b.post("/login", url.Values{
+		"email":    {db.EmailFor(1)},
+		"password": {db.PasswordFor(1)},
+	}, 200)
+	if !strings.Contains(logged, db.EmailFor(1)) {
+		t.Fatal("post-login page should show the user")
+	}
+
+	// Browse a category: embedded images must be present.
+	cat := b.get("/category/1", 200)
+	if !strings.Contains(cat, "data:image/png;base64,") {
+		t.Fatal("category page lacks embedded images")
+	}
+	if !strings.Contains(cat, "/product/") {
+		t.Fatal("category page lacks product links")
+	}
+
+	// Pagination.
+	page2 := b.get("/category/1?page=1", 200)
+	if page2 == cat {
+		t.Fatal("page 2 identical to page 1")
+	}
+
+	// Product detail with recommendations.
+	prod := b.get("/product/2", 200)
+	if !strings.Contains(prod, "Add to cart") {
+		t.Fatal("product page lacks add-to-cart")
+	}
+	if !strings.Contains(prod, "You might also like") {
+		t.Fatal("product page lacks recommendations")
+	}
+
+	// Add to cart twice (quantity merge) plus another product.
+	b.post("/cart/add", url.Values{"productId": {"2"}}, 200)
+	b.post("/cart/add", url.Values{"productId": {"2"}}, 200)
+	cartPage := b.post("/cart/add", url.Values{"productId": {"3"}}, 200)
+	if !strings.Contains(cartPage, "Checkout") {
+		t.Fatal("cart page lacks checkout")
+	}
+	if !strings.Contains(cartPage, "Cart (3)") {
+		t.Fatalf("cart count wrong; page nav: %v", cartPage[:200])
+	}
+
+	// Checkout writes an order.
+	before := st.Store.NumOrders()
+	done := b.post("/cart/checkout", url.Values{}, 200)
+	if !strings.Contains(done, "Thank you!") {
+		t.Fatal("checkout confirmation missing")
+	}
+	if st.Store.NumOrders() != before+1 {
+		t.Fatal("order not persisted")
+	}
+
+	// Profile shows the order.
+	profile := b.get("/profile", 200)
+	if !strings.Contains(profile, "Order history") || !strings.Contains(profile, "#") {
+		t.Fatal("profile lacks order history")
+	}
+
+	// Logout clears the session.
+	b.get("/logout", 200)
+	loggedOut := b.get("/", 200)
+	if strings.Contains(loggedOut, db.EmailFor(1)) {
+		t.Fatal("logout did not clear session")
+	}
+}
+
+func TestBadLoginShowsError(t *testing.T) {
+	st := startStack(t, "")
+	b := newBrowser(t, st.WebUIURL)
+	page := b.post("/login", url.Values{
+		"email": {db.EmailFor(0)}, "password": {"wrong"},
+	}, 401)
+	if !strings.Contains(page, "Invalid credentials") {
+		t.Fatal("bad login lacks error message")
+	}
+}
+
+func TestCheckoutRequiresLogin(t *testing.T) {
+	st := startStack(t, "")
+	b := newBrowser(t, st.WebUIURL)
+	b.post("/cart/add", url.Values{"productId": {"2"}}, 200)
+	// Anonymous checkout redirects to login.
+	page := b.post("/cart/checkout", url.Values{}, 200)
+	if !strings.Contains(page, "Sign in") {
+		t.Fatal("anonymous checkout should land on login")
+	}
+}
+
+func TestUnknownPagesRenderErrors(t *testing.T) {
+	st := startStack(t, "")
+	b := newBrowser(t, st.WebUIURL)
+	b.get("/category/999", 404)
+	b.get("/product/999999", 404)
+	b.get("/category/abc", 400)
+}
+
+func TestCartCookieTamperIgnored(t *testing.T) {
+	st := startStack(t, "")
+	b := newBrowser(t, st.WebUIURL)
+	b.post("/cart/add", url.Values{"productId": {"2"}}, 200)
+	// Corrupt the cart cookie: the UI must fall back to an empty cart
+	// rather than trusting it.
+	u, _ := url.Parse(st.WebUIURL)
+	for _, c := range b.http.Jar.Cookies(u) {
+		if c.Name == "teastore_cart" {
+			b.http.Jar.SetCookies(u, []*http.Cookie{{
+				Name: "teastore_cart", Value: c.Value + "tampered",
+			}})
+		}
+	}
+	page := b.get("/cart", 200)
+	if !strings.Contains(page, "Your cart is empty") {
+		t.Fatal("tampered cart was honoured")
+	}
+}
+
+func TestAllRecommenderAlgorithmsServe(t *testing.T) {
+	for _, algo := range []string{"popularity", "slopeone", "slopeone-pre", "coocc"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			st := startStack(t, algo)
+			b := newBrowser(t, st.WebUIURL)
+			prod := b.get("/product/5", 200)
+			if !strings.Contains(prod, "You might also like") {
+				t.Fatal("recommendations section missing")
+			}
+		})
+	}
+}

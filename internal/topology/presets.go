@@ -1,0 +1,85 @@
+package topology
+
+// Presets describing the machines of interest. Rome2S is the paper's
+// platform shape: a 2-socket server with 128 logical CPUs per socket.
+
+// RomeSocketConfig returns the single-socket EPYC 7742-like configuration:
+// 64 cores in 8 CCDs × 2 CCXs × 4 cores, SMT2 → 128 logical CPUs,
+// 16 MiB L3 per CCX.
+func RomeSocketConfig() Config {
+	return Config{
+		Name:           "rome-1s",
+		Sockets:        1,
+		CCDsPerSocket:  8,
+		CCXsPerCCD:     2,
+		CoresPerCCX:    4,
+		ThreadsPerCore: 2,
+		NUMAPerSocket:  1, // NPS1 default
+		L3PerCCX:       16 << 20,
+		BaseGHz:        2.25,
+		BoostGHz:       3.4,
+	}
+}
+
+// Rome1S builds the single-socket Rome-like machine.
+func Rome1S() *Machine { return MustNew(RomeSocketConfig()) }
+
+// Rome2SConfig returns the paper's 2-socket shape (256 logical CPUs).
+func Rome2SConfig() Config {
+	c := RomeSocketConfig()
+	c.Name = "rome-2s"
+	c.Sockets = 2
+	return c
+}
+
+// Rome2S builds the dual-socket Rome-like machine.
+func Rome2S() *Machine { return MustNew(Rome2SConfig()) }
+
+// Rome1SNPS4Config returns the single socket split into four NUMA
+// quadrants (the NPS4 BIOS setting the paper's tuning explores).
+func Rome1SNPS4Config() Config {
+	c := RomeSocketConfig()
+	c.Name = "rome-1s-nps4"
+	c.NUMAPerSocket = 4
+	return c
+}
+
+// Rome1SNPS4 builds the NPS4 single-socket machine.
+func Rome1SNPS4() *Machine { return MustNew(Rome1SNPS4Config()) }
+
+// MonolithicConfig returns an Intel-like part with one big L3 per socket
+// (a single CCX spanning all cores), used as an ablation reference: with a
+// monolithic L3 there is no CCX effect for placement to exploit.
+func MonolithicConfig(cores int) Config {
+	return Config{
+		Name:           "monolithic",
+		Sockets:        1,
+		CCDsPerSocket:  1,
+		CCXsPerCCD:     1,
+		CoresPerCCX:    cores,
+		ThreadsPerCore: 2,
+		NUMAPerSocket:  1,
+		L3PerCCX:       int64(cores) * (2 << 20), // ~2 MiB/core shared
+		BaseGHz:        2.5,
+		BoostGHz:       3.2,
+	}
+}
+
+// SmallConfig returns a tiny 2-CCX machine for fast tests.
+func SmallConfig() Config {
+	return Config{
+		Name:           "small",
+		Sockets:        1,
+		CCDsPerSocket:  1,
+		CCXsPerCCD:     2,
+		CoresPerCCX:    4,
+		ThreadsPerCore: 2,
+		NUMAPerSocket:  1,
+		L3PerCCX:       16 << 20,
+		BaseGHz:        2.25,
+		BoostGHz:       3.4,
+	}
+}
+
+// Small builds the tiny test machine (8 cores, 16 logical CPUs).
+func Small() *Machine { return MustNew(SmallConfig()) }

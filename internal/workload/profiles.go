@@ -1,0 +1,116 @@
+package workload
+
+// Canonical profiles mirroring the TeaStore load driver's LIMBO behaviour
+// models. Probabilities were chosen to match the published "browse"
+// behaviour: users log in, browse several categories and products, add a
+// few items to the cart, and mostly leave without buying.
+
+// Browse returns the read-heavy browsing profile the paper's experiments
+// use. Sessions average ~13 requests with checkout on roughly a fifth of
+// them.
+func Browse() *Profile {
+	return &Profile{
+		Name:  "browse",
+		Start: ReqHome,
+		Transitions: map[Request][]Edge{
+			ReqHome: {
+				{ReqLogin, 0.8},
+				{ReqCategory, 0.2},
+			},
+			ReqLogin: {
+				{ReqCategory, 1.0},
+			},
+			ReqCategory: {
+				{ReqProduct, 0.7},
+				{ReqCategory, 0.2}, // paginate / switch category
+				{ReqLogout, 0.1},
+			},
+			ReqProduct: {
+				{ReqAddToCart, 0.3},
+				{ReqProduct, 0.25}, // view another product
+				{ReqCategory, 0.35},
+				{ReqLogout, 0.1},
+			},
+			ReqAddToCart: {
+				{ReqCategory, 0.45},
+				{ReqProduct, 0.25},
+				{ReqViewCart, 0.3},
+			},
+			ReqViewCart: {
+				{ReqCheckout, 0.5},
+				{ReqCategory, 0.35},
+				{ReqLogout, 0.15},
+			},
+			ReqCheckout: {
+				{ReqProfile, 0.4},
+				{ReqHome, 0.3},
+				{ReqLogout, 0.3},
+			},
+			ReqProfile: {
+				{ReqLogout, 0.6},
+				{ReqCategory, 0.4},
+			},
+			ReqLogout: {
+				{Done, 1.0},
+			},
+		},
+		ThinkMedian:   500e6, // 500 ms median think time
+		ThinkSigma:    0.7,
+		MaxSessionLen: 100,
+	}
+}
+
+// Buy returns a conversion-heavy profile: shorter sessions that almost
+// always check out. Used as a secondary mix and for ablations.
+func Buy() *Profile {
+	return &Profile{
+		Name:  "buy",
+		Start: ReqHome,
+		Transitions: map[Request][]Edge{
+			ReqHome: {
+				{ReqLogin, 1.0},
+			},
+			ReqLogin: {
+				{ReqCategory, 1.0},
+			},
+			ReqCategory: {
+				{ReqProduct, 0.9},
+				{ReqCategory, 0.1},
+			},
+			ReqProduct: {
+				{ReqAddToCart, 0.75},
+				{ReqProduct, 0.15},
+				{ReqCategory, 0.1},
+			},
+			ReqAddToCart: {
+				{ReqViewCart, 0.6},
+				{ReqCategory, 0.4},
+			},
+			ReqViewCart: {
+				{ReqCheckout, 0.9},
+				{ReqCategory, 0.1},
+			},
+			ReqCheckout: {
+				{ReqLogout, 0.8},
+				{ReqHome, 0.2},
+			},
+			ReqProfile: {
+				{ReqLogout, 1.0},
+			},
+			ReqLogout: {
+				{Done, 1.0},
+			},
+		},
+		ThinkMedian:   300e6,
+		ThinkSigma:    0.6,
+		MaxSessionLen: 60,
+	}
+}
+
+// Profiles returns the named built-in profiles.
+func Profiles() map[string]*Profile {
+	return map[string]*Profile{
+		"browse": Browse(),
+		"buy":    Buy(),
+	}
+}

@@ -1,0 +1,236 @@
+// Package workload defines the user-behaviour model that drives both the
+// simulator and the real HTTP load generator: a Markov chain over store
+// actions (the "browse" and "buy" profiles of the TeaStore load driver),
+// plus think-time distributions.
+//
+// The same Profile feeds desim-based closed-loop clients and wall-clock
+// HTTP clients, so simulated and real experiments use an identical request
+// mix.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Request identifies one user-visible store action. Each maps to one
+// front-end (WebUI) HTTP request, which fans out to back-end services.
+type Request int
+
+// The store actions, in the order a canonical session visits them.
+const (
+	ReqHome Request = iota
+	ReqLogin
+	ReqCategory
+	ReqProduct
+	ReqAddToCart
+	ReqViewCart
+	ReqCheckout
+	ReqProfile
+	ReqLogout
+	numRequests
+)
+
+var requestNames = [...]string{
+	"home", "login", "category", "product", "addtocart",
+	"viewcart", "checkout", "profile", "logout",
+}
+
+func (r Request) String() string {
+	if r < 0 || r >= numRequests {
+		return fmt.Sprintf("request(%d)", int(r))
+	}
+	return requestNames[r]
+}
+
+// NumRequests is the count of distinct request types.
+const NumRequests = int(numRequests)
+
+// AllRequests lists every request type.
+func AllRequests() []Request {
+	out := make([]Request, NumRequests)
+	for i := range out {
+		out[i] = Request(i)
+	}
+	return out
+}
+
+// Edge is one Markov transition: with probability P, the session issues To
+// next. A To of Done ends the session.
+type Edge struct {
+	To Request
+	P  float64
+}
+
+// Done is the terminal pseudo-state.
+const Done Request = Request(-1)
+
+// Profile is a complete user-behaviour model.
+type Profile struct {
+	// Name labels the profile in reports ("browse", "buy").
+	Name string
+	// Start is the first request of every session.
+	Start Request
+	// Transitions maps each request to its outgoing edges. Probabilities
+	// per state must sum to 1 (±1e-9).
+	Transitions map[Request][]Edge
+	// ThinkMedian and ThinkSigma parameterize the lognormal think time
+	// between requests, in nanoseconds.
+	ThinkMedian int64
+	ThinkSigma  float64
+	// MaxSessionLen bounds runaway sessions; the walker forces Done after
+	// this many requests. Zero means 200.
+	MaxSessionLen int
+}
+
+// Validate reports the first structural problem with the profile.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile has no name")
+	}
+	if p.Start < 0 || p.Start >= numRequests {
+		return fmt.Errorf("workload: profile %q start state %d invalid", p.Name, p.Start)
+	}
+	if len(p.Transitions) == 0 {
+		return fmt.Errorf("workload: profile %q has no transitions", p.Name)
+	}
+	for state, edges := range p.Transitions {
+		if state < 0 || state >= numRequests {
+			return fmt.Errorf("workload: profile %q transition from invalid state %d", p.Name, state)
+		}
+		sum := 0.0
+		for _, e := range edges {
+			if e.P < 0 {
+				return fmt.Errorf("workload: profile %q: negative probability %v from %v", p.Name, e.P, state)
+			}
+			if e.To != Done && (e.To < 0 || e.To >= numRequests) {
+				return fmt.Errorf("workload: profile %q: edge to invalid state %d", p.Name, e.To)
+			}
+			if e.To != Done {
+				if _, ok := p.Transitions[e.To]; !ok {
+					return fmt.Errorf("workload: profile %q: edge %v→%v reaches state with no outgoing edges", p.Name, state, e.To)
+				}
+			}
+			sum += e.P
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return fmt.Errorf("workload: profile %q: probabilities from %v sum to %v", p.Name, state, sum)
+		}
+	}
+	if _, ok := p.Transitions[p.Start]; !ok {
+		return fmt.Errorf("workload: profile %q: start state %v has no outgoing edges", p.Name, p.Start)
+	}
+	if p.ThinkMedian < 0 || p.ThinkSigma < 0 {
+		return fmt.Errorf("workload: profile %q: negative think-time parameters", p.Name)
+	}
+	return nil
+}
+
+// maxLen returns the effective session-length bound.
+func (p *Profile) maxLen() int {
+	if p.MaxSessionLen > 0 {
+		return p.MaxSessionLen
+	}
+	return 200
+}
+
+// Rand is the subset of random-stream behaviour the walker needs; both
+// desim.RNG and math/rand.Rand satisfy it.
+type Rand interface {
+	Float64() float64
+}
+
+// Walker generates one session's request sequence.
+type Walker struct {
+	profile *Profile
+	rng     Rand
+	state   Request
+	steps   int
+	started bool
+}
+
+// NewWalker returns a Walker over profile using rng.
+func NewWalker(profile *Profile, rng Rand) *Walker {
+	return &Walker{profile: profile, rng: rng}
+}
+
+// Next returns the session's next request. ok is false when the session
+// has ended.
+func (w *Walker) Next() (req Request, ok bool) {
+	if !w.started {
+		w.started = true
+		w.state = w.profile.Start
+		w.steps = 1
+		return w.state, true
+	}
+	if w.steps >= w.profile.maxLen() {
+		return 0, false
+	}
+	edges := w.profile.Transitions[w.state]
+	x := w.rng.Float64()
+	for _, e := range edges {
+		x -= e.P
+		if x < 0 {
+			if e.To == Done {
+				return 0, false
+			}
+			w.state = e.To
+			w.steps++
+			return w.state, true
+		}
+	}
+	// Float rounding fell off the end: take the last non-Done edge if any.
+	for i := len(edges) - 1; i >= 0; i-- {
+		if edges[i].To != Done {
+			w.state = edges[i].To
+			w.steps++
+			return w.state, true
+		}
+	}
+	return 0, false
+}
+
+// Session materializes a full session as a slice.
+func (p *Profile) Session(rng Rand) []Request {
+	w := NewWalker(p, rng)
+	var out []Request
+	for {
+		r, ok := w.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Mix estimates the long-run request mix (fraction of requests by type) by
+// sampling n sessions. The load generator's open-loop mode and the
+// analytical model both consume this.
+func (p *Profile) Mix(rng Rand, n int) [NumRequests]float64 {
+	var counts [NumRequests]int64
+	var total int64
+	for i := 0; i < n; i++ {
+		for _, r := range p.Session(rng) {
+			counts[r]++
+			total++
+		}
+	}
+	var mix [NumRequests]float64
+	if total == 0 {
+		return mix
+	}
+	for i, c := range counts {
+		mix[i] = float64(c) / float64(total)
+	}
+	return mix
+}
+
+// MeanSessionLength estimates the expected requests per session over n
+// sampled sessions.
+func (p *Profile) MeanSessionLength(rng Rand, n int) float64 {
+	var total int64
+	for i := 0; i < n; i++ {
+		total += int64(len(p.Session(rng)))
+	}
+	return float64(total) / float64(n)
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuiltinProfilesValidate(t *testing.T) {
+	for name, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %q invalid: %v", name, err)
+		}
+	}
+}
+
+func TestRequestStrings(t *testing.T) {
+	if ReqHome.String() != "home" || ReqLogout.String() != "logout" {
+		t.Fatal("request names wrong")
+	}
+	if Request(99).String() != "request(99)" {
+		t.Fatal("out-of-range name wrong")
+	}
+	if len(AllRequests()) != NumRequests {
+		t.Fatal("AllRequests length wrong")
+	}
+}
+
+func TestSessionsStartAtStartAndEnd(t *testing.T) {
+	p := Browse()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		s := p.Session(rng)
+		if len(s) == 0 {
+			t.Fatal("empty session")
+		}
+		if s[0] != p.Start {
+			t.Fatalf("session starts with %v, want %v", s[0], p.Start)
+		}
+		if len(s) > p.maxLen() {
+			t.Fatalf("session length %d exceeds bound %d", len(s), p.maxLen())
+		}
+	}
+}
+
+func TestSessionsOnlyVisitDefinedStates(t *testing.T) {
+	p := Browse()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		for _, r := range p.Session(rng) {
+			if _, ok := p.Transitions[r]; !ok {
+				t.Fatalf("session visited state %v with no outgoing edges", r)
+			}
+		}
+	}
+}
+
+func TestMixSumsToOne(t *testing.T) {
+	p := Browse()
+	mix := p.Mix(rand.New(rand.NewSource(3)), 2000)
+	sum := 0.0
+	for _, f := range mix {
+		if f < 0 {
+			t.Fatal("negative mix fraction")
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("mix sums to %v, want 1", sum)
+	}
+	// Browse profile: category+product dominate; checkout is rare.
+	browseShare := mix[ReqCategory] + mix[ReqProduct]
+	if browseShare < 0.4 {
+		t.Fatalf("browse share %.2f too small for browse profile", browseShare)
+	}
+	if mix[ReqCheckout] > mix[ReqProduct] {
+		t.Fatal("checkout should be rarer than product views in browse profile")
+	}
+}
+
+func TestBuyProfileConverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	buyMix := Buy().Mix(rng, 2000)
+	browseMix := Browse().Mix(rng, 2000)
+	if buyMix[ReqCheckout] <= browseMix[ReqCheckout] {
+		t.Fatalf("buy checkout share %.3f should exceed browse %.3f",
+			buyMix[ReqCheckout], browseMix[ReqCheckout])
+	}
+}
+
+func TestMeanSessionLength(t *testing.T) {
+	p := Browse()
+	got := p.MeanSessionLength(rand.New(rand.NewSource(5)), 3000)
+	if got < 4 || got > 40 {
+		t.Fatalf("mean session length %.1f outside plausible range", got)
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	cases := []*Profile{
+		{Name: "", Start: ReqHome, Transitions: map[Request][]Edge{ReqHome: {{Done, 1}}}},
+		{Name: "x", Start: Request(50), Transitions: map[Request][]Edge{ReqHome: {{Done, 1}}}},
+		{Name: "x", Start: ReqHome, Transitions: map[Request][]Edge{}},
+		{Name: "x", Start: ReqHome, Transitions: map[Request][]Edge{
+			ReqHome: {{Done, 0.5}}, // sums to 0.5
+		}},
+		{Name: "x", Start: ReqHome, Transitions: map[Request][]Edge{
+			ReqHome: {{ReqLogin, 1}}, // Login has no outgoing edges
+		}},
+		{Name: "x", Start: ReqHome, Transitions: map[Request][]Edge{
+			ReqHome: {{Done, 1}},
+		}, ThinkMedian: -1},
+		{Name: "x", Start: ReqLogin, Transitions: map[Request][]Edge{
+			ReqHome: {{Done, 1}}, // start has no edges
+		}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestWalkerMaxLengthForced(t *testing.T) {
+	// A profile that never terminates naturally.
+	p := &Profile{
+		Name:  "loop",
+		Start: ReqHome,
+		Transitions: map[Request][]Edge{
+			ReqHome: {{ReqHome, 1.0}},
+		},
+		MaxSessionLen: 17,
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := p.Session(rand.New(rand.NewSource(6)))
+	if len(s) != 17 {
+		t.Fatalf("looping session length = %d, want 17", len(s))
+	}
+}
+
+// Property: every generated session, under any seed, obeys the three
+// structural invariants (starts at Start, bounded, only defined states).
+func TestPropertySessionStructure(t *testing.T) {
+	profiles := []*Profile{Browse(), Buy()}
+	f := func(seed int64, pick bool) bool {
+		p := profiles[0]
+		if pick {
+			p = profiles[1]
+		}
+		s := p.Session(rand.New(rand.NewSource(seed)))
+		if len(s) == 0 || len(s) > p.maxLen() || s[0] != p.Start {
+			return false
+		}
+		for _, r := range s {
+			if _, ok := p.Transitions[r]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transitions actually follow the matrix — a session never makes
+// a move with zero probability.
+func TestPropertyTransitionsLegal(t *testing.T) {
+	p := Browse()
+	legal := map[[2]Request]bool{}
+	for from, edges := range p.Transitions {
+		for _, e := range edges {
+			if e.P > 0 && e.To != Done {
+				legal[[2]Request{from, e.To}] = true
+			}
+		}
+	}
+	f := func(seed int64) bool {
+		s := p.Session(rand.New(rand.NewSource(seed)))
+		for i := 1; i < len(s); i++ {
+			if !legal[[2]Request{s[i-1], s[i]}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
