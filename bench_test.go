@@ -317,6 +317,31 @@ func BenchmarkHistogramRecord(b *testing.B) {
 	}
 }
 
+// BenchmarkAtomicHistogramRecord guards the per-request recording cost on
+// the observability hot path (every HTTP request records once). Budget:
+// <100 ns/op uncontended.
+func BenchmarkAtomicHistogramRecord(b *testing.B) {
+	h := metrics.NewAtomicHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000) * 1e6)
+	}
+}
+
+// BenchmarkAtomicHistogramRecordParallel measures the contended case —
+// many handler goroutines recording into one route histogram.
+func BenchmarkAtomicHistogramRecordParallel(b *testing.B) {
+	h := metrics.NewAtomicHistogram()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int64(0)
+		for pb.Next() {
+			i++
+			h.Record(i % 1000 * 1e6)
+		}
+	})
+}
+
 func BenchmarkRecommenderTrainSlopeOne(b *testing.B) {
 	store := db.NewStore()
 	if err := store.Generate(db.GenerateSpec{

@@ -5,7 +5,10 @@
 //
 //	loadgen -webui http://127.0.0.1:PORT -persistence http://127.0.0.1:PORT \
 //	        [-users 64] [-duration 30s] [-warmup 5s] [-profile browse]
-//	        [-think-scale 1.0] [-catalog-users 100]
+//	        [-think-scale 1.0] [-catalog-users 100] [-registry http://127.0.0.1:PORT]
+//
+// With -registry set, the run ends with a per-service p50/p95/p99 latency
+// breakdown collected from every instance's /metrics.json endpoint.
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 func main() {
 	webui := flag.String("webui", "", "WebUI base URL (required)")
 	persistenceURL := flag.String("persistence", "", "Persistence base URL (required, for catalog discovery)")
+	registryURL := flag.String("registry", "", "Registry base URL (optional; prints the per-service latency breakdown after the run)")
 	users := flag.Int("users", 64, "closed-loop user population")
 	sweep := flag.String("sweep", "", "comma-separated user counts; runs one measurement per count and prints a scaling table (overrides -users)")
 	duration := flag.Duration("duration", 30*time.Second, "measured duration")
@@ -76,6 +80,7 @@ func main() {
 				float64(res.Latency.P50)/1e6, float64(res.Latency.P99)/1e6,
 				res.Requests, res.Errors)
 		}
+		printBreakdown(*registryURL)
 		return
 	}
 
@@ -98,6 +103,25 @@ func main() {
 	for _, r := range types {
 		fmt.Printf("  %-10s %v\n", r, res.PerRequest[r])
 	}
+	printBreakdown(*registryURL)
+}
+
+// printBreakdown fetches the stack-wide per-service latency table via the
+// registry; a fresh context is used because the run's context may already
+// be cancelled by the interrupt that ended the measurement.
+func printBreakdown(registryURL string) {
+	if registryURL == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	tab, err := loadgen.FetchBreakdown(ctx, registryURL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		return
+	}
+	fmt.Println()
+	fmt.Print(tab.String())
 }
 
 // parseSweep parses "8,16,32" into user counts.

@@ -61,6 +61,7 @@ func main() {
 	}
 	fmt.Printf("\nOpen %s in a browser. Demo login: %s / %s\n",
 		stack.WebUIURL, db.EmailFor(0), db.PasswordFor(0))
+	fmt.Println("Every service exposes /metrics (Prometheus), /metrics.json, and /trace/{id}.")
 	fmt.Println("Ctrl-C to stop.")
 
 	sig := make(chan os.Signal, 1)
@@ -70,5 +71,7 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	stack.Shutdown(ctx)
+	fmt.Println()
+	fmt.Print(stack.BreakdownTable().String())
 	fmt.Println("bye")
 }

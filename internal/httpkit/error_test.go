@@ -1,0 +1,102 @@
+package httpkit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestDecodeError covers the failure shapes the span recorder traverses
+// when a downstream call goes bad: well-formed envelopes, non-JSON bodies,
+// truncated JSON, empty bodies, and responses with no body at all.
+func TestDecodeError(t *testing.T) {
+	body := func(s string) io.ReadCloser { return io.NopCloser(strings.NewReader(s)) }
+	cases := []struct {
+		name        string
+		resp        *http.Response
+		wantStatus  int
+		wantMessage string
+	}{
+		{
+			name:        "json envelope",
+			resp:        &http.Response{StatusCode: 404, Body: body(`{"status":404,"message":"no such product"}`)},
+			wantStatus:  404,
+			wantMessage: "no such product",
+		},
+		{
+			name:        "non-json body",
+			resp:        &http.Response{StatusCode: 502, Body: body("upstream exploded")},
+			wantStatus:  502,
+			wantMessage: "upstream exploded",
+		},
+		{
+			name:        "truncated json",
+			resp:        &http.Response{StatusCode: 500, Body: body(`{"status":500,"mess`)},
+			wantStatus:  500,
+			wantMessage: `{"status":500,"mess`,
+		},
+		{
+			name:        "empty body",
+			resp:        &http.Response{StatusCode: 503, Body: body("")},
+			wantStatus:  503,
+			wantMessage: "",
+		},
+		{
+			name:        "nil body",
+			resp:        &http.Response{StatusCode: 500, Body: nil},
+			wantStatus:  500,
+			wantMessage: "",
+		},
+		{
+			name: "envelope with zero status falls back to http code",
+			resp: &http.Response{StatusCode: 418, Body: body(`{"status":0,"message":"odd"}`)},
+			// status 0 means the envelope is not trustworthy; keep the
+			// transport status and raw body.
+			wantStatus:  418,
+			wantMessage: `{"status":0,"message":"odd"}`,
+		},
+		{
+			name:        "envelope status wins over transport status",
+			resp:        &http.Response{StatusCode: 502, Body: body(`{"status":409,"message":"conflict"}`)},
+			wantStatus:  409,
+			wantMessage: "conflict",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := decodeError(c.resp)
+			var eb *ErrorBody
+			if !errors.As(err, &eb) {
+				t.Fatalf("decodeError returned %T, want *ErrorBody", err)
+			}
+			if eb.Status != c.wantStatus {
+				t.Fatalf("status = %d, want %d", eb.Status, c.wantStatus)
+			}
+			if eb.Message != c.wantMessage {
+				t.Fatalf("message = %q, want %q", eb.Message, c.wantMessage)
+			}
+			if !IsStatus(err, c.wantStatus) {
+				t.Fatalf("IsStatus(err, %d) = false", c.wantStatus)
+			}
+			if IsStatus(err, c.wantStatus+1) {
+				t.Fatal("IsStatus matched the wrong status")
+			}
+		})
+	}
+}
+
+// TestIsStatusUnwraps: IsStatus must see through error wrapping, since
+// clients wrap envelope errors with call context.
+func TestIsStatusUnwraps(t *testing.T) {
+	inner := &ErrorBody{Status: 404, Message: "gone"}
+	wrapped := fmt.Errorf("fetching product: %w", inner)
+	if !IsStatus(wrapped, 404) {
+		t.Fatal("IsStatus failed to unwrap")
+	}
+	if IsStatus(errors.New("plain"), 404) {
+		t.Fatal("IsStatus matched a non-envelope error")
+	}
+}

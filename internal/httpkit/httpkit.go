@@ -1,7 +1,10 @@
 // Package httpkit is the shared scaffolding of the TeaStore services:
 // JSON request/response helpers, a typed error envelope, a pooled JSON
 // client, and a Server wrapper with health endpoints and graceful
-// shutdown.
+// shutdown. Every Server also carries the observability layer — request
+// tracing (X-Trace-Id propagation with per-hop spans), per-route latency
+// histograms, and the /metrics, /metrics.json, and /trace/{id} endpoints
+// — and every Client forwards the active trace on outbound calls.
 package httpkit
 
 import (
@@ -13,6 +16,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 )
@@ -69,20 +73,24 @@ func Recover(next http.Handler) http.Handler {
 	})
 }
 
-// Server hosts one service with /health and /ready endpoints and graceful
-// shutdown. Construct with NewServer, then Start.
+// Server hosts one service with /health and /ready probes, per-route
+// latency histograms behind /metrics and /metrics.json, a per-trace span
+// dump behind /trace/{id}, and graceful shutdown. Construct with
+// NewServer, then Start.
 type Server struct {
 	name  string
 	srv   *http.Server
 	lis   net.Listener
 	ready atomic.Bool
 	reqs  atomic.Int64
+	stats *routeStats
+	spans *spanStore
 }
 
 // NewServer wires the mux under the standard middleware. addr may be
 // ":0" for an ephemeral port.
 func NewServer(name, addr string, mux *http.ServeMux) (*Server, error) {
-	s := &Server{name: name}
+	s := &Server{name: name, stats: newRouteStats(), spans: newSpanStore()}
 	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, map[string]string{"service": name, "status": "up"})
 	})
@@ -93,13 +101,17 @@ func NewServer(name, addr string, mux *http.ServeMux) (*Server, error) {
 		}
 		WriteError(w, http.StatusServiceUnavailable, "not ready")
 	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("httpkit: listen %s for %s: %w", addr, name, err)
 	}
+	observed := s.observe(mux)
 	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.reqs.Add(1)
-		mux.ServeHTTP(w, r)
+		observed.ServeHTTP(w, r)
 	})
 	s.lis = lis
 	s.srv = &http.Server{
@@ -123,6 +135,9 @@ func (s *Server) Requests() int64 { return s.reqs.Load() }
 
 // SetReady flips the readiness probe.
 func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports the readiness probe's current state; Shutdown clears it.
+func (s *Server) Ready() bool { return s.ready.Load() }
 
 // Start serves in a background goroutine and marks the server ready.
 func (s *Server) Start() {
@@ -191,12 +206,22 @@ func (c *Client) PostJSON(ctx context.Context, url string, in, out any) error {
 	return c.do(req, out)
 }
 
+// injectTrace forwards the context's trace identity one hop deeper so the
+// receiving Server records its span under the same trace ID.
+func injectTrace(req *http.Request) {
+	if tc, ok := TraceFrom(req.Context()); ok {
+		req.Header.Set(TraceIDHeader, tc.ID)
+		req.Header.Set(TraceDepthHeader, strconv.Itoa(tc.Depth+1))
+	}
+}
+
 // GetBytes GETs a binary payload (images).
 func (c *Client) GetBytes(ctx context.Context, url string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
+	injectTrace(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, err
@@ -209,6 +234,7 @@ func (c *Client) GetBytes(ctx context.Context, url string) ([]byte, error) {
 }
 
 func (c *Client) do(req *http.Request, out any) error {
+	injectTrace(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return err
@@ -228,9 +254,14 @@ func (c *Client) do(req *http.Request, out any) error {
 }
 
 // decodeError turns a non-2xx response into an *ErrorBody when possible.
+// Non-JSON, truncated, and nil bodies all degrade to an envelope carrying
+// the HTTP status and whatever body text was readable.
 func decodeError(resp *http.Response) error {
+	var data []byte
+	if resp.Body != nil {
+		data, _ = io.ReadAll(io.LimitReader(resp.Body, 8<<10))
+	}
 	var body ErrorBody
-	data, _ := io.ReadAll(io.LimitReader(resp.Body, 8<<10))
 	if json.Unmarshal(data, &body) == nil && body.Status != 0 {
 		return &body
 	}

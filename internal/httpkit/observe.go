@@ -1,0 +1,239 @@
+package httpkit
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// routeStats maps normalized routes to concurrent latency histograms. The
+// hot path is a read-locked map lookup plus a lock-free Record; the write
+// lock is taken only the first time a route is seen.
+type routeStats struct {
+	mu sync.RWMutex
+	m  map[string]*metrics.AtomicHistogram
+}
+
+func newRouteStats() *routeStats {
+	return &routeStats{m: map[string]*metrics.AtomicHistogram{}}
+}
+
+func (rs *routeStats) hist(route string) *metrics.AtomicHistogram {
+	rs.mu.RLock()
+	h := rs.m[route]
+	rs.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if h := rs.m[route]; h != nil {
+		return h
+	}
+	h = metrics.NewAtomicHistogram()
+	rs.m[route] = h
+	return h
+}
+
+// frozen copies every route histogram for coherent reporting.
+func (rs *routeStats) frozen() map[string]*metrics.Histogram {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	out := make(map[string]*metrics.Histogram, len(rs.m))
+	for route, h := range rs.m {
+		out[route] = h.Freeze()
+	}
+	return out
+}
+
+// normalizeRoute collapses concrete paths onto route templates so the
+// histogram keys stay low-cardinality: numeric segments become {id} and
+// email-shaped segments become {email}. Queries are already stripped by
+// the caller (r.URL.Path carries none).
+func normalizeRoute(method, path string) string {
+	if path == "" || path == "/" {
+		return method + " /"
+	}
+	segs := strings.Split(strings.Trim(path, "/"), "/")
+	for i, s := range segs {
+		switch {
+		case isDigits(s):
+			segs[i] = "{id}"
+		case strings.Contains(s, "@") || strings.Contains(s, "%40"):
+			segs[i] = "{email}"
+		}
+	}
+	return method + " /" + strings.Join(segs, "/")
+}
+
+func isDigits(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// skipObservation excludes the observability plumbing itself from the
+// histograms and span stores, keeping them about real service work.
+func skipObservation(path string) bool {
+	switch path {
+	case "/health", "/ready", "/metrics", "/metrics.json":
+		return true
+	}
+	return strings.HasPrefix(path, "/trace/")
+}
+
+// statusWriter captures the response status for span recording.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// observe is the tracing middleware: it adopts or assigns the request's
+// trace identity, exposes it via context for downstream Client calls,
+// echoes it on the response, and records a latency sample plus a span when
+// the handler finishes (panics record a 500 span, then re-raise for the
+// outer Recover middleware).
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if skipObservation(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tc := TraceContext{ID: r.Header.Get(TraceIDHeader)}
+		if tc.ID == "" {
+			tc.ID = NewTraceID()
+		} else if d, err := strconv.Atoi(r.Header.Get(TraceDepthHeader)); err == nil && d > 0 {
+			tc.Depth = min(d, maxTraceDepth)
+		}
+		r = r.WithContext(WithTrace(r.Context(), tc))
+		w.Header().Set(TraceIDHeader, tc.ID)
+		sw := &statusWriter{ResponseWriter: w}
+		route := normalizeRoute(r.Method, r.URL.Path)
+		start := time.Now()
+		defer func() {
+			p := recover()
+			status := sw.status
+			if p != nil {
+				status = http.StatusInternalServerError
+			} else if status == 0 {
+				status = http.StatusOK
+			}
+			elapsed := time.Since(start)
+			s.stats.hist(route).Record(elapsed.Nanoseconds())
+			s.spans.add(Span{
+				TraceID: tc.ID, Service: s.name, Route: route, Depth: tc.Depth,
+				Start: start, Duration: elapsed, Status: status,
+			})
+			if p != nil {
+				panic(p)
+			}
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// MetricsSnapshot is the JSON payload of /metrics.json: one service's
+// request count plus overall and per-route latency summaries.
+type MetricsSnapshot struct {
+	Service  string                      `json:"service"`
+	Requests int64                       `json:"requests"`
+	Overall  metrics.Snapshot            `json:"overall"`
+	Routes   map[string]metrics.Snapshot `json:"routes"`
+}
+
+// MetricsSnapshot summarizes the server's observed traffic.
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	frozen := s.stats.frozen()
+	out := MetricsSnapshot{
+		Service:  s.name,
+		Requests: s.reqs.Load(),
+		Routes:   make(map[string]metrics.Snapshot, len(frozen)),
+	}
+	var all metrics.Histogram
+	for route, h := range frozen {
+		out.Routes[route] = h.Snapshot()
+		all.Merge(h)
+	}
+	out.Overall = all.Snapshot()
+	return out
+}
+
+// Spans returns the spans this server recorded under a trace ID.
+func (s *Server) Spans(traceID string) []Span { return s.spans.get(traceID) }
+
+// handleMetrics renders Prometheus text format: a request counter plus
+// one cumulative latency histogram per route.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprintf(w, "# HELP teastore_requests_total Requests served since process start.\n")
+	fmt.Fprintf(w, "# TYPE teastore_requests_total counter\n")
+	fmt.Fprintf(w, "teastore_requests_total{service=%q} %d\n", s.name, s.reqs.Load())
+
+	frozen := s.stats.frozen()
+	routes := make([]string, 0, len(frozen))
+	for route := range frozen {
+		routes = append(routes, route)
+	}
+	sort.Strings(routes)
+	fmt.Fprintf(w, "# HELP teastore_request_duration_seconds Per-route request latency.\n")
+	fmt.Fprintf(w, "# TYPE teastore_request_duration_seconds histogram\n")
+	for _, route := range routes {
+		h := frozen[route]
+		var cum int64
+		for _, b := range h.Buckets() {
+			cum += b.Count
+			fmt.Fprintf(w, "teastore_request_duration_seconds_bucket{service=%q,route=%q,le=%q} %d\n",
+				s.name, route, formatSeconds(b.High), cum)
+		}
+		fmt.Fprintf(w, "teastore_request_duration_seconds_bucket{service=%q,route=%q,le=\"+Inf\"} %d\n",
+			s.name, route, cum)
+		fmt.Fprintf(w, "teastore_request_duration_seconds_sum{service=%q,route=%q} %s\n",
+			s.name, route, formatSeconds(h.Sum()))
+		fmt.Fprintf(w, "teastore_request_duration_seconds_count{service=%q,route=%q} %d\n",
+			s.name, route, h.Count())
+	}
+}
+
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	WriteJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := s.spans.get(id)
+	if len(spans) == 0 {
+		WriteError(w, http.StatusNotFound, "unknown trace %q", id)
+		return
+	}
+	WriteJSON(w, http.StatusOK, map[string]any{"traceId": id, "spans": spans})
+}

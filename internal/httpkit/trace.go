@@ -1,0 +1,115 @@
+package httpkit
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"time"
+)
+
+// Trace propagation headers. Every Server assigns an X-Trace-Id to
+// requests arriving without one and echoes it on the response; every
+// Client forwards the current trace with an incremented hop depth, so one
+// user request yields a tree of spans across the service fan-out.
+const (
+	TraceIDHeader    = "X-Trace-Id"
+	TraceDepthHeader = "X-Trace-Depth"
+)
+
+// maxTraceDepth caps propagated depth so a forwarding loop cannot grow
+// headers without bound.
+const maxTraceDepth = 64
+
+// TraceContext identifies one request's position in a distributed trace.
+type TraceContext struct {
+	ID    string
+	Depth int
+}
+
+type traceKey struct{}
+
+// WithTrace returns ctx carrying tc for downstream Client calls.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceKey{}, tc)
+}
+
+// TraceFrom extracts the trace context; ok is false when the request was
+// never routed through a traced Server.
+func TraceFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceKey{}).(TraceContext)
+	return tc, ok
+}
+
+// NewTraceID returns a fresh 16-hex-digit trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// Span records one service hop of a trace: which service handled which
+// route, when, for how long, and at what fan-out depth.
+type Span struct {
+	TraceID  string        `json:"traceId"`
+	Service  string        `json:"service"`
+	Route    string        `json:"route"`
+	Depth    int           `json:"depth"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+	Status   int           `json:"status"`
+}
+
+// End returns the span's completion time.
+func (s Span) End() time.Time { return s.Start.Add(s.Duration) }
+
+// Contains reports whether s's interval covers other's — the parent/child
+// relation between a WebUI span and the downstream calls it issued.
+func (s Span) Contains(other Span) bool {
+	return !s.Start.After(other.Start) && !s.End().Before(other.End())
+}
+
+// spanStore is a bounded per-server span buffer keyed by trace ID. Old
+// traces are evicted FIFO so sustained load cannot grow memory without
+// bound; per-trace span counts are capped as a loop guard.
+type spanStore struct {
+	mu        sync.Mutex
+	traces    map[string][]Span
+	order     []string
+	maxTraces int
+	maxSpans  int
+}
+
+func newSpanStore() *spanStore {
+	return &spanStore{traces: map[string][]Span{}, maxTraces: 512, maxSpans: 256}
+}
+
+func (st *spanStore) add(sp Span) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	spans, ok := st.traces[sp.TraceID]
+	if !ok {
+		if len(st.order) >= st.maxTraces {
+			oldest := st.order[0]
+			st.order = st.order[1:]
+			delete(st.traces, oldest)
+		}
+		st.order = append(st.order, sp.TraceID)
+	}
+	if len(spans) < st.maxSpans {
+		st.traces[sp.TraceID] = append(spans, sp)
+	}
+}
+
+// get returns a copy of the spans recorded under id (nil when unknown).
+func (st *spanStore) get(id string) []Span {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	spans := st.traces[id]
+	if spans == nil {
+		return nil
+	}
+	out := make([]Span, len(spans))
+	copy(out, spans)
+	return out
+}

@@ -1,0 +1,50 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/httpkit"
+	"repro/internal/metrics"
+)
+
+// FetchBreakdown discovers every live service instance through the
+// registry and collects each one's /metrics.json into a per-service
+// p50/p95/p99 latency table — the remote counterpart of
+// teastore.Stack.BreakdownTable for load runs driven at a stack in
+// another process.
+func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, error) {
+	t := metrics.Table{
+		Title:   "Per-service latency breakdown",
+		Headers: []string{"service", "instance", "requests", "p50 ms", "p95 ms", "p99 ms"},
+	}
+	hc := httpkit.NewClient(5 * time.Second)
+	var names []string
+	if err := hc.GetJSON(ctx, registryURL+"/services", &names); err != nil {
+		return t, fmt.Errorf("loadgen: listing services at %s: %w", registryURL, err)
+	}
+	if len(names) == 0 {
+		return t, fmt.Errorf("loadgen: registry at %s lists no services (registrations expired?)", registryURL)
+	}
+	sort.Strings(names)
+	ms := func(v int64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
+	for _, name := range names {
+		var addrs []string
+		if err := hc.GetJSON(ctx, registryURL+"/services/"+name, &addrs); err != nil {
+			return t, fmt.Errorf("loadgen: resolving %s: %w", name, err)
+		}
+		sort.Strings(addrs)
+		for _, addr := range addrs {
+			var snap httpkit.MetricsSnapshot
+			if err := hc.GetJSON(ctx, "http://"+addr+"/metrics.json", &snap); err != nil {
+				return t, fmt.Errorf("loadgen: metrics from %s@%s: %w", name, addr, err)
+			}
+			t.AddRow(name, addr, strconv.FormatInt(snap.Requests, 10),
+				ms(snap.Overall.P50), ms(snap.Overall.P95), ms(snap.Overall.P99))
+		}
+	}
+	return t, nil
+}

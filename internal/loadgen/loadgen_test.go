@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
@@ -59,6 +60,37 @@ func TestRunAgainstRealStack(t *testing.T) {
 		t.Fatalf("only %d request types issued: %v", len(res.PerRequest), res.PerRequest)
 	}
 	_ = workload.ReqHome
+}
+
+// TestFetchBreakdown runs a short load, then collects the per-service
+// latency table through the registry exactly like `loadgen -registry`.
+func TestFetchBreakdown(t *testing.T) {
+	st := startStack(t)
+	if _, err := Run(context.Background(), Config{
+		WebUIURL:       st.WebUIURL,
+		PersistenceURL: st.PersistenceURL,
+		Users:          4,
+		Warmup:         100 * time.Millisecond,
+		Duration:       time.Second,
+		ThinkScale:     0.02,
+		CatalogUsers:   4,
+		Seed:           1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := FetchBreakdown(context.Background(), st.RegistryURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("breakdown has %d rows, want 6:\n%s", len(tab.Rows), tab.String())
+	}
+	rendered := tab.String()
+	for _, svc := range []string{"auth", "image", "persistence", "recommender", "registry", "webui"} {
+		if !strings.Contains(rendered, svc) {
+			t.Fatalf("breakdown missing %s:\n%s", svc, rendered)
+		}
+	}
 }
 
 func TestRunValidation(t *testing.T) {

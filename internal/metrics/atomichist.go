@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicHistogram is the concurrent counterpart of Histogram: the same
+// log-linear bucket layout, but every operation is lock-free so many
+// goroutines (one per in-flight HTTP request) can record into the same
+// instance. Construct with NewAtomicHistogram; the zero value mis-reports
+// Min until the first CAS settles.
+//
+// Reads (Freeze, Snapshot) are weakly consistent: a snapshot taken while
+// writers are active may be mid-update by a handful of observations, which
+// is the usual monitoring trade-off. All derived statistics are computed
+// from one bucket sweep so they are internally coherent.
+type AtomicHistogram struct {
+	counts [64 * subBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// NewAtomicHistogram returns an empty concurrent histogram.
+func NewAtomicHistogram() *AtomicHistogram {
+	h := &AtomicHistogram{}
+	h.min.Store(math.MaxInt64)
+	return h
+}
+
+// Record adds one observation; safe for concurrent use. Negative values
+// clamp to zero, mirroring Histogram.Record.
+func (h *AtomicHistogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *AtomicHistogram) Count() int64 { return h.count.Load() }
+
+// Freeze copies the current state into a plain Histogram for percentile
+// math, merging, and rendering. The count is derived from the bucket sweep
+// so ranks are consistent even while writers race.
+func (h *AtomicHistogram) Freeze() *Histogram {
+	out := &Histogram{}
+	var total int64
+	for i := range h.counts {
+		if c := h.counts[i].Load(); c > 0 {
+			out.counts[i] = c
+			total += c
+		}
+	}
+	if total == 0 {
+		return out
+	}
+	out.count = total
+	out.sum = h.sum.Load()
+	mn, mx := h.min.Load(), h.max.Load()
+	if mn > mx {
+		// A writer has bumped a bucket but not yet published min; clamp.
+		mn = mx
+	}
+	out.min, out.max = mn, mx
+	return out
+}
+
+// Snapshot summarizes the current distribution.
+func (h *AtomicHistogram) Snapshot() Snapshot { return h.Freeze().Snapshot() }

@@ -10,6 +10,12 @@ import (
 // identical resources (e.g. a CPU's two SMT threads, or a service's worker
 // pool). Callers report level changes with SetBusy at monotonically
 // non-decreasing timestamps.
+//
+// BusyTracker is NOT safe for concurrent use: it belongs to the
+// single-goroutine discrete-event simulator, whose virtual clock has no
+// meaning across threads. Concurrent HTTP-side recording uses
+// AtomicHistogram instead; the trace middleware deliberately shares no
+// tracker state.
 type BusyTracker struct {
 	capacity int
 	busy     int
@@ -89,7 +95,9 @@ func (b *BusyTracker) Reset(t int64) {
 	b.SetBusy(t, busy)
 }
 
-// Throughput counts completions over an interval.
+// Throughput counts completions over an interval. Like BusyTracker it is
+// single-goroutine by contract (simulator use); wall-clock load paths
+// count completions with their own atomics.
 type Throughput struct {
 	count  int64
 	startT int64

@@ -1,0 +1,70 @@
+package teastore
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"repro/internal/httpkit"
+	"repro/internal/metrics"
+)
+
+// ServiceStats is one service's observed traffic summary within a stack.
+type ServiceStats struct {
+	Service  string
+	URL      string
+	Requests int64
+	Overall  metrics.Snapshot
+	Routes   map[string]metrics.Snapshot
+}
+
+// StatsSnapshot collects every server's per-route latency state, sorted by
+// service name — the stack-wide view the paper's per-service scale-up
+// attribution needs.
+func (s *Stack) StatsSnapshot() []ServiceStats {
+	out := make([]ServiceStats, 0, len(s.servers))
+	for _, srv := range s.servers {
+		ms := srv.MetricsSnapshot()
+		out = append(out, ServiceStats{
+			Service:  srv.Name(),
+			URL:      srv.URL(),
+			Requests: ms.Requests,
+			Overall:  ms.Overall,
+			Routes:   ms.Routes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// Trace merges the spans every service recorded under one trace ID,
+// ordered by start time (ties broken by fan-out depth). An empty slice
+// means no service saw the trace.
+func (s *Stack) Trace(id string) []httpkit.Span {
+	var spans []httpkit.Span
+	for _, srv := range s.servers {
+		spans = append(spans, srv.Spans(id)...)
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].Depth < spans[j].Depth
+		}
+		return spans[i].Start.Before(spans[j].Start)
+	})
+	return spans
+}
+
+// BreakdownTable renders the per-service p50/p95/p99 latency breakdown
+// that cmd/teastore and loadgen print after a run.
+func (s *Stack) BreakdownTable() metrics.Table {
+	t := metrics.Table{
+		Title:   "Per-service latency breakdown",
+		Headers: []string{"service", "requests", "p50 ms", "p95 ms", "p99 ms"},
+	}
+	ms := func(v int64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
+	for _, st := range s.StatsSnapshot() {
+		t.AddRow(st.Service, strconv.FormatInt(st.Requests, 10),
+			ms(st.Overall.P50), ms(st.Overall.P95), ms(st.Overall.P99))
+	}
+	return t
+}

@@ -33,6 +33,10 @@ type Config struct {
 	Host string
 	// ImageCacheBytes bounds the image cache (0 → 64 MiB).
 	ImageCacheBytes int64
+	// RegistryTTL is the discovery lease duration (0 → registry.DefaultTTL).
+	// The stack heartbeats live services at TTL/3 so registrations survive
+	// long runs; tests shorten it to observe expiry quickly.
+	RegistryTTL time.Duration
 }
 
 // Stack is a running all-in-one TeaStore.
@@ -40,6 +44,7 @@ type Stack struct {
 	servers []*httpkit.Server
 	reg     *registry.Registry
 	stopSwp func()
+	stopHB  func()
 
 	Store *db.Store
 
@@ -79,7 +84,7 @@ func Start(cfg Config) (*Stack, error) {
 	}
 
 	// Registry first: everything else announces itself there.
-	st.reg = registry.New(0)
+	st.reg = registry.New(cfg.RegistryTTL)
 	st.stopSwp = st.reg.StartSweeper(time.Second)
 	regSrv, err := listen("registry", st.reg.Mux())
 	if err != nil {
@@ -149,11 +154,51 @@ func Start(cfg Config) (*Stack, error) {
 	}
 	st.WebUIURL = uiSrv.URL()
 
-	// Announce everyone.
+	// Announce everyone, then keep the leases alive: without heartbeats
+	// every registration silently expires after one TTL and remote
+	// discovery (loadgen -registry) goes dark on long-running stacks.
 	for _, srv := range st.servers {
 		st.reg.Register(registry.Registration{Service: srv.Name(), Address: srv.Addr()})
 	}
+	ttl := cfg.RegistryTTL
+	if ttl <= 0 {
+		ttl = registry.DefaultTTL
+	}
+	st.stopHB = st.startHeartbeats(ttl / 3)
 	return st, nil
+}
+
+// startHeartbeats refreshes the lease of every service that is still
+// serving. A shut-down service is skipped so its registration lapses
+// after one TTL, and an explicitly deregistered one is never re-created
+// (Heartbeat refuses unknown registrations).
+func (s *Stack) startHeartbeats(period time.Duration) (stop func()) {
+	if period <= 0 {
+		period = time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.heartbeatOnce()
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+func (s *Stack) heartbeatOnce() {
+	for _, srv := range s.servers {
+		if !srv.Ready() {
+			continue
+		}
+		s.reg.Heartbeat(registry.Registration{Service: srv.Name(), Address: srv.Addr()})
+	}
 }
 
 // Services lists the running servers (name → base URL).
@@ -170,6 +215,10 @@ func (s *Stack) Registry() *registry.Registry { return s.reg }
 
 // Shutdown stops every server.
 func (s *Stack) Shutdown(ctx context.Context) {
+	if s.stopHB != nil {
+		s.stopHB()
+		s.stopHB = nil
+	}
 	if s.stopSwp != nil {
 		s.stopSwp()
 	}

@@ -98,6 +98,46 @@ func TestStackBootsAndRegisters(t *testing.T) {
 	}
 }
 
+// TestHeartbeatsKeepRegistrationsAlive pins the discovery contract on
+// long-running stacks: the stack must heartbeat its services so leases
+// survive past one TTL, and a shut-down service must stop being
+// refreshed so it lapses. Uses a short TTL to observe both quickly.
+func TestHeartbeatsKeepRegistrationsAlive(t *testing.T) {
+	st, err := Start(Config{
+		Catalog: db.GenerateSpec{
+			Categories: 2, ProductsPerCategory: 4, Users: 2, SeedOrders: 10, Seed: 7,
+		},
+		RegistryTTL: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		st.Shutdown(ctx)
+	})
+
+	// Well past several TTLs, every service must still be discoverable.
+	time.Sleep(time.Second)
+	if got := st.Registry().Services(); len(got) != 6 {
+		t.Fatalf("after 3+ TTLs, registry lists %v, want all six", got)
+	}
+
+	// A stopped service loses its heartbeat and lapses within one TTL.
+	shutdownService(t, st, "image")
+	deadline := time.Now().Add(2 * time.Second)
+	for len(st.Registry().Lookup("image")) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stopped image service never expired from the registry")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if got := st.Registry().Lookup("webui"); len(got) != 1 {
+		t.Fatalf("webui lease lost while still serving: %v", got)
+	}
+}
+
 // TestFullUserJourney drives the classic browse-profile session through
 // real HTTP across all six services.
 func TestFullUserJourney(t *testing.T) {

@@ -1,0 +1,238 @@
+package teastore
+
+import (
+	"io"
+	"net/http"
+	"net/http/cookiejar"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/httpkit"
+)
+
+// tracedBrowser is a cookie-keeping client that stamps every request
+// (including redirect hops, which Go forwards custom headers across on
+// the same host) with a fixed trace ID.
+type tracedBrowser struct {
+	t       *testing.T
+	http    *http.Client
+	base    string
+	traceID string
+}
+
+func newTracedBrowser(t *testing.T, base, traceID string) *tracedBrowser {
+	jar, err := cookiejar.New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tracedBrowser{
+		t: t, base: base, traceID: traceID,
+		http: &http.Client{Jar: jar, Timeout: 10 * time.Second},
+	}
+}
+
+func (b *tracedBrowser) do(method, rawURL string, form url.Values) {
+	b.t.Helper()
+	var bodyReader io.Reader
+	if form != nil {
+		bodyReader = strings.NewReader(form.Encode())
+	}
+	req, err := http.NewRequest(method, rawURL, bodyReader)
+	if err != nil {
+		b.t.Fatal(err)
+	}
+	if form != nil {
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	}
+	if b.traceID != "" {
+		req.Header.Set(httpkit.TraceIDHeader, b.traceID)
+	}
+	resp, err := b.http.Do(req)
+	if err != nil {
+		b.t.Fatalf("%s %s: %v", method, rawURL, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode >= 400 {
+		b.t.Fatalf("%s %s = %d", method, rawURL, resp.StatusCode)
+	}
+}
+
+func (b *tracedBrowser) get(path string)                { b.do(http.MethodGet, b.base+path, nil) }
+func (b *tracedBrowser) post(path string, f url.Values) { b.do(http.MethodPost, b.base+path, f) }
+func (b *tracedBrowser) getURL(u string)                { b.do(http.MethodGet, u, nil) }
+
+// TestTraceSpansAllSixServices drives one full browse-profile session
+// under a single trace ID and asserts every one of the six services
+// recorded spans for it, with plausible hop depths.
+func TestTraceSpansAllSixServices(t *testing.T) {
+	st := startStack(t, "coocc")
+	const traceID = "itest-session-0001"
+	b := newTracedBrowser(t, st.WebUIURL, traceID)
+
+	// The classic browse-profile session...
+	b.get("/")
+	b.post("/login", url.Values{
+		"email":    {db.EmailFor(1)},
+		"password": {db.PasswordFor(1)},
+	})
+	b.get("/category/1")
+	b.get("/product/2")
+	b.post("/cart/add", url.Values{"productId": {"2"}})
+	b.get("/cart")
+	b.post("/cart/checkout", url.Values{})
+	b.get("/profile")
+	// ...plus the service-discovery hop a distributed client performs.
+	b.getURL(st.RegistryURL + "/services")
+
+	spans := st.Trace(traceID)
+	if len(spans) == 0 {
+		t.Fatal("no spans recorded for the session trace")
+	}
+	seen := map[string]bool{}
+	for _, sp := range spans {
+		if sp.TraceID != traceID {
+			t.Fatalf("span with foreign trace id: %+v", sp)
+		}
+		if sp.Depth < 0 || sp.Depth > 3 {
+			t.Fatalf("implausible depth: %+v", sp)
+		}
+		if sp.Duration < 0 {
+			t.Fatalf("negative duration: %+v", sp)
+		}
+		seen[sp.Service] = true
+	}
+	for _, svc := range []string{"registry", "auth", "persistence", "recommender", "image", "webui"} {
+		if !seen[svc] {
+			t.Fatalf("service %s has no span in the session trace; saw %v", svc, seen)
+		}
+	}
+	// The login hop must show the two-level fan-out: webui → auth →
+	// persistence, i.e. a depth-2 persistence span exists.
+	depth2 := false
+	for _, sp := range spans {
+		if sp.Service == "persistence" && sp.Depth == 2 {
+			depth2 = true
+		}
+	}
+	if !depth2 {
+		t.Fatal("no depth-2 persistence span — auth did not propagate the trace")
+	}
+}
+
+// TestWebUISpanContainsDownstream asserts the parent/child timing
+// relation on a product page: the WebUI span strictly contains every
+// downstream Auth/Persistence/Recommender/Image span of the same trace.
+func TestWebUISpanContainsDownstream(t *testing.T) {
+	st := startStack(t, "coocc")
+
+	// Log in first (untraced) so the product request carries a session
+	// cookie and therefore fans out to Auth too.
+	b := newTracedBrowser(t, st.WebUIURL, "")
+	b.post("/login", url.Values{
+		"email":    {db.EmailFor(1)},
+		"password": {db.PasswordFor(1)},
+	})
+
+	const traceID = "itest-product-0001"
+	b.traceID = traceID
+	b.get("/product/2")
+
+	spans := st.Trace(traceID)
+	var parent *httpkit.Span
+	var children []httpkit.Span
+	for i, sp := range spans {
+		if sp.Service == "webui" {
+			if sp.Route != "GET /product/{id}" || sp.Depth != 0 {
+				t.Fatalf("unexpected webui span: %+v", sp)
+			}
+			parent = &spans[i]
+		} else {
+			children = append(children, sp)
+		}
+	}
+	if parent == nil {
+		t.Fatalf("no webui span in trace; spans: %+v", spans)
+	}
+	wantDownstream := map[string]bool{"auth": false, "persistence": false, "recommender": false, "image": false}
+	for _, ch := range children {
+		if _, ok := wantDownstream[ch.Service]; !ok {
+			t.Fatalf("unexpected downstream service %q", ch.Service)
+		}
+		wantDownstream[ch.Service] = true
+		if ch.Depth != 1 {
+			t.Fatalf("downstream span at depth %d: %+v", ch.Depth, ch)
+		}
+		if !parent.Contains(ch) {
+			t.Fatalf("webui span [%v +%v] does not contain %s span [%v +%v]",
+				parent.Start, parent.Duration, ch.Service, ch.Start, ch.Duration)
+		}
+		if !ch.Start.After(parent.Start) {
+			t.Fatalf("%s span does not start strictly after the webui span", ch.Service)
+		}
+		if ch.End().After(parent.End()) {
+			t.Fatalf("%s span outlives the webui span", ch.Service)
+		}
+	}
+	for svc, ok := range wantDownstream {
+		if !ok {
+			t.Fatalf("no %s span under the product-page trace", svc)
+		}
+	}
+}
+
+// TestMetricsServedByAllSixServices exercises the acceptance criterion:
+// after traffic, GET /metrics on each service returns per-route latency
+// histograms in Prometheus text format, and /metrics.json parses.
+func TestMetricsServedByAllSixServices(t *testing.T) {
+	st := startStack(t, "coocc")
+	b := newTracedBrowser(t, st.WebUIURL, "")
+	// Touch every service: webui+persistence+image+recommender via pages,
+	// auth via login, registry via discovery.
+	b.get("/")
+	b.post("/login", url.Values{
+		"email":    {db.EmailFor(1)},
+		"password": {db.PasswordFor(1)},
+	})
+	b.get("/product/2")
+	b.getURL(st.RegistryURL + "/services")
+
+	for name, base := range st.Services() {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			t.Fatalf("%s /metrics: %v", name, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s /metrics = %d", name, resp.StatusCode)
+		}
+		text := string(body)
+		if !strings.Contains(text, `teastore_requests_total{service="`+name+`"}`) {
+			t.Fatalf("%s /metrics lacks request counter:\n%s", name, text)
+		}
+		if !strings.Contains(text, "teastore_request_duration_seconds_bucket{") {
+			t.Fatalf("%s /metrics lacks latency histogram:\n%s", name, text)
+		}
+	}
+
+	// The aggregated stack view covers all six too.
+	stats := st.StatsSnapshot()
+	if len(stats) != 6 {
+		t.Fatalf("stack snapshot has %d services", len(stats))
+	}
+	for _, svc := range stats {
+		if svc.Overall.Count == 0 {
+			t.Fatalf("service %s saw no observed requests", svc.Service)
+		}
+	}
+	table := st.BreakdownTable().String()
+	for _, svc := range []string{"auth", "image", "persistence", "recommender", "registry", "webui"} {
+		if !strings.Contains(table, svc) {
+			t.Fatalf("breakdown table missing %s:\n%s", svc, table)
+		}
+	}
+}
