@@ -92,8 +92,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("throughput: %.1f req/s (%d requests, %d errors)\n",
-		res.Throughput, res.Requests, res.Errors)
+	fmt.Printf("throughput: %.1f req/s (%d requests, %d errors, %d shed, %d retried)\n",
+		res.Throughput, res.Requests, res.Errors, res.Shed, res.Retries)
 	fmt.Printf("latency:    %v\n", res.Latency)
 	var types []workload.Request
 	for r := range res.PerRequest {

@@ -1,0 +1,272 @@
+package httpkit
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) when a call is refused by an open
+// circuit breaker before any connection is attempted.
+var ErrCircuitOpen = errors.New("httpkit: circuit open")
+
+// BreakerState is a circuit breaker's position in its state machine.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits every call; outcomes feed the failure window.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen refuses every call until OpenTimeout has elapsed.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of probe calls whose
+	// outcomes decide between reclosing and reopening.
+	BreakerHalfOpen
+)
+
+// String renders the state for metrics and logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a circuit breaker. The zero value selects the
+// defaults noted per field.
+type BreakerConfig struct {
+	// Window is how many recent call outcomes feed the failure rate (16).
+	Window int
+	// MinSamples is the minimum outcomes in the window before the rate
+	// can trip the breaker (5).
+	MinSamples int
+	// FailureThreshold opens the breaker when the windowed failure rate
+	// reaches it (0.5).
+	FailureThreshold float64
+	// OpenTimeout is how long an open breaker refuses calls before
+	// admitting half-open probes (1s).
+	OpenTimeout time.Duration
+	// HalfOpenProbes bounds concurrent probe calls while half-open (1).
+	HalfOpenProbes int
+}
+
+// DefaultBreakerConfig returns the stack-wide defaults.
+func DefaultBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           16,
+		MinSamples:       5,
+		FailureThreshold: 0.5,
+		OpenTimeout:      time.Second,
+		HalfOpenProbes:   1,
+	}
+}
+
+// normalized fills zero fields with defaults.
+func (c BreakerConfig) normalized() BreakerConfig {
+	d := DefaultBreakerConfig()
+	if c.Window <= 0 {
+		c.Window = d.Window
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = d.MinSamples
+	}
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = d.FailureThreshold
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = d.OpenTimeout
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = d.HalfOpenProbes
+	}
+	return c
+}
+
+// Breaker is a failure-rate-windowed circuit breaker guarding one
+// destination. Allow admits or refuses a call; Record feeds its outcome
+// back. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	window   []bool // ring buffer of outcomes, true = failure
+	widx     int
+	wlen     int
+	fails    int // failures currently in the window
+	openedAt time.Time
+	probes   int // in-flight half-open probes
+
+	opens         atomic.Int64
+	successes     atomic.Int64
+	failures      atomic.Int64
+	shortCircuits atomic.Int64
+}
+
+// NewBreaker returns a closed breaker with zero config fields defaulted.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg = cfg.normalized()
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// Allow reports whether a call may proceed, reserving a probe slot when
+// half-open. A refusal is counted as a short-circuit.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) >= b.cfg.OpenTimeout {
+			b.state = BreakerHalfOpen
+			b.probes = 1
+			return true
+		}
+	case BreakerHalfOpen:
+		if b.probes < b.cfg.HalfOpenProbes {
+			b.probes++
+			return true
+		}
+	}
+	b.shortCircuits.Add(1)
+	return false
+}
+
+// Record feeds one admitted call's outcome back into the breaker.
+func (b *Breaker) Record(ok bool) {
+	if ok {
+		b.successes.Add(1)
+	} else {
+		b.failures.Add(1)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		if ok {
+			b.toClosed()
+		} else {
+			b.toOpen()
+		}
+	case BreakerClosed:
+		b.push(!ok)
+		if !ok && b.wlen >= b.cfg.MinSamples &&
+			float64(b.fails) >= b.cfg.FailureThreshold*float64(b.wlen) {
+			b.toOpen()
+		}
+	case BreakerOpen:
+		// A straggler admitted before the trip; the window is already
+		// stale, so its outcome is dropped.
+	}
+}
+
+// push records one outcome in the ring buffer (locked).
+func (b *Breaker) push(failed bool) {
+	if b.wlen == len(b.window) {
+		if b.window[b.widx] {
+			b.fails--
+		}
+	} else {
+		b.wlen++
+	}
+	b.window[b.widx] = failed
+	if failed {
+		b.fails++
+	}
+	b.widx = (b.widx + 1) % len(b.window)
+}
+
+// toOpen trips the breaker (locked).
+func (b *Breaker) toOpen() {
+	b.state = BreakerOpen
+	b.openedAt = time.Now()
+	b.probes = 0
+	b.opens.Add(1)
+}
+
+// toClosed recloses with a fresh window (locked).
+func (b *Breaker) toClosed() {
+	b.state = BreakerClosed
+	b.widx, b.wlen, b.fails = 0, 0, 0
+	b.probes = 0
+}
+
+// State returns the current state (open breakers past their timeout still
+// report open until the next Allow promotes them to half-open).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// BreakerSnapshot is one breaker's cumulative counters for metrics.
+type BreakerSnapshot struct {
+	State         string `json:"state"`
+	Opens         int64  `json:"opens"`
+	Successes     int64  `json:"successes"`
+	Failures      int64  `json:"failures"`
+	ShortCircuits int64  `json:"shortCircuits"`
+}
+
+// Snapshot summarizes the breaker for /metrics.json.
+func (b *Breaker) Snapshot() BreakerSnapshot {
+	return BreakerSnapshot{
+		State:         b.State().String(),
+		Opens:         b.opens.Load(),
+		Successes:     b.successes.Load(),
+		Failures:      b.failures.Load(),
+		ShortCircuits: b.shortCircuits.Load(),
+	}
+}
+
+// breakerGroup lazily allocates one breaker per destination host, mirroring
+// routeStats' read-mostly locking.
+type breakerGroup struct {
+	cfg BreakerConfig
+	mu  sync.RWMutex
+	m   map[string]*Breaker
+}
+
+func newBreakerGroup(cfg BreakerConfig) *breakerGroup {
+	return &breakerGroup{cfg: cfg.normalized(), m: map[string]*Breaker{}}
+}
+
+func (g *breakerGroup) get(host string) *Breaker {
+	g.mu.RLock()
+	b := g.m[host]
+	g.mu.RUnlock()
+	if b != nil {
+		return b
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if b := g.m[host]; b != nil {
+		return b
+	}
+	b = NewBreaker(g.cfg)
+	g.m[host] = b
+	return b
+}
+
+// snapshots copies every destination's breaker summary.
+func (g *breakerGroup) snapshots() map[string]BreakerSnapshot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if len(g.m) == 0 {
+		return nil
+	}
+	out := make(map[string]BreakerSnapshot, len(g.m))
+	for host, b := range g.m {
+		out[host] = b.Snapshot()
+	}
+	return out
+}

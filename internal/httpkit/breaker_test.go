@@ -1,0 +1,294 @@
+package httpkit
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testBreakerConfig() BreakerConfig {
+	return BreakerConfig{
+		Window:           8,
+		MinSamples:       4,
+		FailureThreshold: 0.5,
+		OpenTimeout:      40 * time.Millisecond,
+		HalfOpenProbes:   1,
+	}
+}
+
+// TestBreakerOpensOnFailureRate: closed → open once the windowed failure
+// rate crosses the threshold with enough samples.
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	b := NewBreaker(testBreakerConfig())
+	// Three failures among three samples: below MinSamples, still closed.
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatal("closed breaker refused a call")
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v before MinSamples", b.State())
+	}
+	// Fourth failure reaches MinSamples at 100% failure rate: trips.
+	b.Allow()
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call")
+	}
+	snap := b.Snapshot()
+	if snap.Opens != 1 || snap.ShortCircuits != 1 || snap.State != "open" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// TestBreakerSuccessesKeepItClosed: a mixed window under the threshold
+// never trips.
+func TestBreakerSuccessesKeepItClosed(t *testing.T) {
+	b := NewBreaker(testBreakerConfig())
+	for i := 0; i < 50; i++ {
+		if !b.Allow() {
+			t.Fatalf("refused at i=%d", i)
+		}
+		// One failure in every four: 25% < 50% threshold at every prefix.
+		b.Record(i%4 != 0)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v", b.State())
+	}
+}
+
+// TestBreakerHalfOpenProbeRecloses: open → half-open after the timeout,
+// and a successful probe recloses with a fresh window.
+func TestBreakerHalfOpenProbeRecloses(t *testing.T) {
+	b := NewBreaker(testBreakerConfig())
+	tripBreaker(b)
+	time.Sleep(50 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused after open timeout")
+	}
+	// Probe slot taken: a second concurrent call is refused.
+	if b.Allow() {
+		t.Fatal("second probe admitted with HalfOpenProbes=1")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after good probe = %v", b.State())
+	}
+	// Reclosed with a clean window: one failure must not retrip.
+	b.Allow()
+	b.Record(false)
+	if b.State() != BreakerClosed {
+		t.Fatal("stale window survived reclose")
+	}
+}
+
+// TestBreakerHalfOpenProbeFailureReopens: a failed probe goes straight
+// back to open and restarts the timeout.
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b := NewBreaker(testBreakerConfig())
+	tripBreaker(b)
+	time.Sleep(50 * time.Millisecond)
+	if !b.Allow() {
+		t.Fatal("probe refused")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("reopened breaker admitted a call immediately")
+	}
+	if got := b.Snapshot().Opens; got != 2 {
+		t.Fatalf("opens = %d, want 2", got)
+	}
+}
+
+// TestBreakerConcurrentHalfOpenProbes: under concurrent callers the
+// half-open breaker admits at most HalfOpenProbes.
+func TestBreakerConcurrentHalfOpenProbes(t *testing.T) {
+	b := NewBreaker(testBreakerConfig())
+	tripBreaker(b)
+	time.Sleep(50 * time.Millisecond)
+
+	const callers = 32
+	var admitted sync.WaitGroup
+	results := make([]bool, callers)
+	admitted.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer admitted.Done()
+			results[i] = b.Allow()
+		}(i)
+	}
+	admitted.Wait()
+	n := 0
+	for _, ok := range results {
+		if ok {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("half-open admitted %d concurrent probes, want 1", n)
+	}
+}
+
+// tripBreaker drives a breaker to open.
+func tripBreaker(b *Breaker) {
+	for i := 0; i < b.cfg.MinSamples; i++ {
+		b.Allow()
+		b.Record(false)
+	}
+}
+
+// TestClientBreakerFailsFast: a dead destination trips the client's
+// breaker; subsequent calls short-circuit in microseconds instead of
+// burning connection timeouts, and the call reports ErrCircuitOpen.
+func TestClientBreakerFailsFast(t *testing.T) {
+	// A listener that is immediately closed: connections are refused.
+	dead, err := NewServer("dead", "127.0.0.1:0", http.NewServeMux())
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := dead.URL()
+	_ = dead.Shutdown(context.Background())
+
+	cfg := testBreakerConfig()
+	c := NewClient(time.Second, WithoutRetries(), WithBreaker(cfg))
+	for i := 0; i < cfg.MinSamples; i++ {
+		if err := c.GetJSON(context.Background(), url+"/x", nil); err == nil {
+			t.Fatal("dead server answered")
+		}
+	}
+	start := time.Now()
+	err = c.GetJSON(context.Background(), url+"/x", nil)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("short-circuit took %v", elapsed)
+	}
+	if c.ShortCircuits() == 0 {
+		t.Fatal("short-circuit not counted")
+	}
+	snap := c.ResilienceSnapshot()
+	if len(snap.Breakers) != 1 {
+		t.Fatalf("breaker snapshot = %+v", snap)
+	}
+	for _, bs := range snap.Breakers {
+		if bs.State != "open" || bs.Failures < int64(cfg.MinSamples) {
+			t.Fatalf("breaker = %+v", bs)
+		}
+	}
+}
+
+// TestClientBreakerRecovers: once the backend returns, the half-open probe
+// recloses the breaker and traffic flows again.
+func TestClientBreakerRecovers(t *testing.T) {
+	mux := http.NewServeMux()
+	healthy := false
+	var mu sync.Mutex
+	mux.HandleFunc("GET /x", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ok := healthy
+		mu.Unlock()
+		if !ok {
+			WriteError(w, http.StatusInternalServerError, "warming up")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "1"})
+	})
+	s := startTestServer(t, mux)
+
+	cfg := testBreakerConfig()
+	c := NewClient(time.Second, WithoutRetries(), WithBreaker(cfg))
+	for i := 0; i < cfg.MinSamples; i++ {
+		_ = c.GetJSON(context.Background(), s.URL()+"/x", nil)
+	}
+	if err := c.GetJSON(context.Background(), s.URL()+"/x", nil); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("breaker not open: %v", err)
+	}
+
+	mu.Lock()
+	healthy = true
+	mu.Unlock()
+	time.Sleep(cfg.OpenTimeout + 10*time.Millisecond)
+	if err := c.GetJSON(context.Background(), s.URL()+"/x", nil); err != nil {
+		t.Fatalf("probe after recovery failed: %v", err)
+	}
+	if err := c.GetJSON(context.Background(), s.URL()+"/x", nil); err != nil {
+		t.Fatalf("post-reclose call failed: %v", err)
+	}
+}
+
+// TestCallerCancellationDoesNotTripBreaker: a burst of client-side
+// disconnects (context cancelled mid-call) carries no signal about the
+// backend and must leave the breaker closed — load-generator teardown
+// used to open breakers against perfectly healthy hosts.
+func TestCallerCancellationDoesNotTripBreaker(t *testing.T) {
+	mux := http.NewServeMux()
+	release := make(chan struct{})
+	defer close(release)
+	mux.HandleFunc("GET /slow2", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "1"})
+	})
+	s := startTestServer(t, mux)
+
+	cfg := testBreakerConfig()
+	c := NewClient(5*time.Second, WithoutRetries(), WithBreaker(cfg))
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < 2*cfg.MinSamples; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = c.GetJSON(ctx, s.URL()+"/slow2", nil)
+		}()
+	}
+	time.Sleep(30 * time.Millisecond) // let the calls reach the handler
+	cancel()
+	wg.Wait()
+
+	snap := c.ResilienceSnapshot()
+	for host, bs := range snap.Breakers {
+		if bs.State != "closed" || bs.Failures != 0 {
+			t.Fatalf("caller cancellation tripped breaker for %s: %+v", host, bs)
+		}
+	}
+	// The destination really is healthy: the next call succeeds.
+	if err := c.GetJSON(context.Background(), s.URL()+"/health", nil); err != nil {
+		t.Fatalf("post-cancel call failed: %v", err)
+	}
+}
+
+// TestBreakerGroupConcurrent hammers one group from many goroutines for
+// the -race run.
+func TestBreakerGroupConcurrent(t *testing.T) {
+	g := newBreakerGroup(testBreakerConfig())
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			hosts := []string{"a:1", "b:2", "c:3"}
+			for i := 0; i < 500; i++ {
+				b := g.get(hosts[(w+i)%len(hosts)])
+				if b.Allow() {
+					b.Record(i%2 == 0)
+				}
+				_ = g.snapshots()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,95 @@
+package httpkit
+
+import (
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// ChaosConfig is the fault-injection spec a Server applies to its real
+// routes (observability endpoints are exempt so a stack under chaos stays
+// debuggable). The zero value injects nothing. Faults compose: a request
+// can be delayed and then errored; a blackholed request never reaches the
+// handler and is held until the client abandons it.
+type ChaosConfig struct {
+	// Latency is added to every request before the handler runs.
+	Latency time.Duration `json:"latency"`
+	// Jitter adds a further uniform random delay in [0, Jitter].
+	Jitter time.Duration `json:"jitter"`
+	// ErrorRate is the probability of answering 500 without running the
+	// handler.
+	ErrorRate float64 `json:"errorRate"`
+	// BlackholeRate is the probability of swallowing the request whole:
+	// no response bytes until the client's context or timeout gives up.
+	BlackholeRate float64 `json:"blackholeRate"`
+}
+
+// enabled reports whether the config injects any fault at all.
+func (c ChaosConfig) enabled() bool {
+	return c.Latency > 0 || c.Jitter > 0 || c.ErrorRate > 0 || c.BlackholeRate > 0
+}
+
+// SetChaos installs (or, with a zero config, removes) fault injection on
+// the server. Safe to call while serving — chaos tests flip faults on
+// mid-run.
+func (s *Server) SetChaos(cfg ChaosConfig) {
+	if !cfg.enabled() {
+		s.chaos.Store(nil)
+		return
+	}
+	s.chaos.Store(&cfg)
+}
+
+// Chaos returns the active fault-injection config (zero when disabled).
+func (s *Server) Chaos() ChaosConfig {
+	if cfg := s.chaos.Load(); cfg != nil {
+		return *cfg
+	}
+	return ChaosConfig{}
+}
+
+// ChaosInjected counts faults injected since process start.
+func (s *Server) ChaosInjected() int64 { return s.chaosInjected.Load() }
+
+// injectChaos is the fault-injection middleware, innermost so injected
+// latency and errors are observed by the tracing/histogram layer exactly
+// like real handler behaviour.
+func (s *Server) injectChaos(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cfg := s.chaos.Load()
+		if cfg == nil || skipObservation(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if cfg.BlackholeRate > 0 && rand.Float64() < cfg.BlackholeRate {
+			s.chaosInjected.Add(1)
+			<-r.Context().Done()
+			return
+		}
+		if d := chaosDelay(*cfg); d > 0 {
+			s.chaosInjected.Add(1)
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		if cfg.ErrorRate > 0 && rand.Float64() < cfg.ErrorRate {
+			s.chaosInjected.Add(1)
+			WriteError(w, http.StatusInternalServerError, "chaos: injected failure")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// chaosDelay draws the injected latency for one request.
+func chaosDelay(cfg ChaosConfig) time.Duration {
+	d := cfg.Latency
+	if cfg.Jitter > 0 {
+		d += time.Duration(rand.Int63n(int64(cfg.Jitter) + 1))
+	}
+	return d
+}

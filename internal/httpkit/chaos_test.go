@@ -1,0 +1,94 @@
+package httpkit
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func okMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ok", func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "1"})
+	})
+	return mux
+}
+
+// TestChaosErrorInjection: ErrorRate 1 turns every application request
+// into a 500 attributed to chaos, counted, and reversible at runtime.
+func TestChaosErrorInjection(t *testing.T) {
+	s := startTestServer(t, okMux())
+	s.SetChaos(ChaosConfig{ErrorRate: 1})
+
+	c := NewClient(2*time.Second, WithoutRetries(), WithoutBreakers())
+	err := c.GetJSON(context.Background(), s.URL()+"/ok", nil)
+	if !IsStatus(err, http.StatusInternalServerError) {
+		t.Fatalf("err = %v, want injected 500", err)
+	}
+	if !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("injected failure not attributed to chaos: %v", err)
+	}
+	if s.ChaosInjected() == 0 {
+		t.Fatal("injection not counted")
+	}
+	if s.MetricsSnapshot().Resilience.ChaosInjected == 0 {
+		t.Fatal("injection missing from metrics snapshot")
+	}
+
+	// Zero config disables injection entirely.
+	s.SetChaos(ChaosConfig{})
+	if s.Chaos() != (ChaosConfig{}) {
+		t.Fatal("zero config did not clear chaos")
+	}
+	if err := c.GetJSON(context.Background(), s.URL()+"/ok", nil); err != nil {
+		t.Fatalf("request after clearing chaos failed: %v", err)
+	}
+}
+
+// TestChaosLatencyInjection: injected latency delays the handler.
+func TestChaosLatencyInjection(t *testing.T) {
+	s := startTestServer(t, okMux())
+	s.SetChaos(ChaosConfig{Latency: 50 * time.Millisecond})
+
+	c := NewClient(2*time.Second, WithoutRetries(), WithoutBreakers())
+	start := time.Now()
+	if err := c.GetJSON(context.Background(), s.URL()+"/ok", nil); err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("request returned in %v, want >= 50ms", elapsed)
+	}
+}
+
+// TestChaosBlackhole: a blackholed request hangs until the client gives
+// up; it must not hang forever once the client disconnects.
+func TestChaosBlackhole(t *testing.T) {
+	s := startTestServer(t, okMux())
+	s.SetChaos(ChaosConfig{BlackholeRate: 1})
+
+	c := NewClient(250*time.Millisecond, WithoutRetries(), WithoutBreakers())
+	start := time.Now()
+	err := c.GetJSON(context.Background(), s.URL()+"/ok", nil)
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond || elapsed > 2*time.Second {
+		t.Fatalf("blackhole elapsed %v, want ~client timeout", elapsed)
+	}
+}
+
+// TestChaosSparesObservability: fault injection never touches the ops
+// endpoints, so a chaos-stricken service still reports health + metrics.
+func TestChaosSparesObservability(t *testing.T) {
+	s := startTestServer(t, okMux())
+	s.SetChaos(ChaosConfig{ErrorRate: 1, BlackholeRate: 1})
+
+	c := NewClient(2*time.Second, WithoutRetries(), WithoutBreakers())
+	for _, path := range []string{"/health", "/ready", "/metrics.json"} {
+		if err := c.GetJSON(context.Background(), s.URL()+path, nil); err != nil {
+			t.Fatalf("%s failed under chaos: %v", path, err)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package httpkit
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRecoverAfterHeadersWritten: a handler that panics after committing
+// the response must not get a JSON error envelope appended to the bytes
+// it already sent; the connection is aborted instead.
+func TestRecoverAfterHeadersWritten(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /partial", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "partial payload")
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic("mid-body failure")
+	})
+	s := startTestServer(t, mux)
+
+	resp, err := http.Get(s.URL() + "/partial")
+	if err != nil {
+		// The aborted connection may surface as a transport error; that is
+		// an acceptable outcome — what must never happen is a clean 200
+		// with an error envelope stitched onto the body.
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want the already-committed 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body) // read error expected: connection aborted
+	if strings.Contains(string(body), "internal error") || strings.Contains(string(body), "{") {
+		t.Fatalf("error envelope leaked into a committed response: %q", body)
+	}
+	if !strings.HasPrefix(string(body), "partial payload") {
+		t.Fatalf("committed bytes lost: %q", body)
+	}
+}
+
+// TestServerErrSurfacesListenerDeath: when the accept loop dies for any
+// reason other than a clean shutdown, the failure is observable through
+// Err(), ErrChan(), and readiness — not silently discarded.
+func TestServerErrSurfacesListenerDeath(t *testing.T) {
+	s := startTestServer(t, http.NewServeMux())
+	if s.Err() != nil {
+		t.Fatalf("fresh server reports err: %v", s.Err())
+	}
+
+	// Yank the listener out from under the accept loop.
+	if err := s.lis.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err, ok := <-s.ErrChan():
+		if !ok || err == nil {
+			t.Fatalf("ErrChan delivered (%v, ok=%v), want a serve error", err, ok)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve error never delivered")
+	}
+	if s.Err() == nil {
+		t.Fatal("Err() nil after listener death")
+	}
+	if s.Ready() {
+		t.Fatal("dead server still ready")
+	}
+	// The channel is closed after the terminal error: further reads do not
+	// block, so supervisors can range over it.
+	select {
+	case _, ok := <-s.ErrChan():
+		if ok {
+			t.Fatal("second value on ErrChan")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("ErrChan not closed after terminal error")
+	}
+}
+
+// TestServerErrNilAfterCleanShutdown: a graceful Shutdown is not a
+// failure and must not trip the error channel.
+func TestServerErrNilAfterCleanShutdown(t *testing.T) {
+	s := startTestServer(t, http.NewServeMux())
+	if err := s.Shutdown(t.Context()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err, ok := <-s.ErrChan():
+		if ok {
+			t.Fatalf("clean shutdown produced serve error %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ErrChan not closed after shutdown")
+	}
+	if s.Err() != nil {
+		t.Fatalf("Err() = %v after clean shutdown", s.Err())
+	}
+}

@@ -5,6 +5,14 @@
 // tracing (X-Trace-Id propagation with per-hop spans), per-route latency
 // histograms, and the /metrics, /metrics.json, and /trace/{id} endpoints
 // — and every Client forwards the active trace on outbound calls.
+//
+// On top of that sits the resilience layer: Clients retry idempotent
+// calls with capped exponential backoff and full jitter inside the
+// caller's deadline budget, and guard every destination host with a
+// circuit breaker so a dead backend fails fast instead of burning the
+// full timeout per call. Servers shed load once a bounded in-flight
+// limit is reached (503 + Retry-After instead of unbounded queueing) and
+// can inject faults — latency, errors, blackholes — for chaos testing.
 package httpkit
 
 import (
@@ -17,6 +25,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -61,22 +70,30 @@ func ReadJSON(r *http.Request, v any) error {
 }
 
 // Recover wraps a handler so panics become 500s instead of killing the
-// connection.
+// connection. When the handler already wrote its headers before
+// panicking, a JSON envelope would be appended to a half-sent body, so
+// the connection is aborted instead — the one honest signal left.
 func Recover(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
 			if p := recover(); p != nil {
-				WriteError(w, http.StatusInternalServerError, "internal error: %v", p)
+				if sw.status == 0 {
+					WriteError(sw, http.StatusInternalServerError, "internal error: %v", p)
+					return
+				}
+				panic(http.ErrAbortHandler)
 			}
 		}()
-		next.ServeHTTP(w, r)
+		next.ServeHTTP(sw, r)
 	})
 }
 
 // Server hosts one service with /health and /ready probes, per-route
 // latency histograms behind /metrics and /metrics.json, a per-trace span
-// dump behind /trace/{id}, and graceful shutdown. Construct with
-// NewServer, then Start.
+// dump behind /trace/{id}, admission control (SetMaxInflight), fault
+// injection (SetChaos), and graceful shutdown. Construct with NewServer,
+// then Start.
 type Server struct {
 	name  string
 	srv   *http.Server
@@ -85,12 +102,31 @@ type Server struct {
 	reqs  atomic.Int64
 	stats *routeStats
 	spans *spanStore
+
+	// serveErr carries a fatal Serve error; errCh delivers it once to a
+	// watcher and is closed when the serve goroutine exits.
+	serveErr atomic.Pointer[error]
+	errCh    chan error
+
+	// Admission control: maxInflight <= 0 means unlimited.
+	maxInflight atomic.Int64
+	inflight    atomic.Int64
+	sheds       atomic.Int64
+
+	// Fault injection.
+	chaos         atomic.Pointer[ChaosConfig]
+	chaosInjected atomic.Int64
+
+	// clients whose resilience stats this server reports on /metrics —
+	// the outbound side of the service that owns this server.
+	clientMu sync.Mutex
+	clients  []*Client
 }
 
 // NewServer wires the mux under the standard middleware. addr may be
 // ":0" for an ephemeral port.
 func NewServer(name, addr string, mux *http.ServeMux) (*Server, error) {
-	s := &Server{name: name, stats: newRouteStats(), spans: newSpanStore()}
+	s := &Server{name: name, stats: newRouteStats(), spans: newSpanStore(), errCh: make(chan error, 1)}
 	mux.HandleFunc("GET /health", func(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, map[string]string{"service": name, "status": "up"})
 	})
@@ -108,10 +144,16 @@ func NewServer(name, addr string, mux *http.ServeMux) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("httpkit: listen %s for %s: %w", addr, name, err)
 	}
-	observed := s.observe(mux)
+	// Middleware, outermost first: Recover, request counting, admission
+	// control (sheds are not observed — a 503 answered in microseconds
+	// would poison the latency histograms), tracing/histograms, fault
+	// injection (innermost, so injected faults are observed like real
+	// handler behaviour).
+	handler := s.observe(s.injectChaos(mux))
+	handler = s.admit(handler)
 	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.reqs.Add(1)
-		observed.ServeHTTP(w, r)
+		handler.ServeHTTP(w, r)
 	})
 	s.lis = lis
 	s.srv = &http.Server{
@@ -139,17 +181,92 @@ func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
 // Ready reports the readiness probe's current state; Shutdown clears it.
 func (s *Server) Ready() bool { return s.ready.Load() }
 
-// Start serves in a background goroutine and marks the server ready.
+// SetMaxInflight bounds concurrently served requests; above the bound the
+// server sheds with 503 + Retry-After instead of queueing. Zero or
+// negative disables shedding. Safe to adjust while serving.
+func (s *Server) SetMaxInflight(n int) { s.maxInflight.Store(int64(n)) }
+
+// Sheds counts requests refused by admission control since start.
+func (s *Server) Sheds() int64 { return s.sheds.Load() }
+
+// Inflight returns the requests currently being served.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// shedRetryAfter is the backoff hint sheds carry; clients honouring it
+// spread their return instead of hammering an overloaded server.
+const shedRetryAfter = "1"
+
+// admit is the load-shedding middleware: a bounded in-flight counter with
+// fail-fast 503s. Observability endpoints bypass it so an overloaded
+// service can still be inspected.
+func (s *Server) admit(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		limit := s.maxInflight.Load()
+		if limit <= 0 || skipObservation(r.URL.Path) {
+			next.ServeHTTP(w, r)
+			return
+		}
+		if cur := s.inflight.Add(1); cur > limit {
+			s.inflight.Add(-1)
+			s.sheds.Add(1)
+			w.Header().Set("Retry-After", shedRetryAfter)
+			WriteError(w, http.StatusServiceUnavailable,
+				"%s overloaded: %d requests in flight", s.name, limit)
+			return
+		}
+		defer s.inflight.Add(-1)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// AttachClient registers an outbound client whose retry/breaker stats are
+// reported in this server's metrics — the convention is the client a
+// service uses for its own downstream calls.
+func (s *Server) AttachClient(c *Client) {
+	if c == nil {
+		return
+	}
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
+	s.clients = append(s.clients, c)
+}
+
+// attachedClients snapshots the registered clients.
+func (s *Server) attachedClients() []*Client {
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
+	return append([]*Client(nil), s.clients...)
+}
+
+// Start serves in a background goroutine and marks the server ready. A
+// fatal Serve error (the listener dying underneath a live server) is
+// exposed via Err and delivered once on ErrChan; graceful Shutdown is not
+// an error.
 func (s *Server) Start() {
 	s.ready.Store(true)
 	go func() {
-		if err := s.srv.Serve(s.lis); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			// Serving errors after shutdown are expected; others surface
-			// on the health endpoint going away.
-			_ = err
+		err := s.srv.Serve(s.lis)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr.Store(&err)
+			s.ready.Store(false)
+			s.errCh <- err
 		}
+		close(s.errCh)
 	}()
 }
+
+// Err returns the fatal Serve error, if any. Nil while serving normally
+// and after a graceful Shutdown.
+func (s *Server) Err() error {
+	if p := s.serveErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ErrChan delivers at most one fatal Serve error and is closed when the
+// serve goroutine exits, so watchers can block without leaking.
+func (s *Server) ErrChan() <-chan error { return s.errCh }
 
 // Shutdown drains connections within the context deadline.
 func (s *Server) Shutdown(ctx context.Context) error {
@@ -157,17 +274,49 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.srv.Shutdown(ctx)
 }
 
-// Client is a pooled JSON client for service-to-service calls.
+// Client is a pooled JSON client for service-to-service calls. Unless
+// configured otherwise it retries idempotent calls per
+// DefaultRetryPolicy and circuit-breaks per destination host per
+// DefaultBreakerConfig.
 type Client struct {
-	http *http.Client
+	http     *http.Client
+	retry    RetryPolicy
+	breakers *breakerGroup // nil → breakers disabled
+
+	retries       atomic.Int64
+	shortCircuits atomic.Int64
 }
 
-// NewClient returns a client with sane pooling for loopback traffic.
-func NewClient(timeout time.Duration) *Client {
+// ClientOption customizes NewClient.
+type ClientOption func(*Client)
+
+// WithRetry replaces the client's default retry policy.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p.normalized() }
+}
+
+// WithoutRetries disables retries: every call is issued exactly once.
+func WithoutRetries() ClientOption {
+	return func(c *Client) { c.retry = RetryPolicy{MaxAttempts: 1, BaseBackoff: 1, MaxBackoff: 1} }
+}
+
+// WithBreaker replaces the per-destination breaker config.
+func WithBreaker(cfg BreakerConfig) ClientOption {
+	return func(c *Client) { c.breakers = newBreakerGroup(cfg) }
+}
+
+// WithoutBreakers disables circuit breaking.
+func WithoutBreakers() ClientOption {
+	return func(c *Client) { c.breakers = nil }
+}
+
+// NewClient returns a client with sane pooling for loopback traffic and
+// the default resilience policies (override via options).
+func NewClient(timeout time.Duration, opts ...ClientOption) *Client {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	return &Client{
+	c := &Client{
 		http: &http.Client{
 			Timeout: timeout,
 			Transport: &http.Transport{
@@ -176,66 +325,40 @@ func NewClient(timeout time.Duration) *Client {
 				IdleConnTimeout:     60 * time.Second,
 			},
 		},
+		retry:    DefaultRetryPolicy(),
+		breakers: newBreakerGroup(DefaultBreakerConfig()),
 	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Retries counts re-issued attempts since the client was created.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// ShortCircuits counts calls refused by an open breaker.
+func (c *Client) ShortCircuits() int64 { return c.shortCircuits.Load() }
+
+// ClientResilience is one client's cumulative retry/breaker summary.
+type ClientResilience struct {
+	Retries       int64                      `json:"retries"`
+	ShortCircuits int64                      `json:"shortCircuits"`
+	Breakers      map[string]BreakerSnapshot `json:"breakers,omitempty"`
+}
+
+// ResilienceSnapshot summarizes the client's resilience activity.
+func (c *Client) ResilienceSnapshot() ClientResilience {
+	out := ClientResilience{Retries: c.retries.Load(), ShortCircuits: c.shortCircuits.Load()}
+	if c.breakers != nil {
+		out.Breakers = c.breakers.snapshots()
+	}
+	return out
 }
 
 // GetJSON GETs url and decodes into out (which may be nil to discard).
 func (c *Client) GetJSON(ctx context.Context, url string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
-}
-
-// PostJSON POSTs in as JSON and decodes the response into out.
-func (c *Client) PostJSON(ctx context.Context, url string, in, out any) error {
-	var body io.Reader
-	if in != nil {
-		buf, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(buf)
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
-}
-
-// injectTrace forwards the context's trace identity one hop deeper so the
-// receiving Server records its span under the same trace ID.
-func injectTrace(req *http.Request) {
-	if tc, ok := TraceFrom(req.Context()); ok {
-		req.Header.Set(TraceIDHeader, tc.ID)
-		req.Header.Set(TraceDepthHeader, strconv.Itoa(tc.Depth+1))
-	}
-}
-
-// GetBytes GETs a binary payload (images).
-func (c *Client) GetBytes(ctx context.Context, url string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
-	if err != nil {
-		return nil, err
-	}
-	injectTrace(req)
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, decodeError(resp)
-	}
-	return io.ReadAll(io.LimitReader(resp.Body, 32<<20))
-}
-
-func (c *Client) do(req *http.Request, out any) error {
-	injectTrace(req)
-	resp, err := c.http.Do(req)
+	resp, err := c.exec(ctx, http.MethodGet, url, nil, "")
 	if err != nil {
 		return err
 	}
@@ -248,9 +371,158 @@ func (c *Client) do(req *http.Request, out any) error {
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("httpkit: decoding response from %s: %w", req.URL, err)
+		return fmt.Errorf("httpkit: decoding response from %s: %w", url, err)
 	}
 	return nil
+}
+
+// PostJSON POSTs in as JSON and decodes the response into out.
+func (c *Client) PostJSON(ctx context.Context, url string, in, out any) error {
+	var body []byte
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = buf
+	}
+	resp, err := c.exec(ctx, http.MethodPost, url, body, "application/json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("httpkit: decoding response from %s: %w", url, err)
+	}
+	return nil
+}
+
+// GetBytes GETs a binary payload (images).
+func (c *Client) GetBytes(ctx context.Context, url string) ([]byte, error) {
+	resp, err := c.exec(ctx, http.MethodGet, url, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, decodeError(resp)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+}
+
+// injectTrace forwards the context's trace identity one hop deeper so the
+// receiving Server records its span under the same trace ID.
+func injectTrace(req *http.Request) {
+	if tc, ok := TraceFrom(req.Context()); ok {
+		req.Header.Set(TraceIDHeader, tc.ID)
+		req.Header.Set(TraceDepthHeader, strconv.Itoa(tc.Depth+1))
+	}
+}
+
+// exec issues one logical call through the resilience machinery: breaker
+// admission per destination host, then up to MaxAttempts tries separated
+// by full-jittered exponential backoff that never outlives the context
+// deadline. The returned response may carry any status; the caller
+// decodes. Transport failures and retryable statuses (5xx, 429) count
+// against the destination's breaker; 4xx answers count as successes —
+// the service is alive and talking. Failures caused by the caller's own
+// context ending are not recorded at all: they carry no signal about
+// backend health.
+func (c *Client) exec(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, error) {
+	pol := c.retry
+	if override, ok := callRetryFrom(ctx); ok {
+		override.RetryNonIdempotent = override.RetryNonIdempotent || pol.RetryNonIdempotent
+		pol = override
+	}
+	attempts := 1
+	if pol.retries(method) {
+		attempts = pol.MaxAttempts
+	}
+
+	var br *Breaker
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if !backoff(ctx, pol, attempt) {
+				// Deadline budget exhausted: surface the last real
+				// failure, annotated, rather than a bare context error.
+				return nil, fmt.Errorf("httpkit: retry budget exhausted after %d attempts: %w", attempt, lastErr)
+			}
+		}
+		req, err := c.newRequest(ctx, method, url, body, contentType)
+		if err != nil {
+			return nil, err
+		}
+		if c.breakers != nil {
+			if br == nil {
+				br = c.breakers.get(req.URL.Host)
+			}
+			if !br.Allow() {
+				c.shortCircuits.Add(1)
+				// An open breaker means the destination is known-bad;
+				// spending the remaining attempts would just burn the
+				// backoff budget against a closed gate.
+				return nil, fmt.Errorf("%w for %s", ErrCircuitOpen, req.URL.Host)
+			}
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			if ctx.Err() != nil {
+				// The caller gave up, not the destination: a cancelled
+				// request says nothing about backend health, so it must
+				// not trip the breaker (a burst of client disconnects
+				// would otherwise open breakers against healthy hosts).
+				return nil, err
+			}
+			if br != nil {
+				br.Record(false)
+			}
+			lastErr = err
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			if br != nil {
+				br.Record(false)
+			}
+			if attempt+1 < attempts {
+				lastErr = decodeError(resp)
+				resp.Body.Close()
+				continue
+			}
+			return resp, nil
+		}
+		if br != nil {
+			br.Record(true)
+		}
+		return resp, nil
+	}
+	return nil, lastErr
+}
+
+// newRequest builds one attempt's request; bodies are replayed from the
+// original bytes so every retry sends the full payload.
+func (c *Client) newRequest(ctx context.Context, method, url string, body []byte, contentType string) (*http.Request, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	injectTrace(req)
+	return req, nil
 }
 
 // decodeError turns a non-2xx response into an *ErrorBody when possible.

@@ -159,21 +159,58 @@ func (s *Server) observe(next http.Handler) http.Handler {
 }
 
 // MetricsSnapshot is the JSON payload of /metrics.json: one service's
-// request count plus overall and per-route latency summaries.
+// request count plus overall and per-route latency summaries, and the
+// resilience counters — server-side sheds and injected faults alongside
+// the attached clients' retry/breaker activity.
 type MetricsSnapshot struct {
-	Service  string                      `json:"service"`
-	Requests int64                       `json:"requests"`
-	Overall  metrics.Snapshot            `json:"overall"`
-	Routes   map[string]metrics.Snapshot `json:"routes"`
+	Service    string                      `json:"service"`
+	Requests   int64                       `json:"requests"`
+	Overall    metrics.Snapshot            `json:"overall"`
+	Routes     map[string]metrics.Snapshot `json:"routes"`
+	Resilience ResilienceSnapshot          `json:"resilience"`
+}
+
+// ResilienceSnapshot is one service's resilience summary: what its server
+// shed and injected, and what its outbound clients retried and broke.
+type ResilienceSnapshot struct {
+	Shed          int64                      `json:"shed"`
+	Inflight      int64                      `json:"inflight"`
+	ChaosInjected int64                      `json:"chaosInjected,omitempty"`
+	Retries       int64                      `json:"retries"`
+	ShortCircuits int64                      `json:"shortCircuits"`
+	Breakers      map[string]BreakerSnapshot `json:"breakers,omitempty"`
+}
+
+// resilienceSnapshot aggregates the server-side counters with every
+// attached client's.
+func (s *Server) resilienceSnapshot() ResilienceSnapshot {
+	out := ResilienceSnapshot{
+		Shed:          s.sheds.Load(),
+		Inflight:      s.inflight.Load(),
+		ChaosInjected: s.chaosInjected.Load(),
+	}
+	for _, c := range s.attachedClients() {
+		cr := c.ResilienceSnapshot()
+		out.Retries += cr.Retries
+		out.ShortCircuits += cr.ShortCircuits
+		for host, bs := range cr.Breakers {
+			if out.Breakers == nil {
+				out.Breakers = map[string]BreakerSnapshot{}
+			}
+			out.Breakers[host] = bs
+		}
+	}
+	return out
 }
 
 // MetricsSnapshot summarizes the server's observed traffic.
 func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	frozen := s.stats.frozen()
 	out := MetricsSnapshot{
-		Service:  s.name,
-		Requests: s.reqs.Load(),
-		Routes:   make(map[string]metrics.Snapshot, len(frozen)),
+		Service:    s.name,
+		Requests:   s.reqs.Load(),
+		Routes:     make(map[string]metrics.Snapshot, len(frozen)),
+		Resilience: s.resilienceSnapshot(),
 	}
 	var all metrics.Histogram
 	for route, h := range frozen {
@@ -218,6 +255,53 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "teastore_request_duration_seconds_count{service=%q,route=%q} %d\n",
 			s.name, route, h.Count())
 	}
+
+	res := s.resilienceSnapshot()
+	fmt.Fprintf(w, "# HELP teastore_shed_total Requests refused by admission control.\n")
+	fmt.Fprintf(w, "# TYPE teastore_shed_total counter\n")
+	fmt.Fprintf(w, "teastore_shed_total{service=%q} %d\n", s.name, res.Shed)
+	fmt.Fprintf(w, "# HELP teastore_inflight_requests Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE teastore_inflight_requests gauge\n")
+	fmt.Fprintf(w, "teastore_inflight_requests{service=%q} %d\n", s.name, res.Inflight)
+	fmt.Fprintf(w, "# HELP teastore_chaos_injected_total Faults injected by the chaos middleware.\n")
+	fmt.Fprintf(w, "# TYPE teastore_chaos_injected_total counter\n")
+	fmt.Fprintf(w, "teastore_chaos_injected_total{service=%q} %d\n", s.name, res.ChaosInjected)
+	fmt.Fprintf(w, "# HELP teastore_client_retries_total Outbound attempts re-issued after a failure.\n")
+	fmt.Fprintf(w, "# TYPE teastore_client_retries_total counter\n")
+	fmt.Fprintf(w, "teastore_client_retries_total{service=%q} %d\n", s.name, res.Retries)
+	fmt.Fprintf(w, "# HELP teastore_client_short_circuits_total Outbound calls refused by an open breaker.\n")
+	fmt.Fprintf(w, "# TYPE teastore_client_short_circuits_total counter\n")
+	fmt.Fprintf(w, "teastore_client_short_circuits_total{service=%q} %d\n", s.name, res.ShortCircuits)
+	if len(res.Breakers) > 0 {
+		hosts := make([]string, 0, len(res.Breakers))
+		for host := range res.Breakers {
+			hosts = append(hosts, host)
+		}
+		sort.Strings(hosts)
+		fmt.Fprintf(w, "# HELP teastore_breaker_state Breaker state per destination (0 closed, 1 open, 2 half-open).\n")
+		fmt.Fprintf(w, "# TYPE teastore_breaker_state gauge\n")
+		for _, host := range hosts {
+			fmt.Fprintf(w, "teastore_breaker_state{service=%q,dest=%q} %d\n",
+				s.name, host, breakerStateValue(res.Breakers[host].State))
+		}
+		fmt.Fprintf(w, "# HELP teastore_breaker_opens_total Breaker closed-to-open transitions per destination.\n")
+		fmt.Fprintf(w, "# TYPE teastore_breaker_opens_total counter\n")
+		for _, host := range hosts {
+			fmt.Fprintf(w, "teastore_breaker_opens_total{service=%q,dest=%q} %d\n",
+				s.name, host, res.Breakers[host].Opens)
+		}
+	}
+}
+
+// breakerStateValue maps state names onto the gauge encoding.
+func breakerStateValue(state string) int {
+	switch state {
+	case "open":
+		return 1
+	case "half-open":
+		return 2
+	}
+	return 0
 }
 
 func formatSeconds(ns int64) string {

@@ -1,0 +1,42 @@
+package httpkit
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// BenchmarkClientRetryOverhead measures the per-call cost the resilience
+// layer adds on the happy path — policy resolution, breaker admission, and
+// outcome recording — without the HTTP round-trip. CI asserts this stays
+// well under a microsecond so the layer is free at TeaStore request rates.
+func BenchmarkClientRetryOverhead(b *testing.B) {
+	c := NewClient(time.Second)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy := c.retry
+		if p, ok := callRetryFrom(ctx); ok {
+			policy = p
+		}
+		_ = policy.retries(http.MethodGet)
+		br := c.breakers.get("127.0.0.1:8080")
+		if br.Allow() {
+			br.Record(true)
+		}
+	}
+}
+
+// BenchmarkBreakerAllowRecord isolates the breaker state machine itself.
+func BenchmarkBreakerAllowRecord(b *testing.B) {
+	br := NewBreaker(DefaultBreakerConfig())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if br.Allow() {
+			br.Record(true)
+		}
+	}
+}

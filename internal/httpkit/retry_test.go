@@ -1,0 +1,172 @@
+package httpkit
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler answers with failStatus for the first fails requests, then
+// succeeds.
+func flakyHandler(fails int, failStatus int) (http.HandlerFunc, *atomic.Int64) {
+	var calls atomic.Int64
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= int64(fails) {
+			WriteError(w, failStatus, "transient")
+			return
+		}
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+	}, &calls
+}
+
+// fastRetry keeps test backoffs tiny.
+func fastRetry(attempts int) RetryPolicy {
+	return RetryPolicy{MaxAttempts: attempts, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+}
+
+// TestRetrySucceedsAfterTransientFailures: an idempotent GET rides out two
+// 503s and the retry counter reflects the re-issues.
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	h, calls := flakyHandler(2, http.StatusServiceUnavailable)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /flaky", h)
+	s := startTestServer(t, mux)
+
+	c := NewClient(2*time.Second, WithRetry(fastRetry(3)), WithoutBreakers())
+	if err := c.GetJSON(context.Background(), s.URL()+"/flaky", nil); err != nil {
+		t.Fatalf("retried GET failed: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+	if c.Retries() != 2 {
+		t.Fatalf("Retries() = %d, want 2", c.Retries())
+	}
+}
+
+// TestRetryExhaustionReturnsLastError: when every attempt fails the caller
+// sees the final response's error, not a retry artifact.
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusServiceUnavailable)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /down", h)
+	s := startTestServer(t, mux)
+
+	c := NewClient(2*time.Second, WithRetry(fastRetry(3)), WithoutBreakers())
+	err := c.GetJSON(context.Background(), s.URL()+"/down", nil)
+	if !IsStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("err = %v, want 503 envelope", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestNoRetryOnApplicationErrors: 4xx answers are not faults; one attempt
+// only.
+func TestNoRetryOnApplicationErrors(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusNotFound)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /missing", h)
+	s := startTestServer(t, mux)
+
+	c := NewClient(2*time.Second, WithRetry(fastRetry(3)), WithoutBreakers())
+	if err := c.GetJSON(context.Background(), s.URL()+"/missing", nil); !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}
+
+// TestPostNotRetriedByDefault: non-idempotent methods are issued exactly
+// once unless a per-call policy opts in.
+func TestPostNotRetriedByDefault(t *testing.T) {
+	h, calls := flakyHandler(1, http.StatusInternalServerError)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /write", h)
+	s := startTestServer(t, mux)
+
+	c := NewClient(2*time.Second, WithRetry(fastRetry(3)), WithoutBreakers())
+	if err := c.PostJSON(context.Background(), s.URL()+"/write", map[string]int{"n": 1}, nil); err == nil {
+		t.Fatal("failed POST reported success")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("POST retried: server saw %d calls", got)
+	}
+
+	// Per-call opt-in: the same POST rides out the failure, and the body
+	// is replayed intact on the second attempt.
+	calls.Store(0)
+	h2, calls2 := flakyHandler(1, http.StatusInternalServerError)
+	mux2 := http.NewServeMux()
+	var lastBody atomic.Value
+	mux2.HandleFunc("POST /write", func(w http.ResponseWriter, r *http.Request) {
+		var in map[string]int
+		if err := ReadJSON(r, &in); err == nil {
+			lastBody.Store(in["n"])
+		}
+		h2(w, r)
+	})
+	s2 := startTestServer(t, mux2)
+	ctx := WithCallRetry(context.Background(),
+		RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond, RetryNonIdempotent: true})
+	if err := c.PostJSON(ctx, s2.URL()+"/write", map[string]int{"n": 7}, nil); err != nil {
+		t.Fatalf("opted-in POST retry failed: %v", err)
+	}
+	if got := calls2.Load(); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	if n, _ := lastBody.Load().(int); n != 7 {
+		t.Fatalf("retried body lost: n = %v", lastBody.Load())
+	}
+}
+
+// TestRetryBudgetBoundedByDeadline pins the deadline-budget contract: a
+// generous retry policy must give up as soon as the context budget cannot
+// cover the next backoff, never sleeping past the caller's deadline.
+func TestRetryBudgetBoundedByDeadline(t *testing.T) {
+	h, _ := flakyHandler(1000, http.StatusInternalServerError)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /always-down", h)
+	s := startTestServer(t, mux)
+
+	c := NewClient(2*time.Second,
+		WithRetry(RetryPolicy{MaxAttempts: 50, BaseBackoff: 40 * time.Millisecond, MaxBackoff: 40 * time.Millisecond}),
+		WithoutBreakers())
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := c.GetJSON(ctx, s.URL()+"/always-down", nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("doomed call reported success")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") && ctx.Err() == nil {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+	// The deadline was 120ms; allow generous scheduler slack but rule out
+	// anything near the 50-attempt worst case (~2s of backoff).
+	if elapsed > time.Second {
+		t.Fatalf("retries outlived the deadline budget: took %v", elapsed)
+	}
+}
+
+// TestWithoutRetriesIssuesOnce covers the opt-out.
+func TestWithoutRetriesIssuesOnce(t *testing.T) {
+	h, calls := flakyHandler(100, http.StatusServiceUnavailable)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /down", h)
+	s := startTestServer(t, mux)
+
+	c := NewClient(2*time.Second, WithoutRetries(), WithoutBreakers())
+	if err := c.GetJSON(context.Background(), s.URL()+"/down", nil); err == nil {
+		t.Fatal("failure swallowed")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1", got)
+	}
+}

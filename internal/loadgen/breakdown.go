@@ -13,13 +13,14 @@ import (
 
 // FetchBreakdown discovers every live service instance through the
 // registry and collects each one's /metrics.json into a per-service
-// p50/p95/p99 latency table — the remote counterpart of
+// p50/p95/p99 latency table with resilience counters (retries, sheds,
+// breaker trips) — the remote counterpart of
 // teastore.Stack.BreakdownTable for load runs driven at a stack in
 // another process.
 func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, error) {
 	t := metrics.Table{
 		Title:   "Per-service latency breakdown",
-		Headers: []string{"service", "instance", "requests", "p50 ms", "p95 ms", "p99 ms"},
+		Headers: []string{"service", "instance", "requests", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "opens"},
 	}
 	hc := httpkit.NewClient(5 * time.Second)
 	var names []string
@@ -42,8 +43,15 @@ func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, err
 			if err := hc.GetJSON(ctx, "http://"+addr+"/metrics.json", &snap); err != nil {
 				return t, fmt.Errorf("loadgen: metrics from %s@%s: %w", name, addr, err)
 			}
+			var opens int64
+			for _, bs := range snap.Resilience.Breakers {
+				opens += bs.Opens
+			}
 			t.AddRow(name, addr, strconv.FormatInt(snap.Requests, 10),
-				ms(snap.Overall.P50), ms(snap.Overall.P95), ms(snap.Overall.P99))
+				ms(snap.Overall.P50), ms(snap.Overall.P95), ms(snap.Overall.P99),
+				strconv.FormatInt(snap.Resilience.Retries, 10),
+				strconv.FormatInt(snap.Resilience.Shed, 10),
+				strconv.FormatInt(opens, 10))
 		}
 	}
 	return t, nil

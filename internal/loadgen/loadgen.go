@@ -57,6 +57,11 @@ type Result struct {
 	// Requests and Errors count measured operations.
 	Requests int64
 	Errors   int64
+	// Shed counts 503-with-Retry-After answers — the server declining
+	// work under load shedding, distinct from real failures.
+	Shed int64
+	// Retries counts re-issues after honouring a Retry-After backoff.
+	Retries int64
 }
 
 // catalog is the discovered store shape.
@@ -147,6 +152,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	res.Latency = all.Snapshot()
 	res.Requests = all.Count()
 	res.Errors = errCount.Load()
+	for _, w := range workers {
+		res.Shed += w.shed
+		res.Retries += w.retried
+	}
 	res.Throughput = float64(all.Count()) / elapsed.Seconds()
 	for r := range byReq {
 		if byReq[r].Count() > 0 {
@@ -194,6 +203,10 @@ type worker struct {
 
 	all   metrics.Histogram
 	byReq [workload.NumRequests]metrics.Histogram
+	// shed and retried are written by this worker's goroutine only and
+	// read after the run's WaitGroup barrier.
+	shed    int64
+	retried int64
 
 	lastProduct int64
 	userIdx     int
@@ -335,17 +348,69 @@ func (w *worker) postForm(ctx context.Context, path string, form url.Values) err
 	return w.do(req)
 }
 
+// maxShedRetries bounds how many Retry-After backoffs one request honours
+// before the shed counts as a failure.
+const maxShedRetries = 2
+
+// maxRetryAfter caps the honoured backoff so a hostile or buggy header
+// cannot park a worker for minutes.
+const maxRetryAfter = 5 * time.Second
+
 func (w *worker) do(req *http.Request) error {
-	resp, err := w.http.Do(req)
-	if err != nil {
-		return err
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 && req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return err
+			}
+			req.Body = body
+		}
+		resp, err := w.http.Do(req)
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// A 503 carrying Retry-After is the server shedding load, not
+		// failing: honour the backoff and re-issue instead of counting a
+		// generic error.
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok && attempt < maxShedRetries {
+				if w.measuring.Load() {
+					w.shed++
+				}
+				if !w.sleep(req.Context(), d) {
+					return req.Context().Err()
+				}
+				if w.measuring.Load() {
+					w.retried++
+				}
+				continue
+			}
+		}
+		// 401 on login-after-expiry etc. counts as an application response,
+		// not a load error; 5xx and transport failures are errors.
+		if resp.StatusCode >= 500 {
+			return fmt.Errorf("loadgen: %s %s → %d", req.Method, req.URL.Path, resp.StatusCode)
+		}
+		return nil
 	}
-	defer resp.Body.Close()
-	_, _ = io.Copy(io.Discard, resp.Body)
-	// 401 on login-after-expiry etc. counts as an application response,
-	// not a load error; 5xx and transport failures are errors.
-	if resp.StatusCode >= 500 {
-		return fmt.Errorf("loadgen: %s %s → %d", req.Method, req.URL.Path, resp.StatusCode)
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value (fractional
+// seconds accepted), capped at maxRetryAfter. HTTP-date forms and absent
+// headers report false.
+func parseRetryAfter(v string) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
 	}
-	return nil
+	secs, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err != nil || secs < 0 {
+		return 0, false
+	}
+	d := time.Duration(secs * float64(time.Second))
+	if d > maxRetryAfter {
+		d = maxRetryAfter
+	}
+	return d, true
 }

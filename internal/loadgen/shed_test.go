@@ -1,0 +1,121 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedWorker builds a worker aimed at the given base URL with measurement
+// enabled.
+func shedWorker(t *testing.T, base string) *worker {
+	t.Helper()
+	var measuring atomic.Bool
+	measuring.Store(true)
+	var errCount atomic.Int64
+	w, err := newWorker(Config{WebUIURL: base, ThinkScale: 0.01, CatalogUsers: 1},
+		catalog{categoryIDs: []int64{1}, productIDs: []int64{1}}, 0, &measuring, &errCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestWorkerHonoursRetryAfter: a 503 with Retry-After is a shed, not an
+// error — the worker backs off, re-issues, and records both outcomes.
+func TestWorkerHonoursRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0.05")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	w := shedWorker(t, srv.URL)
+	start := time.Now()
+	if err := w.get(context.Background(), "/"); err != nil {
+		t.Fatalf("shed request reported error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("Retry-After not honoured: re-issued after %v", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if w.shed != 1 || w.retried != 1 {
+		t.Fatalf("shed/retried = %d/%d, want 1/1", w.shed, w.retried)
+	}
+}
+
+// TestWorkerGivesUpAfterShedBudget: persistent shedding stops being
+// retried after maxShedRetries and surfaces as an error.
+func TestWorkerGivesUpAfterShedBudget(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0.01")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	w := shedWorker(t, srv.URL)
+	if err := w.get(context.Background(), "/"); err == nil {
+		t.Fatal("endless shedding reported success")
+	}
+	if got := calls.Load(); got != maxShedRetries+1 {
+		t.Fatalf("server saw %d calls, want %d", got, maxShedRetries+1)
+	}
+}
+
+// TestWorker503WithoutRetryAfterIsAnError: a bare 503 has no shed
+// semantics and must not trigger the backoff loop.
+func TestWorker503WithoutRetryAfterIsAnError(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	w := shedWorker(t, srv.URL)
+	if err := w.get(context.Background(), "/"); err == nil {
+		t.Fatal("bare 503 reported success")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("bare 503 retried: %d calls", calls.Load())
+	}
+	if w.shed != 0 || w.retried != 0 {
+		t.Fatalf("bare 503 counted as shed: %d/%d", w.shed, w.retried)
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"1", time.Second, true},
+		{"0.5", 500 * time.Millisecond, true},
+		{" 2 ", 2 * time.Second, true},
+		{"0", 0, true},
+		{"-1", 0, false},
+		{"Wed, 21 Oct 2026 07:28:00 GMT", 0, false},
+		{"nonsense", 0, false},
+		{"3600", maxRetryAfter, true}, // capped
+	}
+	for _, c := range cases {
+		got, ok := parseRetryAfter(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("parseRetryAfter(%q) = (%v, %v), want (%v, %v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}

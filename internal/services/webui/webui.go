@@ -51,9 +51,50 @@ const (
 
 const productsPerPage = 8
 
+// placeholderImageB64 is an 8×8 light-gray PNG embedded when the
+// ImageProvider is unreachable, so pages degrade to visible placeholders
+// instead of broken image tags.
+const placeholderImageB64 = "iVBORw0KGgoAAAANSUhEUgAAAAgAAAAICAIAAABLbSncAAAAGUlEQVR4nGK5ceMGAzbAhFV00EoAAgAA///+nwKb+G5vKAAAAABJRU5ErkJggg=="
+
+// recCacheCap bounds the recommendation fallback cache.
+const recCacheCap = 256
+
+// recCache remembers the last good recommendation strip per anchor
+// product so a dead Recommender degrades to slightly stale suggestions
+// instead of an empty section.
+type recCache struct {
+	mu sync.RWMutex
+	m  map[int64][]productCard
+}
+
+func (rc *recCache) get(key int64) ([]productCard, bool) {
+	rc.mu.RLock()
+	defer rc.mu.RUnlock()
+	cards, ok := rc.m[key]
+	return cards, ok
+}
+
+func (rc *recCache) put(key int64, cards []productCard) {
+	if len(cards) == 0 {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.m == nil {
+		rc.m = map[int64][]productCard{}
+	}
+	if len(rc.m) >= recCacheCap {
+		// Full reset beats tracking LRU order for a cache this cheap to
+		// refill.
+		rc.m = map[int64][]productCard{}
+	}
+	rc.m[key] = cards
+}
+
 // Service is one WebUI instance.
 type Service struct {
 	backends Backends
+	recFall  recCache
 }
 
 // New returns a WebUI over the given backends.
@@ -145,8 +186,8 @@ type productCard struct {
 }
 
 // fetchImages loads images for products concurrently, returning base64
-// strings aligned with the input. Failures yield empty strings (broken
-// image) rather than failing the page.
+// strings aligned with the input. Failures yield the gray placeholder
+// rather than failing the page or emitting broken image tags.
 func (s *Service) fetchImages(ctx context.Context, products []db.Product, size imagesvc.Size) []string {
 	out := make([]string, len(products))
 	var wg sync.WaitGroup
@@ -156,6 +197,8 @@ func (s *Service) fetchImages(ctx context.Context, products []db.Product, size i
 			defer wg.Done()
 			if data, err := s.backends.Image.Image(ctx, id, size); err == nil {
 				out[i] = base64.StdEncoding.EncodeToString(data)
+			} else {
+				out[i] = placeholderImageB64
 			}
 		}(i, p.ID)
 	}
@@ -172,11 +215,18 @@ func (s *Service) cards(ctx context.Context, products []db.Product, size imagesv
 	return cards
 }
 
-// recommendedCards resolves recommendation IDs into display cards.
+// recommendedCards resolves recommendation IDs into display cards. A
+// failed Recommender call falls back to the last good strip rendered for
+// the same anchor product — stale suggestions beat an empty section.
 func (s *Service) recommendedCards(ctx context.Context, userID int64, current []int64, max int, withImages bool) []productCard {
+	var anchor int64
+	if len(current) > 0 {
+		anchor = current[0]
+	}
 	ids, err := s.backends.Recommender.Recommend(ctx, userID, current, max)
 	if err != nil {
-		return nil
+		cached, _ := s.recFall.get(anchor)
+		return cached
 	}
 	var products []db.Product
 	for _, id := range ids {
@@ -184,13 +234,16 @@ func (s *Service) recommendedCards(ctx context.Context, userID int64, current []
 			products = append(products, p)
 		}
 	}
+	var cards []productCard
 	if withImages {
-		return s.cards(ctx, products, imagesvc.SizeIcon)
+		cards = s.cards(ctx, products, imagesvc.SizeIcon)
+	} else {
+		cards = make([]productCard, len(products))
+		for i, p := range products {
+			cards[i] = productCard{ID: p.ID, Name: p.Name, Price: price(p.PriceCents)}
+		}
 	}
-	cards := make([]productCard, len(products))
-	for i, p := range products {
-		cards[i] = productCard{ID: p.ID, Name: p.Name, Price: price(p.PriceCents)}
-	}
+	s.recFall.put(anchor, cards)
 	return cards
 }
 

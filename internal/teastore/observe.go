@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/httpkit"
 	"repro/internal/metrics"
@@ -16,6 +17,9 @@ type ServiceStats struct {
 	Requests int64
 	Overall  metrics.Snapshot
 	Routes   map[string]metrics.Snapshot
+	// Resilience carries shed counts, injected faults, and the service's
+	// outbound retry/breaker activity.
+	Resilience httpkit.ResilienceSnapshot
 }
 
 // StatsSnapshot collects every server's per-route latency state, sorted by
@@ -26,11 +30,12 @@ func (s *Stack) StatsSnapshot() []ServiceStats {
 	for _, srv := range s.servers {
 		ms := srv.MetricsSnapshot()
 		out = append(out, ServiceStats{
-			Service:  srv.Name(),
-			URL:      srv.URL(),
-			Requests: ms.Requests,
-			Overall:  ms.Overall,
-			Routes:   ms.Routes,
+			Service:    srv.Name(),
+			URL:        srv.URL(),
+			Requests:   ms.Requests,
+			Overall:    ms.Overall,
+			Routes:     ms.Routes,
+			Resilience: ms.Resilience,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
@@ -59,12 +64,36 @@ func (s *Stack) Trace(id string) []httpkit.Span {
 func (s *Stack) BreakdownTable() metrics.Table {
 	t := metrics.Table{
 		Title:   "Per-service latency breakdown",
-		Headers: []string{"service", "requests", "p50 ms", "p95 ms", "p99 ms"},
+		Headers: []string{"service", "requests", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "breakers"},
 	}
 	ms := func(v int64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
 	for _, st := range s.StatsSnapshot() {
 		t.AddRow(st.Service, strconv.FormatInt(st.Requests, 10),
-			ms(st.Overall.P50), ms(st.Overall.P95), ms(st.Overall.P99))
+			ms(st.Overall.P50), ms(st.Overall.P95), ms(st.Overall.P99),
+			strconv.FormatInt(st.Resilience.Retries, 10),
+			strconv.FormatInt(st.Resilience.Shed, 10),
+			breakerSummary(st.Resilience))
 	}
 	return t
+}
+
+// breakerSummary renders a service's breaker column: destinations not in
+// the closed state, or "-" when everything is healthy.
+func breakerSummary(res httpkit.ResilienceSnapshot) string {
+	var parts []string
+	hosts := make([]string, 0, len(res.Breakers))
+	for host := range res.Breakers {
+		hosts = append(hosts, host)
+	}
+	sort.Strings(hosts)
+	for _, host := range hosts {
+		bs := res.Breakers[host]
+		if bs.State != "closed" || bs.Opens > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%s(%d opens)", host, bs.State, bs.Opens))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
 }

@@ -7,7 +7,9 @@ package teastore
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/db"
@@ -19,6 +21,47 @@ import (
 	"repro/internal/services/registry"
 	"repro/internal/services/webui"
 )
+
+// ResilienceConfig tunes the stack-wide resilience layer. Zero fields
+// select the defaults noted per field.
+type ResilienceConfig struct {
+	// Retry is the inter-service retry policy (httpkit.DefaultRetryPolicy).
+	Retry httpkit.RetryPolicy
+	// Breaker is the per-destination circuit-breaker config
+	// (httpkit.DefaultBreakerConfig).
+	Breaker httpkit.BreakerConfig
+	// MaxInflight bounds concurrently served requests per service before
+	// load shedding kicks in (0 → DefaultMaxInflight; negative → no
+	// shedding).
+	MaxInflight int
+	// ClientTimeout bounds each inter-service call attempt (0 → 10s).
+	ClientTimeout time.Duration
+}
+
+// DefaultMaxInflight is the per-service admission bound: generous enough
+// for the paper's closed-loop populations, small enough that a saturated
+// service sheds instead of queueing toward its 10s timeouts.
+const DefaultMaxInflight = 512
+
+// maxInflight resolves the configured admission bound.
+func (r ResilienceConfig) maxInflight() int {
+	switch {
+	case r.MaxInflight > 0:
+		return r.MaxInflight
+	case r.MaxInflight < 0:
+		return 0 // shedding disabled
+	default:
+		return DefaultMaxInflight
+	}
+}
+
+// clientTimeout resolves the per-attempt call timeout.
+func (r ResilienceConfig) clientTimeout() time.Duration {
+	if r.ClientTimeout > 0 {
+		return r.ClientTimeout
+	}
+	return 10 * time.Second
+}
 
 // Config parameterizes a stack boot.
 type Config struct {
@@ -37,6 +80,11 @@ type Config struct {
 	// The stack heartbeats live services at TTL/3 so registrations survive
 	// long runs; tests shorten it to observe expiry quickly.
 	RegistryTTL time.Duration
+	// Resilience tunes retries, breakers, and load shedding.
+	Resilience ResilienceConfig
+	// Chaos maps service names to fault-injection specs applied at boot;
+	// use Stack.SetChaos to flip faults on mid-run.
+	Chaos map[string]httpkit.ChaosConfig
 }
 
 // Stack is a running all-in-one TeaStore.
@@ -45,6 +93,10 @@ type Stack struct {
 	reg     *registry.Registry
 	stopSwp func()
 	stopHB  func()
+
+	// serveErr records the first listener death across the stack.
+	errMu    sync.Mutex
+	serveErr error
 
 	Store *db.Store
 
@@ -78,9 +130,20 @@ func Start(cfg Config) (*Stack, error) {
 		if err != nil {
 			return nil, err
 		}
+		srv.SetMaxInflight(cfg.Resilience.maxInflight())
+		if chaos, ok := cfg.Chaos[name]; ok {
+			srv.SetChaos(chaos)
+		}
 		srv.Start()
 		st.servers = append(st.servers, srv)
 		return srv, nil
+	}
+	// Every service gets its own outbound client so /metrics attributes
+	// retries and breaker trips to the caller that suffered them.
+	newClient := func() *httpkit.Client {
+		return httpkit.NewClient(cfg.Resilience.clientTimeout(),
+			httpkit.WithRetry(cfg.Resilience.Retry),
+			httpkit.WithBreaker(cfg.Resilience.Breaker))
 	}
 
 	// Registry first: everything else announces itself there.
@@ -102,11 +165,10 @@ func Start(cfg Config) (*Stack, error) {
 		return fail(err)
 	}
 	st.PersistenceURL = persistSrv.URL()
-	hc := httpkit.NewClient(10 * time.Second)
-	persistClient := persistence.NewClient(st.PersistenceURL, hc)
 
 	// Auth verifies against persistence.
-	authSvc, err := auth.New(cfg.Key, persistClient)
+	authHC := newClient()
+	authSvc, err := auth.New(cfg.Key, persistence.NewClient(st.PersistenceURL, authHC))
 	if err != nil {
 		return fail(err)
 	}
@@ -114,10 +176,12 @@ func Start(cfg Config) (*Stack, error) {
 	if err != nil {
 		return fail(err)
 	}
+	authSrv.AttachClient(authHC)
 	st.AuthURL = authSrv.URL()
 
 	// Recommender trains on the order history.
-	recSvc, err := recommender.New(cfg.Algorithm, persistClient)
+	recHC := newClient()
+	recSvc, err := recommender.New(cfg.Algorithm, persistence.NewClient(st.PersistenceURL, recHC))
 	if err != nil {
 		return fail(err)
 	}
@@ -128,6 +192,7 @@ func Start(cfg Config) (*Stack, error) {
 	if err != nil {
 		return fail(err)
 	}
+	recSrv.AttachClient(recHC)
 	st.RecommenderURL = recSrv.URL()
 
 	// Image provider.
@@ -139,11 +204,12 @@ func Start(cfg Config) (*Stack, error) {
 	st.ImageURL = imgSrv.URL()
 
 	// WebUI fans out to everything.
+	uiHC := newClient()
 	ui, err := webui.New(webui.Backends{
-		Auth:        auth.NewClient(st.AuthURL, hc),
-		Persistence: persistClient,
-		Recommender: recommender.NewClient(st.RecommenderURL, hc),
-		Image:       imagesvc.NewClient(st.ImageURL, hc),
+		Auth:        auth.NewClient(st.AuthURL, uiHC),
+		Persistence: persistence.NewClient(st.PersistenceURL, uiHC),
+		Recommender: recommender.NewClient(st.RecommenderURL, uiHC),
+		Image:       imagesvc.NewClient(st.ImageURL, uiHC),
 	})
 	if err != nil {
 		return fail(err)
@@ -152,7 +218,18 @@ func Start(cfg Config) (*Stack, error) {
 	if err != nil {
 		return fail(err)
 	}
+	uiSrv.AttachClient(uiHC)
 	st.WebUIURL = uiSrv.URL()
+
+	// A listener can die between its Start and now (port snatched,
+	// fd exhaustion); catch that before declaring the stack up, then
+	// keep watching for the lifetime of the stack.
+	for _, srv := range st.servers {
+		if err := srv.Err(); err != nil {
+			return fail(fmt.Errorf("teastore: %s listener died during boot: %w", srv.Name(), err))
+		}
+	}
+	st.watchServeErrors()
 
 	// Announce everyone, then keep the leases alive: without heartbeats
 	// every registration silently expires after one TTL and remote
@@ -166,6 +243,34 @@ func Start(cfg Config) (*Stack, error) {
 	}
 	st.stopHB = st.startHeartbeats(ttl / 3)
 	return st, nil
+}
+
+// watchServeErrors surfaces listener deaths loudly: the first fatal Serve
+// error is recorded for Err and logged. Each watcher exits when its
+// server's serve goroutine does, so stacks don't leak goroutines.
+func (s *Stack) watchServeErrors() {
+	for _, srv := range s.servers {
+		go func(srv *httpkit.Server) {
+			err, ok := <-srv.ErrChan()
+			if !ok {
+				return
+			}
+			s.errMu.Lock()
+			if s.serveErr == nil {
+				s.serveErr = fmt.Errorf("teastore: %s listener died: %w", srv.Name(), err)
+			}
+			s.errMu.Unlock()
+			log.Printf("teastore: FATAL: %s listener died: %v", srv.Name(), err)
+		}(srv)
+	}
+}
+
+// Err reports the first listener death observed across the stack, nil
+// while every service is (or was gracefully shut) down.
+func (s *Stack) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.serveErr
 }
 
 // startHeartbeats refreshes the lease of every service that is still
@@ -208,6 +313,38 @@ func (s *Stack) Services() map[string]string {
 		out[srv.Name()] = srv.URL()
 	}
 	return out
+}
+
+// server finds a running server by service name.
+func (s *Stack) server(name string) (*httpkit.Server, error) {
+	for _, srv := range s.servers {
+		if srv.Name() == name {
+			return srv, nil
+		}
+	}
+	return nil, fmt.Errorf("teastore: no service %q", name)
+}
+
+// SetChaos installs (or, with a zero config, removes) fault injection on
+// one service mid-run — the hook the chaos harness uses to break a live
+// stack.
+func (s *Stack) SetChaos(service string, cfg httpkit.ChaosConfig) error {
+	srv, err := s.server(service)
+	if err != nil {
+		return err
+	}
+	srv.SetChaos(cfg)
+	return nil
+}
+
+// StopService gracefully stops one service, simulating a backend outage
+// while the rest of the stack keeps serving.
+func (s *Stack) StopService(ctx context.Context, service string) error {
+	srv, err := s.server(service)
+	if err != nil {
+		return err
+	}
+	return srv.Shutdown(ctx)
 }
 
 // Registry exposes the in-process registry.
