@@ -169,6 +169,20 @@ func (b *Breaker) Record(ok bool) {
 	}
 }
 
+// Release returns an admission obtained from Allow without recording an
+// outcome, for calls the caller abandoned (context cancellation). A
+// cancelled call says nothing about backend health, but the half-open
+// probe slot it may hold must be freed — otherwise one cancellation
+// during a probe would leave probes pinned at HalfOpenProbes and wedge
+// the breaker open forever.
+func (b *Breaker) Release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probes > 0 {
+		b.probes--
+	}
+}
+
 // push records one outcome in the ring buffer (locked).
 func (b *Breaker) push(failed bool) {
 	if b.wlen == len(b.window) {

@@ -480,6 +480,11 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 				// request says nothing about backend health, so it must
 				// not trip the breaker (a burst of client disconnects
 				// would otherwise open breakers against healthy hosts).
+				// The half-open probe slot Allow may have reserved still
+				// has to be returned, or the breaker wedges open.
+				if br != nil {
+					br.Release()
+				}
 				return nil, err
 			}
 			if br != nil {

@@ -197,10 +197,41 @@ func (s *Server) resilienceSnapshot() ResilienceSnapshot {
 			if out.Breakers == nil {
 				out.Breakers = map[string]BreakerSnapshot{}
 			}
+			if prev, ok := out.Breakers[host]; ok {
+				bs = mergeBreakerSnapshots(prev, bs)
+			}
 			out.Breakers[host] = bs
 		}
 	}
 	return out
+}
+
+// mergeBreakerSnapshots combines two clients' breakers for the same
+// destination host: counters sum and the more degraded state wins, so one
+// client's healthy breaker cannot shadow another's open one in /metrics.
+func mergeBreakerSnapshots(a, b BreakerSnapshot) BreakerSnapshot {
+	state := a.State
+	if breakerStateSeverity(b.State) > breakerStateSeverity(a.State) {
+		state = b.State
+	}
+	return BreakerSnapshot{
+		State:         state,
+		Opens:         a.Opens + b.Opens,
+		Successes:     a.Successes + b.Successes,
+		Failures:      a.Failures + b.Failures,
+		ShortCircuits: a.ShortCircuits + b.ShortCircuits,
+	}
+}
+
+// breakerStateSeverity orders states from healthy to degraded.
+func breakerStateSeverity(s string) int {
+	switch s {
+	case BreakerHalfOpen.String():
+		return 1
+	case BreakerOpen.String():
+		return 2
+	}
+	return 0
 }
 
 // MetricsSnapshot summarizes the server's observed traffic.

@@ -373,8 +373,12 @@ func (w *worker) do(req *http.Request) error {
 		resp.Body.Close()
 		// A 503 carrying Retry-After is the server shedding load, not
 		// failing: honour the backoff and re-issue instead of counting a
-		// generic error.
-		if resp.StatusCode == http.StatusServiceUnavailable {
+		// generic error. A request whose body cannot be replayed
+		// (Body set but no GetBody) must not be re-issued — the first
+		// attempt already consumed it and the retry would send an empty
+		// payload — so it falls through to the generic 5xx error below.
+		replayable := req.Body == nil || req.GetBody != nil
+		if resp.StatusCode == http.StatusServiceUnavailable && replayable {
 			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok && attempt < maxShedRetries {
 				if w.measuring.Load() {
 					w.shed++

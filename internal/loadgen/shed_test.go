@@ -2,8 +2,10 @@ package loadgen
 
 import (
 	"context"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -93,6 +95,40 @@ func TestWorker503WithoutRetryAfterIsAnError(t *testing.T) {
 	}
 	if w.shed != 0 || w.retried != 0 {
 		t.Fatalf("bare 503 counted as shed: %d/%d", w.shed, w.retried)
+	}
+}
+
+// TestWorkerSkipsShedRetryForUnreplayableBody: a request whose body
+// cannot be re-materialized (Body set, GetBody nil) must not be re-issued
+// on a shed — the first attempt consumed the body, so a retry would send
+// an empty POST.
+func TestWorkerSkipsShedRetryForUnreplayableBody(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "0.01")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	w := shedWorker(t, srv.URL)
+	req, err := http.NewRequestWithContext(context.Background(), http.MethodPost,
+		srv.URL+"/", io.NopCloser(strings.NewReader("payload")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NewRequest cannot snapshot an opaque ReadCloser: GetBody stays nil.
+	if req.GetBody != nil {
+		t.Fatal("test premise broken: GetBody set for opaque body")
+	}
+	if err := w.do(req); err == nil {
+		t.Fatal("unreplayable shed reported success")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("unreplayable request re-issued: %d calls", calls.Load())
+	}
+	if w.shed != 0 || w.retried != 0 {
+		t.Fatalf("unreplayable shed counted as retry: %d/%d", w.shed, w.retried)
 	}
 }
 

@@ -59,34 +59,42 @@ const placeholderImageB64 = "iVBORw0KGgoAAAANSUhEUgAAAAgAAAAICAIAAABLbSncAAAAGUl
 // recCacheCap bounds the recommendation fallback cache.
 const recCacheCap = 256
 
-// recCache remembers the last good recommendation strip per anchor
-// product so a dead Recommender degrades to slightly stale suggestions
-// instead of an empty section.
-type recCache struct {
-	mu sync.RWMutex
-	m  map[int64][]productCard
+// recKey scopes a cached recommendation strip to one user viewing one
+// anchor product: recommendations are personalized, so a fallback strip
+// cached for one user must never be served to another.
+type recKey struct {
+	userID int64
+	anchor int64
 }
 
-func (rc *recCache) get(key int64) ([]productCard, bool) {
+// recCache remembers the last good recommendation strip per (user,
+// anchor product) so a dead Recommender degrades to slightly stale
+// suggestions instead of an empty section.
+type recCache struct {
+	mu sync.RWMutex
+	m  map[recKey][]productCard
+}
+
+func (rc *recCache) get(key recKey) ([]productCard, bool) {
 	rc.mu.RLock()
 	defer rc.mu.RUnlock()
 	cards, ok := rc.m[key]
 	return cards, ok
 }
 
-func (rc *recCache) put(key int64, cards []productCard) {
+func (rc *recCache) put(key recKey, cards []productCard) {
 	if len(cards) == 0 {
 		return
 	}
 	rc.mu.Lock()
 	defer rc.mu.Unlock()
 	if rc.m == nil {
-		rc.m = map[int64][]productCard{}
+		rc.m = map[recKey][]productCard{}
 	}
 	if len(rc.m) >= recCacheCap {
 		// Full reset beats tracking LRU order for a cache this cheap to
 		// refill.
-		rc.m = map[int64][]productCard{}
+		rc.m = map[recKey][]productCard{}
 	}
 	rc.m[key] = cards
 }
@@ -217,15 +225,16 @@ func (s *Service) cards(ctx context.Context, products []db.Product, size imagesv
 
 // recommendedCards resolves recommendation IDs into display cards. A
 // failed Recommender call falls back to the last good strip rendered for
-// the same anchor product — stale suggestions beat an empty section.
+// the same user and anchor product — stale suggestions beat an empty
+// section.
 func (s *Service) recommendedCards(ctx context.Context, userID int64, current []int64, max int, withImages bool) []productCard {
-	var anchor int64
+	key := recKey{userID: userID}
 	if len(current) > 0 {
-		anchor = current[0]
+		key.anchor = current[0]
 	}
 	ids, err := s.backends.Recommender.Recommend(ctx, userID, current, max)
 	if err != nil {
-		cached, _ := s.recFall.get(anchor)
+		cached, _ := s.recFall.get(key)
 		return cached
 	}
 	var products []db.Product
@@ -243,7 +252,7 @@ func (s *Service) recommendedCards(ctx context.Context, userID int64, current []
 			cards[i] = productCard{ID: p.ID, Name: p.Name, Price: price(p.PriceCents)}
 		}
 	}
-	s.recFall.put(anchor, cards)
+	s.recFall.put(key, cards)
 	return cards
 }
 
