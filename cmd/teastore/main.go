@@ -5,6 +5,7 @@
 //
 //	teastore [-host 127.0.0.1] [-algorithm popularity]
 //	         [-categories 6] [-products 100] [-users 100] [-orders 400]
+//	         [-replicas image=2,recommender=2]
 //
 // The process runs until interrupted.
 package main
@@ -15,7 +16,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -31,11 +33,19 @@ func main() {
 	users := flag.Int("users", 100, "demo user accounts")
 	orders := flag.Int("orders", 400, "seed orders for recommender training")
 	seed := flag.Int64("seed", 1, "catalog generation seed")
+	replicasSpec := flag.String("replicas", "", "per-service replica counts, e.g. image=2,recommender=2 (services not named run one instance)")
 	flag.Parse()
+
+	replicas, err := parseReplicas(*replicasSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teastore:", err)
+		os.Exit(2)
+	}
 
 	stack, err := teastore.Start(teastore.Config{
 		Host:      *host,
 		Algorithm: *algorithm,
+		Replicas:  replicas,
 		Catalog: db.GenerateSpec{
 			Categories:          *categories,
 			ProductsPerCategory: *products,
@@ -50,14 +60,8 @@ func main() {
 	}
 
 	fmt.Println("TeaStore is up:")
-	services := stack.Services()
-	names := make([]string, 0, len(services))
-	for name := range services {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		fmt.Printf("  %-12s %s\n", name, services[name])
+	for _, inst := range stack.Instances() {
+		fmt.Printf("  %-12s %s\n", inst.Service, inst.URL)
 	}
 	fmt.Printf("\nOpen %s in a browser. Demo login: %s / %s\n",
 		stack.WebUIURL, db.EmailFor(0), db.PasswordFor(0))
@@ -74,4 +78,21 @@ func main() {
 	fmt.Println()
 	fmt.Print(stack.BreakdownTable().String())
 	fmt.Println("bye")
+}
+
+// parseReplicas parses "image=2,recommender=2" into per-service counts.
+func parseReplicas(spec string) (map[string]int, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, part := range strings.Split(spec, ",") {
+		name, count, ok := strings.Cut(strings.TrimSpace(part), "=")
+		n, err := strconv.Atoi(count)
+		if !ok || err != nil || name == "" {
+			return nil, fmt.Errorf("bad -replicas element %q, want name=count", part)
+		}
+		out[name] = n
+	}
+	return out, nil
 }

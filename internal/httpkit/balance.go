@@ -1,0 +1,258 @@
+package httpkit
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// BalancedScheme marks a base URL as a logical service name rather than a
+// fixed destination: a client configured WithBalancer resolves
+// "svc://image/..." to a live replica per attempt. Clients without a
+// balancer reject such URLs loudly instead of dialing a host named after
+// the service.
+const BalancedScheme = "svc"
+
+// BalancedURL returns the logical base URL for a service, to be used in
+// place of a concrete "http://host:port" by clients that balance.
+func BalancedURL(service string) string { return BalancedScheme + "://" + service }
+
+// Resolver resolves a logical service name to the live replica addresses
+// (host:port). *registry.Client satisfies it, making the registry the
+// routing plane; tests substitute static or scripted resolvers.
+type Resolver interface {
+	Lookup(ctx context.Context, service string) ([]string, error)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(ctx context.Context, service string) ([]string, error)
+
+// Lookup implements Resolver.
+func (f ResolverFunc) Lookup(ctx context.Context, service string) ([]string, error) {
+	return f(ctx, service)
+}
+
+// DefaultBalancerCacheTTL bounds how long a resolved replica list is
+// reused before the registry is consulted again. Connection failures and
+// all-breakers-open refusals invalidate the cache early, so the TTL only
+// governs how quickly *new* replicas start receiving traffic.
+const DefaultBalancerCacheTTL = time.Second
+
+// BalancerConfig tunes a Balancer. The zero value selects the defaults
+// noted per field.
+type BalancerConfig struct {
+	// CacheTTL bounds replica-list reuse (DefaultBalancerCacheTTL).
+	CacheTTL time.Duration
+}
+
+// Balancer resolves logical service names to live replicas and picks one
+// per call with power-of-two-choices over in-flight counts: two random
+// replicas are drawn and the less loaded wins, which tracks load far
+// better than round-robin when replica speeds diverge, at O(1) cost.
+// Lookup results are cached for CacheTTL and invalidated when a replica
+// connection fails or every replica's breaker refuses, so routing reacts
+// to churn faster than the TTL. Safe for concurrent use.
+type Balancer struct {
+	resolver Resolver
+	ttl      time.Duration
+
+	mu       sync.Mutex
+	services map[string]*balancedService
+}
+
+// balancedService is one logical service's routing state. Replica
+// counters persist across refreshes so /metrics replica counters behave
+// like Prometheus counters (monotonic, surviving churn).
+type balancedService struct {
+	mu       sync.Mutex
+	addrs    []string
+	fetched  time.Time
+	stale    bool
+	replicas map[string]*replicaState
+}
+
+// replicaState tracks one replica's routed traffic.
+type replicaState struct {
+	inflight atomic.Int64
+	requests atomic.Int64
+}
+
+// ReplicaCounts is one replica's routed-traffic summary for metrics.
+type ReplicaCounts struct {
+	Requests int64 `json:"requests"`
+	Inflight int64 `json:"inflight"`
+}
+
+// NewBalancer returns a balancer resolving through r.
+func NewBalancer(r Resolver, cfg BalancerConfig) *Balancer {
+	if cfg.CacheTTL <= 0 {
+		cfg.CacheTTL = DefaultBalancerCacheTTL
+	}
+	return &Balancer{resolver: r, ttl: cfg.CacheTTL, services: map[string]*balancedService{}}
+}
+
+// service returns (allocating) the routing state for a logical name.
+func (b *Balancer) service(name string) *balancedService {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.services[name]
+	if s == nil {
+		s = &balancedService{replicas: map[string]*replicaState{}}
+		b.services[name] = s
+	}
+	return s
+}
+
+// candidates returns the live replica addresses for a service, consulting
+// the resolver when the cache is stale or expired. The per-service lock is
+// held across the resolver call, so concurrent callers coalesce into one
+// refresh instead of stampeding the registry. A failed refresh falls back
+// to the last known list when one exists — stale routing beats none while
+// the registry itself is unreachable.
+func (b *Balancer) candidates(ctx context.Context, name string) ([]string, error) {
+	s := b.service(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stale && len(s.addrs) > 0 && time.Since(s.fetched) < b.ttl {
+		return append([]string(nil), s.addrs...), nil
+	}
+	addrs, err := b.resolver.Lookup(withoutTrace(ctx), name)
+	if err != nil {
+		if len(s.addrs) > 0 {
+			return append([]string(nil), s.addrs...), nil
+		}
+		return nil, err
+	}
+	s.addrs = append([]string(nil), addrs...)
+	s.fetched = time.Now()
+	s.stale = false
+	for _, addr := range addrs {
+		if s.replicas[addr] == nil {
+			s.replicas[addr] = &replicaState{}
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("httpkit: no live replicas of %s", name)
+	}
+	return append([]string(nil), addrs...), nil
+}
+
+// Invalidate marks a service's cached replica list stale so the next call
+// re-resolves. Called on connection failures and all-replicas-refused so a
+// dead replica stops receiving picks before the TTL lapses.
+func (b *Balancer) Invalidate(name string) {
+	s := b.service(name)
+	s.mu.Lock()
+	s.stale = true
+	s.mu.Unlock()
+}
+
+// pick chooses a replica from candidates with power-of-two-choices over
+// in-flight counts, preferring addresses not in avoid (replicas that
+// already failed this logical call); when every candidate is in avoid the
+// full set is used — a retry against a previously-failed replica still
+// beats refusing the call.
+func (b *Balancer) pick(name string, candidates []string, avoid map[string]bool) string {
+	pool := candidates
+	if len(avoid) > 0 {
+		fresh := make([]string, 0, len(candidates))
+		for _, a := range candidates {
+			if !avoid[a] {
+				fresh = append(fresh, a)
+			}
+		}
+		if len(fresh) > 0 {
+			pool = fresh
+		}
+	}
+	switch len(pool) {
+	case 0:
+		return ""
+	case 1:
+		return pool[0]
+	}
+	s := b.service(name)
+	i := rand.Intn(len(pool))
+	j := rand.Intn(len(pool) - 1)
+	if j >= i {
+		j++
+	}
+	s.mu.Lock()
+	ri, rj := s.replicas[pool[i]], s.replicas[pool[j]]
+	s.mu.Unlock()
+	if ri == nil || rj == nil {
+		// Unknown replica (resolver raced a refresh): either choice is fine.
+		return pool[i]
+	}
+	if rj.inflight.Load() < ri.inflight.Load() {
+		return pool[j]
+	}
+	return pool[i]
+}
+
+// acquire counts a routed request against a replica and returns the
+// release that ends its in-flight accounting.
+func (b *Balancer) acquire(name, addr string) (release func()) {
+	s := b.service(name)
+	s.mu.Lock()
+	r := s.replicas[addr]
+	if r == nil {
+		r = &replicaState{}
+		s.replicas[addr] = r
+	}
+	s.mu.Unlock()
+	r.requests.Add(1)
+	r.inflight.Add(1)
+	return func() { r.inflight.Add(-1) }
+}
+
+// Snapshot reports routed traffic per service per replica. Replicas that
+// have left the pool keep their cumulative request counts, mirroring
+// Prometheus counter semantics.
+func (b *Balancer) Snapshot() map[string]map[string]ReplicaCounts {
+	b.mu.Lock()
+	names := make([]string, 0, len(b.services))
+	for name := range b.services {
+		names = append(names, name)
+	}
+	b.mu.Unlock()
+	if len(names) == 0 {
+		return nil
+	}
+	out := make(map[string]map[string]ReplicaCounts, len(names))
+	for _, name := range names {
+		s := b.service(name)
+		s.mu.Lock()
+		m := make(map[string]ReplicaCounts, len(s.replicas))
+		for addr, r := range s.replicas {
+			m[addr] = ReplicaCounts{Requests: r.requests.Load(), Inflight: r.inflight.Load()}
+		}
+		s.mu.Unlock()
+		if len(m) > 0 {
+			out[name] = m
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// splitBalancedURL splits "svc://image/image/7?size=icon" into the logical
+// service ("image") and the trailing path+query ("/image/7?size=icon").
+// ok is false for non-balanced URLs.
+func splitBalancedURL(url string) (service, rest string, ok bool) {
+	const prefix = BalancedScheme + "://"
+	if !strings.HasPrefix(url, prefix) {
+		return "", "", false
+	}
+	tail := url[len(prefix):]
+	if i := strings.IndexAny(tail, "/?"); i >= 0 {
+		return tail[:i], tail[i:], true
+	}
+	return tail, "", true
+}

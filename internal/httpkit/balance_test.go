@@ -1,0 +1,339 @@
+package httpkit
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoReplica is one fake backend that reports which replica answered.
+type echoReplica struct {
+	srv  *Server
+	hits atomic.Int64
+}
+
+// startReplicas boots n backends all serving GET /ping (and an
+// always-500 route for breaker tests) and returns them with their
+// addresses in lexical order — the order Registry.Lookup would hand out.
+func startReplicas(t *testing.T, n int) ([]*echoReplica, []string) {
+	t.Helper()
+	replicas := make([]*echoReplica, n)
+	for i := range replicas {
+		r := &echoReplica{}
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /ping", func(w http.ResponseWriter, req *http.Request) {
+			r.hits.Add(1)
+			WriteJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+		})
+		mux.HandleFunc("GET /boom", func(w http.ResponseWriter, req *http.Request) {
+			r.hits.Add(1)
+			WriteError(w, http.StatusInternalServerError, "boom")
+		})
+		r.srv = startTestServer(t, mux)
+		replicas[i] = r
+	}
+	addrs := make([]string, n)
+	for i, r := range replicas {
+		addrs[i] = r.srv.Addr()
+	}
+	sort.Strings(addrs)
+	return replicas, addrs
+}
+
+// staticResolver serves a fixed (swappable) address list and counts
+// lookups.
+type staticResolver struct {
+	mu      sync.Mutex
+	addrs   []string
+	lookups int
+	err     error
+}
+
+func (r *staticResolver) Lookup(ctx context.Context, service string) ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lookups++
+	if r.err != nil {
+		return nil, r.err
+	}
+	return append([]string(nil), r.addrs...), nil
+}
+
+func (r *staticResolver) set(addrs []string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addrs = addrs
+	r.err = err
+}
+
+func (r *staticResolver) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lookups
+}
+
+// TestBalancerSpreadsAcrossReplicas: even though the resolver returns the
+// replica list in sorted order — the Registry.Lookup contract — traffic
+// must spread across replicas instead of pinning to the first entry.
+func TestBalancerSpreadsAcrossReplicas(t *testing.T) {
+	replicas, addrs := startReplicas(t, 3)
+	res := &staticResolver{addrs: addrs}
+	c := NewClient(5*time.Second, WithBalancer(NewBalancer(res, BalancerConfig{})))
+
+	const calls = 300
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < calls/4; i++ {
+				if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var total int64
+	for _, r := range replicas {
+		total += r.hits.Load()
+	}
+	if total != calls {
+		t.Fatalf("replicas served %d requests, want %d", total, calls)
+	}
+	for i, r := range replicas {
+		got := r.hits.Load()
+		if got == 0 {
+			t.Fatalf("replica %d received no traffic (pinned to list order?)", i)
+		}
+		if share := float64(got) / float64(total); share > 0.7 {
+			t.Fatalf("replica %d received %.0f%% of traffic — balancing is pinned", i, 100*share)
+		}
+	}
+	snap := c.ResilienceSnapshot()
+	var routed int64
+	for _, rc := range snap.Replicas["echo"] {
+		routed += rc.Requests
+	}
+	if routed != calls {
+		t.Fatalf("balancer snapshot routed %d, want %d: %+v", routed, calls, snap.Replicas)
+	}
+}
+
+// TestBalancerPrefersLessLoadedReplica: power-of-two-choices must send a
+// new call to the idle replica when the other is saturated.
+func TestBalancerPrefersLessLoadedReplica(t *testing.T) {
+	b := NewBalancer(&staticResolver{addrs: []string{"a:1", "b:1"}}, BalancerConfig{})
+	if _, err := b.candidates(context.Background(), "svc"); err != nil {
+		t.Fatal(err)
+	}
+	// Pin 10 in-flight calls on a:1; b:1 stays idle.
+	var releases []func()
+	for i := 0; i < 10; i++ {
+		releases = append(releases, b.acquire("svc", "a:1"))
+	}
+	defer func() {
+		for _, r := range releases {
+			r()
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if got := b.pick("svc", []string{"a:1", "b:1"}, nil); got != "b:1" {
+			t.Fatalf("pick %d chose loaded replica %q", i, got)
+		}
+	}
+}
+
+// TestBalancerFailsOverOnOpenBreaker: a replica that only answers 500
+// gets its breaker opened, after which every call lands on the healthy
+// sibling instead of failing fast.
+func TestBalancerFailsOverOnOpenBreaker(t *testing.T) {
+	mux := http.NewServeMux()
+	badHits := atomic.Int64{}
+	mux.HandleFunc("GET /ping", func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		WriteError(w, http.StatusInternalServerError, "always down")
+	})
+	bad := startTestServer(t, mux)
+
+	goodMux := http.NewServeMux()
+	goodHits := atomic.Int64{}
+	goodMux.HandleFunc("GET /ping", func(w http.ResponseWriter, r *http.Request) {
+		goodHits.Add(1)
+		WriteJSON(w, http.StatusOK, map[string]string{"ok": "true"})
+	})
+	good := startTestServer(t, goodMux)
+
+	res := &staticResolver{addrs: []string{bad.Addr(), good.Addr()}}
+	c := NewClient(5*time.Second,
+		WithBalancer(NewBalancer(res, BalancerConfig{})),
+		WithBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenTimeout: time.Minute}),
+		WithoutRetries())
+
+	// Drive enough calls to trip the bad replica's breaker. Retries are
+	// off, so calls that land on the bad replica surface 500s here — the
+	// point is what happens afterwards.
+	for i := 0; i < 30; i++ {
+		_ = c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil)
+	}
+	snap := c.ResilienceSnapshot()
+	if bs := snap.Breakers[bad.Addr()]; bs.State != "open" {
+		t.Fatalf("bad replica's breaker = %q, want open (%+v)", bs.State, snap.Breakers)
+	}
+
+	// With the breaker open, every further call must fail over to the
+	// healthy replica and succeed — never ErrCircuitOpen, never a 500.
+	before := goodHits.Load()
+	for i := 0; i < 20; i++ {
+		if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+			t.Fatalf("call %d failed despite a healthy replica: %v", i, err)
+		}
+	}
+	if got := goodHits.Load() - before; got != 20 {
+		t.Fatalf("healthy replica served %d of 20 post-open calls", got)
+	}
+}
+
+// TestBalancerAllBreakersOpenShortCircuits: when every replica is
+// known-bad the call fails fast with ErrCircuitOpen and the cached
+// replica list is invalidated so recovery re-resolves.
+func TestBalancerAllBreakersOpenShortCircuits(t *testing.T) {
+	replicas, addrs := startReplicas(t, 2)
+	res := &staticResolver{addrs: addrs}
+	c := NewClient(5*time.Second,
+		WithBalancer(NewBalancer(res, BalancerConfig{CacheTTL: time.Hour})),
+		WithBreaker(BreakerConfig{Window: 4, MinSamples: 2, FailureThreshold: 0.5, OpenTimeout: time.Minute}),
+		WithoutRetries())
+
+	for i := 0; i < 20; i++ {
+		_ = c.GetJSON(context.Background(), BalancedURL("echo")+"/boom", nil)
+	}
+	err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil)
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen with every replica down", err)
+	}
+	if c.ShortCircuits() == 0 {
+		t.Fatal("client-level short circuit not counted")
+	}
+	lookupsBefore := res.count()
+	_ = c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil)
+	if res.count() <= lookupsBefore {
+		t.Fatal("all-replicas-refused did not invalidate the resolver cache")
+	}
+	_ = replicas
+}
+
+// TestBalancerCacheTTLBoundsLookups: within the TTL, repeated calls reuse
+// one resolution instead of hammering the registry.
+func TestBalancerCacheTTLBoundsLookups(t *testing.T) {
+	_, addrs := startReplicas(t, 2)
+	res := &staticResolver{addrs: addrs}
+	c := NewClient(5*time.Second, WithBalancer(NewBalancer(res, BalancerConfig{CacheTTL: time.Hour})))
+
+	for i := 0; i < 50; i++ {
+		if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := res.count(); got != 1 {
+		t.Fatalf("resolver consulted %d times within the TTL, want 1", got)
+	}
+}
+
+// TestBalancerInvalidatesOnConnectionFailure: a dead replica triggers
+// re-resolution before the TTL lapses, and the retried call succeeds on
+// the survivor — the registry-churn failover path.
+func TestBalancerInvalidatesOnConnectionFailure(t *testing.T) {
+	replicas, addrs := startReplicas(t, 2)
+	res := &staticResolver{addrs: addrs}
+	c := NewClient(2*time.Second, WithBalancer(NewBalancer(res, BalancerConfig{CacheTTL: time.Hour})))
+
+	// Warm the cache, then kill one replica and shrink the resolver's
+	// answer to the survivor, as registry expiry/deregistration would.
+	if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	dead := replicas[0]
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := dead.srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	survivor := replicas[1].srv.Addr()
+	res.set([]string{survivor}, nil)
+
+	lookupsBefore := res.count()
+	// Every call must succeed: a pick that lands on the corpse fails its
+	// connection, invalidates the cache, and the retry reaches the
+	// survivor within the same logical call.
+	for i := 0; i < 20; i++ {
+		if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+			t.Fatalf("call %d failed during failover: %v", i, err)
+		}
+	}
+	if res.count() == lookupsBefore {
+		t.Fatal("connection failure never invalidated the cached replica list")
+	}
+}
+
+// TestBalancerStaleListOutlivesResolverOutage: when the registry itself
+// is unreachable, the last known replica list keeps routing.
+func TestBalancerStaleListOutlivesResolverOutage(t *testing.T) {
+	_, addrs := startReplicas(t, 2)
+	res := &staticResolver{addrs: addrs}
+	b := NewBalancer(res, BalancerConfig{CacheTTL: time.Millisecond})
+	c := NewClient(5*time.Second, WithBalancer(b))
+
+	if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	res.set(nil, fmt.Errorf("registry down"))
+	time.Sleep(5 * time.Millisecond) // let the TTL lapse
+	for i := 0; i < 10; i++ {
+		if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+			t.Fatalf("stale-list call %d failed: %v", i, err)
+		}
+	}
+}
+
+// TestBalancedURLWithoutBalancerErrors: svc:// URLs on a plain client are
+// a wiring bug and must fail loudly, not dial a host named "echo".
+func TestBalancedURLWithoutBalancerErrors(t *testing.T) {
+	c := NewClient(time.Second)
+	err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil)
+	if err == nil || !strings.Contains(err.Error(), "balancer") {
+		t.Fatalf("err = %v, want a no-balancer error", err)
+	}
+}
+
+// TestSplitBalancedURL pins the svc:// parsing table.
+func TestSplitBalancedURL(t *testing.T) {
+	cases := []struct {
+		url     string
+		service string
+		rest    string
+		ok      bool
+	}{
+		{"svc://image/image/7?size=icon", "image", "/image/7?size=icon", true},
+		{"svc://auth", "auth", "", true},
+		{"svc://auth?x=1", "auth", "?x=1", true},
+		{"http://127.0.0.1:80/x", "", "", false},
+		{"", "", "", false},
+	}
+	for _, tc := range cases {
+		service, rest, ok := splitBalancedURL(tc.url)
+		if service != tc.service || rest != tc.rest || ok != tc.ok {
+			t.Fatalf("splitBalancedURL(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tc.url, service, rest, ok, tc.service, tc.rest, tc.ok)
+		}
+	}
+}

@@ -282,6 +282,7 @@ type Client struct {
 	http     *http.Client
 	retry    RetryPolicy
 	breakers *breakerGroup // nil → breakers disabled
+	balancer *Balancer     // nil → svc:// URLs are rejected
 
 	retries       atomic.Int64
 	shortCircuits atomic.Int64
@@ -308,6 +309,14 @@ func WithBreaker(cfg BreakerConfig) ClientOption {
 // WithoutBreakers disables circuit breaking.
 func WithoutBreakers() ClientOption {
 	return func(c *Client) { c.breakers = nil }
+}
+
+// WithBalancer routes svc:// base URLs through b: each attempt resolves
+// the logical service name to a live replica (power-of-two-choices over
+// in-flight counts) and an open breaker on one replica fails over to the
+// rest instead of failing the call.
+func WithBalancer(b *Balancer) ClientOption {
+	return func(c *Client) { c.balancer = b }
 }
 
 // NewClient returns a client with sane pooling for loopback traffic and
@@ -340,11 +349,14 @@ func (c *Client) Retries() int64 { return c.retries.Load() }
 // ShortCircuits counts calls refused by an open breaker.
 func (c *Client) ShortCircuits() int64 { return c.shortCircuits.Load() }
 
-// ClientResilience is one client's cumulative retry/breaker summary.
+// ClientResilience is one client's cumulative retry/breaker summary plus
+// its balancer's per-replica routing counts.
 type ClientResilience struct {
 	Retries       int64                      `json:"retries"`
 	ShortCircuits int64                      `json:"shortCircuits"`
 	Breakers      map[string]BreakerSnapshot `json:"breakers,omitempty"`
+	// Replicas maps destination service → replica address → routed traffic.
+	Replicas map[string]map[string]ReplicaCounts `json:"replicas,omitempty"`
 }
 
 // ResilienceSnapshot summarizes the client's resilience activity.
@@ -352,6 +364,9 @@ func (c *Client) ResilienceSnapshot() ClientResilience {
 	out := ClientResilience{Retries: c.retries.Load(), ShortCircuits: c.shortCircuits.Load()}
 	if c.breakers != nil {
 		out.Breakers = c.breakers.snapshots()
+	}
+	if c.balancer != nil {
+		out.Replicas = c.balancer.Snapshot()
 	}
 	return out
 }
@@ -435,6 +450,12 @@ func injectTrace(req *http.Request) {
 // the service is alive and talking. Failures caused by the caller's own
 // context ending are not recorded at all: they carry no signal about
 // backend health.
+//
+// A svc:// URL is resolved to a concrete replica per attempt through the
+// client's Balancer, so a retry after one replica fails lands on a
+// different replica, and an open breaker on one replica fails over to the
+// rest instead of failing fast. Only when every live replica's breaker
+// refuses does the call short-circuit with ErrCircuitOpen.
 func (c *Client) exec(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, error) {
 	pol := c.retry
 	if override, ok := callRetryFrom(ctx); ok {
@@ -446,8 +467,14 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 		attempts = pol.MaxAttempts
 	}
 
-	var br *Breaker
+	service, rest, balanced := splitBalancedURL(url)
+	if balanced && c.balancer == nil {
+		return nil, fmt.Errorf("httpkit: balanced URL %s on a client with no balancer", url)
+	}
+
+	var br *Breaker // non-balanced: the fixed destination's breaker, resolved once
 	var lastErr error
+	var failed map[string]bool // balanced: replicas that already failed this call
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
@@ -457,15 +484,38 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 				return nil, fmt.Errorf("httpkit: retry budget exhausted after %d attempts: %w", attempt, lastErr)
 			}
 		}
-		req, err := c.newRequest(ctx, method, url, body, contentType)
+		callURL := url
+		abr := br // the breaker guarding this attempt's destination
+		var addr string
+		var release func()
+		if balanced {
+			var err error
+			addr, abr, err = c.pickReplica(ctx, service, failed)
+			if err != nil {
+				if errors.Is(err, ErrCircuitOpen) {
+					// Every live replica is known-bad; further attempts
+					// would burn backoff budget against closed gates.
+					return nil, err
+				}
+				lastErr = err
+				continue
+			}
+			callURL = "http://" + addr + rest
+			release = c.balancer.acquire(service, addr)
+		}
+		req, err := c.newRequest(ctx, method, callURL, body, contentType)
 		if err != nil {
+			if release != nil {
+				release()
+			}
 			return nil, err
 		}
-		if c.breakers != nil {
+		if !balanced && c.breakers != nil {
 			if br == nil {
 				br = c.breakers.get(req.URL.Host)
 			}
-			if !br.Allow() {
+			abr = br
+			if !abr.Allow() {
 				c.shortCircuits.Add(1)
 				// An open breaker means the destination is known-bad;
 				// spending the remaining attempts would just burn the
@@ -474,6 +524,9 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 			}
 		}
 		resp, err := c.http.Do(req)
+		if release != nil {
+			release()
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				// The caller gave up, not the destination: a cancelled
@@ -482,20 +535,29 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 				// would otherwise open breakers against healthy hosts).
 				// The half-open probe slot Allow may have reserved still
 				// has to be returned, or the breaker wedges open.
-				if br != nil {
-					br.Release()
+				if abr != nil {
+					abr.Release()
 				}
 				return nil, err
 			}
-			if br != nil {
-				br.Record(false)
+			if abr != nil {
+				abr.Record(false)
+			}
+			if balanced {
+				failed = markFailed(failed, addr)
+				// A dead connection often means the replica is gone;
+				// re-resolve before the cache TTL lapses.
+				c.balancer.Invalidate(service)
 			}
 			lastErr = err
 			continue
 		}
 		if retryableStatus(resp.StatusCode) {
-			if br != nil {
-				br.Record(false)
+			if abr != nil {
+				abr.Record(false)
+			}
+			if balanced {
+				failed = markFailed(failed, addr)
 			}
 			if attempt+1 < attempts {
 				lastErr = decodeError(resp)
@@ -504,12 +566,60 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 			}
 			return resp, nil
 		}
-		if br != nil {
-			br.Record(true)
+		if abr != nil {
+			abr.Record(true)
 		}
 		return resp, nil
 	}
 	return nil, lastErr
+}
+
+// markFailed records a replica that failed the current logical call so
+// later attempts prefer its siblings.
+func markFailed(m map[string]bool, addr string) map[string]bool {
+	if m == nil {
+		m = map[string]bool{}
+	}
+	m[addr] = true
+	return m
+}
+
+// pickReplica resolves a logical service and picks a breaker-admitted
+// replica: power-of-two-choices over in-flight counts, skipping replicas
+// whose breaker refuses. When every live replica refuses, the cache is
+// invalidated (the list is evidently rotten) and ErrCircuitOpen surfaces
+// as one client-level short circuit.
+func (c *Client) pickReplica(ctx context.Context, service string, failed map[string]bool) (string, *Breaker, error) {
+	addrs, err := c.balancer.candidates(ctx, service)
+	if err != nil {
+		return "", nil, fmt.Errorf("httpkit: resolving %s: %w", service, err)
+	}
+	var refused map[string]bool
+	for {
+		candidates := addrs
+		if len(refused) > 0 {
+			candidates = make([]string, 0, len(addrs))
+			for _, a := range addrs {
+				if !refused[a] {
+					candidates = append(candidates, a)
+				}
+			}
+		}
+		addr := c.balancer.pick(service, candidates, failed)
+		if addr == "" {
+			c.shortCircuits.Add(1)
+			c.balancer.Invalidate(service)
+			return "", nil, fmt.Errorf("%w for all %d replicas of %s", ErrCircuitOpen, len(addrs), service)
+		}
+		if c.breakers == nil {
+			return addr, nil, nil
+		}
+		br := c.breakers.get(addr)
+		if br.Allow() {
+			return addr, br, nil
+		}
+		refused = markFailed(refused, addr)
+	}
 }
 
 // newRequest builds one attempt's request; bodies are replayed from the

@@ -171,7 +171,8 @@ type MetricsSnapshot struct {
 }
 
 // ResilienceSnapshot is one service's resilience summary: what its server
-// shed and injected, and what its outbound clients retried and broke.
+// shed and injected, and what its outbound clients retried, broke, and
+// routed per destination replica.
 type ResilienceSnapshot struct {
 	Shed          int64                      `json:"shed"`
 	Inflight      int64                      `json:"inflight"`
@@ -179,6 +180,9 @@ type ResilienceSnapshot struct {
 	Retries       int64                      `json:"retries"`
 	ShortCircuits int64                      `json:"shortCircuits"`
 	Breakers      map[string]BreakerSnapshot `json:"breakers,omitempty"`
+	// Replicas maps destination service → replica address → traffic this
+	// service's outbound clients routed there.
+	Replicas map[string]map[string]ReplicaCounts `json:"replicas,omitempty"`
 }
 
 // resilienceSnapshot aggregates the server-side counters with every
@@ -201,6 +205,21 @@ func (s *Server) resilienceSnapshot() ResilienceSnapshot {
 				bs = mergeBreakerSnapshots(prev, bs)
 			}
 			out.Breakers[host] = bs
+		}
+		for svc, replicas := range cr.Replicas {
+			if out.Replicas == nil {
+				out.Replicas = map[string]map[string]ReplicaCounts{}
+			}
+			if out.Replicas[svc] == nil {
+				out.Replicas[svc] = map[string]ReplicaCounts{}
+			}
+			for addr, rc := range replicas {
+				prev := out.Replicas[svc][addr]
+				out.Replicas[svc][addr] = ReplicaCounts{
+					Requests: prev.Requests + rc.Requests,
+					Inflight: prev.Inflight + rc.Inflight,
+				}
+			}
 		}
 	}
 	return out
@@ -320,6 +339,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		for _, host := range hosts {
 			fmt.Fprintf(w, "teastore_breaker_opens_total{service=%q,dest=%q} %d\n",
 				s.name, host, res.Breakers[host].Opens)
+		}
+	}
+	if len(res.Replicas) > 0 {
+		dests := make([]string, 0, len(res.Replicas))
+		for dest := range res.Replicas {
+			dests = append(dests, dest)
+		}
+		sort.Strings(dests)
+		fmt.Fprintf(w, "# HELP teastore_replica_requests_total Outbound requests routed per destination replica by the client-side balancer.\n")
+		fmt.Fprintf(w, "# TYPE teastore_replica_requests_total counter\n")
+		for _, dest := range dests {
+			addrs := make([]string, 0, len(res.Replicas[dest]))
+			for addr := range res.Replicas[dest] {
+				addrs = append(addrs, addr)
+			}
+			sort.Strings(addrs)
+			for _, addr := range addrs {
+				fmt.Fprintf(w, "teastore_replica_requests_total{service=%q,dest_service=%q,replica=%q} %d\n",
+					s.name, dest, addr, res.Replicas[dest][addr].Requests)
+			}
 		}
 	}
 }

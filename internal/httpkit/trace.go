@@ -41,6 +41,17 @@ func TraceFrom(ctx context.Context) (TraceContext, bool) {
 	return tc, ok
 }
 
+// withoutTrace hides any trace identity from downstream Client calls.
+// Control-plane traffic (the balancer's service-discovery lookups) uses it
+// so request traces keep describing the user-visible fan-out — whether a
+// registry hop appears would otherwise depend on cache-expiry timing.
+func withoutTrace(ctx context.Context) context.Context {
+	if _, ok := TraceFrom(ctx); !ok {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, nil)
+}
+
 // NewTraceID returns a fresh 16-hex-digit trace identifier.
 func NewTraceID() string {
 	var b [8]byte

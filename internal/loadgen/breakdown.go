@@ -16,11 +16,13 @@ import (
 // p50/p95/p99 latency table with resilience counters (retries, sheds,
 // breaker trips) — the remote counterpart of
 // teastore.Stack.BreakdownTable for load runs driven at a stack in
-// another process.
+// another process. The share column reports each replica's slice of its
+// service's requests, making skewed client-side balancing visible at a
+// glance.
 func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, error) {
 	t := metrics.Table{
 		Title:   "Per-service latency breakdown",
-		Headers: []string{"service", "instance", "requests", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "opens"},
+		Headers: []string{"service", "instance", "requests", "share", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "opens"},
 	}
 	hc := httpkit.NewClient(5 * time.Second)
 	var names []string
@@ -38,16 +40,27 @@ func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, err
 			return t, fmt.Errorf("loadgen: resolving %s: %w", name, err)
 		}
 		sort.Strings(addrs)
+		snaps := make([]httpkit.MetricsSnapshot, 0, len(addrs))
+		var total int64
 		for _, addr := range addrs {
 			var snap httpkit.MetricsSnapshot
 			if err := hc.GetJSON(ctx, "http://"+addr+"/metrics.json", &snap); err != nil {
 				return t, fmt.Errorf("loadgen: metrics from %s@%s: %w", name, addr, err)
 			}
+			snaps = append(snaps, snap)
+			total += snap.Requests
+		}
+		for i, addr := range addrs {
+			snap := snaps[i]
 			var opens int64
 			for _, bs := range snap.Resilience.Breakers {
 				opens += bs.Opens
 			}
-			t.AddRow(name, addr, strconv.FormatInt(snap.Requests, 10),
+			share := "-"
+			if total > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*float64(snap.Requests)/float64(total))
+			}
+			t.AddRow(name, addr, strconv.FormatInt(snap.Requests, 10), share,
 				ms(snap.Overall.P50), ms(snap.Overall.P95), ms(snap.Overall.P99),
 				strconv.FormatInt(snap.Resilience.Retries, 10),
 				strconv.FormatInt(snap.Resilience.Shed, 10),

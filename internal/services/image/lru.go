@@ -4,15 +4,21 @@ import (
 	"container/list"
 	"hash/fnv"
 	"sync"
+	"sync/atomic"
 )
 
-// lruShard is one lock-striped slice of the cache.
+// lruShard is one lock-striped slice of the cache. Hit/miss counters live
+// here, not on Cache: a global stats mutex would re-serialize the hottest
+// read path that sharding exists to parallelize.
 type lruShard struct {
 	mu       sync.Mutex
 	capacity int64
 	bytes    int64
 	order    *list.List // front = most recent
 	items    map[string]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 type lruEntry struct {
@@ -25,9 +31,6 @@ type lruEntry struct {
 // mechanism the original TeaStore's image cache tunes.
 type Cache struct {
 	shards []*lruShard
-	mu     sync.Mutex
-	nHit   int64
-	nMiss  int64
 }
 
 // NewCache returns a cache bounded to capacityBytes split over nShards
@@ -72,13 +75,11 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	}
 	s.mu.Unlock()
 
-	c.mu.Lock()
 	if ok {
-		c.nHit++
+		s.hits.Add(1)
 	} else {
-		c.nMiss++
+		s.misses.Add(1)
 	}
-	c.mu.Unlock()
 	return data, ok
 }
 
@@ -145,9 +146,11 @@ func (c *Cache) Capacity() int64 {
 	return total
 }
 
-// Stats returns hit/miss counts.
+// Stats returns hit/miss counts aggregated across shards.
 func (c *Cache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.nHit, c.nMiss
+	for _, s := range c.shards {
+		hits += s.hits.Load()
+		misses += s.misses.Load()
+	}
+	return hits, misses
 }

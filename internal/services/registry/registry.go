@@ -80,7 +80,11 @@ func (r *Registry) Deregister(reg Registration) {
 	delete(r.entries[reg.Service], reg.Address)
 }
 
-// Lookup lists the live addresses of a service, sorted for determinism.
+// Lookup lists the live addresses of a service. The slice is sorted
+// lexically so tests and reports are deterministic — it is NOT a routing
+// order. A consumer that always takes the first entry pins every request
+// to one replica; replica choice belongs to httpkit.Balancer, which
+// spreads traffic by in-flight load, not list position.
 func (r *Registry) Lookup(service string) []string {
 	cutoff := r.now().Add(-r.ttl)
 	r.mu.RLock()

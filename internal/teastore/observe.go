@@ -10,27 +10,31 @@ import (
 	"repro/internal/metrics"
 )
 
-// ServiceStats is one service's observed traffic summary within a stack.
+// ServiceStats is one service instance's observed traffic summary within
+// a stack. A replicated service contributes one entry per replica,
+// distinguished by Addr.
 type ServiceStats struct {
 	Service  string
+	Addr     string
 	URL      string
 	Requests int64
 	Overall  metrics.Snapshot
 	Routes   map[string]metrics.Snapshot
-	// Resilience carries shed counts, injected faults, and the service's
-	// outbound retry/breaker activity.
+	// Resilience carries shed counts, injected faults, and the instance's
+	// outbound retry/breaker/per-replica routing activity.
 	Resilience httpkit.ResilienceSnapshot
 }
 
-// StatsSnapshot collects every server's per-route latency state, sorted by
-// service name — the stack-wide view the paper's per-service scale-up
-// attribution needs.
+// StatsSnapshot collects every instance's per-route latency state, sorted
+// by service name then address — the stack-wide view the paper's
+// per-service scale-up attribution needs, one row per replica.
 func (s *Stack) StatsSnapshot() []ServiceStats {
 	out := make([]ServiceStats, 0, len(s.servers))
 	for _, srv := range s.servers {
 		ms := srv.MetricsSnapshot()
 		out = append(out, ServiceStats{
 			Service:    srv.Name(),
+			Addr:       srv.Addr(),
 			URL:        srv.URL(),
 			Requests:   ms.Requests,
 			Overall:    ms.Overall,
@@ -38,7 +42,12 @@ func (s *Stack) StatsSnapshot() []ServiceStats {
 			Resilience: ms.Resilience,
 		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Service != out[j].Service {
+			return out[i].Service < out[j].Service
+		}
+		return out[i].Addr < out[j].Addr
+	})
 	return out
 }
 
@@ -59,16 +68,17 @@ func (s *Stack) Trace(id string) []httpkit.Span {
 	return spans
 }
 
-// BreakdownTable renders the per-service p50/p95/p99 latency breakdown
-// that cmd/teastore and loadgen print after a run.
+// BreakdownTable renders the per-instance p50/p95/p99 latency breakdown
+// that cmd/teastore and loadgen print after a run — one row per replica,
+// so uneven replica traffic is visible at a glance.
 func (s *Stack) BreakdownTable() metrics.Table {
 	t := metrics.Table{
 		Title:   "Per-service latency breakdown",
-		Headers: []string{"service", "requests", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "breakers"},
+		Headers: []string{"service", "instance", "requests", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "breakers"},
 	}
 	ms := func(v int64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
 	for _, st := range s.StatsSnapshot() {
-		t.AddRow(st.Service, strconv.FormatInt(st.Requests, 10),
+		t.AddRow(st.Service, st.Addr, strconv.FormatInt(st.Requests, 10),
 			ms(st.Overall.P50), ms(st.Overall.P95), ms(st.Overall.P99),
 			strconv.FormatInt(st.Resilience.Retries, 10),
 			strconv.FormatInt(st.Resilience.Shed, 10),

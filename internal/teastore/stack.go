@@ -80,11 +80,51 @@ type Config struct {
 	// The stack heartbeats live services at TTL/3 so registrations survive
 	// long runs; tests shorten it to observe expiry quickly.
 	RegistryTTL time.Duration
+	// Replicas maps service names ("auth", "persistence", "recommender",
+	// "image", "webui") to instance counts; absent or zero means one.
+	// Every replica gets its own listener, registers with the registry,
+	// and heartbeats independently; inter-service calls spread across
+	// replicas via registry-backed client-side load balancing. The
+	// registry itself cannot be replicated (it IS the routing plane).
+	Replicas map[string]int
+	// BalancerCacheTTL bounds how long outbound clients reuse a resolved
+	// replica list before re-consulting the registry (0 →
+	// httpkit.DefaultBalancerCacheTTL). Connection failures invalidate
+	// the cache early regardless.
+	BalancerCacheTTL time.Duration
 	// Resilience tunes retries, breakers, and load shedding.
 	Resilience ResilienceConfig
-	// Chaos maps service names to fault-injection specs applied at boot;
-	// use Stack.SetChaos to flip faults on mid-run.
+	// Chaos maps service names to fault-injection specs applied at boot
+	// (to every replica of the service); use Stack.SetChaos or
+	// Stack.SetReplicaChaos to flip faults on mid-run.
 	Chaos map[string]httpkit.ChaosConfig
+}
+
+// replicableServices are the service names Config.Replicas may scale.
+var replicableServices = map[string]bool{
+	"auth": true, "persistence": true, "recommender": true, "image": true, "webui": true,
+}
+
+// replicas resolves the configured instance count for a service.
+func (c Config) replicas(service string) int {
+	if n := c.Replicas[service]; n > 1 {
+		return n
+	}
+	return 1
+}
+
+// validateReplicas rejects replica counts for unknown services and for the
+// registry, whose in-memory table cannot be replicated.
+func (c Config) validateReplicas() error {
+	for name, n := range c.Replicas {
+		if !replicableServices[name] {
+			return fmt.Errorf("teastore: cannot replicate %q (replicable: auth, persistence, recommender, image, webui)", name)
+		}
+		if n < 0 {
+			return fmt.Errorf("teastore: negative replica count %d for %s", n, name)
+		}
+	}
+	return nil
 }
 
 // Stack is a running all-in-one TeaStore.
@@ -108,8 +148,11 @@ type Stack struct {
 	WebUIURL       string
 }
 
-// Start boots every service, seeds the catalog, trains the recommender,
-// and registers all instances with the registry.
+// Start boots every service — Config.Replicas instances of each — seeds
+// the catalog, trains the recommender, and registers every instance with
+// the registry. Inter-service calls go through svc:// logical URLs
+// resolved per attempt by a registry-backed client-side balancer, so
+// traffic spreads across replicas and fails over when one dies.
 func Start(cfg Config) (*Stack, error) {
 	if cfg.Host == "" {
 		cfg.Host = "127.0.0.1"
@@ -120,11 +163,18 @@ func Start(cfg Config) (*Stack, error) {
 	if cfg.Catalog.Categories == 0 {
 		cfg.Catalog = db.DefaultGenerateSpec()
 	}
+	if err := cfg.validateReplicas(); err != nil {
+		return nil, err
+	}
 	st := &Stack{Store: db.NewStore()}
 	fail := func(err error) (*Stack, error) {
 		st.Shutdown(context.Background())
 		return nil, err
 	}
+	// Each instance registers as soon as it listens (not in a batch after
+	// boot): later services resolve earlier ones through the registry —
+	// the recommender trains against svc://persistence before webui even
+	// exists.
 	listen := func(name string, mux *http.ServeMux) (*httpkit.Server, error) {
 		srv, err := httpkit.NewServer(name, cfg.Host+":0", mux)
 		if err != nil {
@@ -136,17 +186,12 @@ func Start(cfg Config) (*Stack, error) {
 		}
 		srv.Start()
 		st.servers = append(st.servers, srv)
+		st.reg.Register(registry.Registration{Service: name, Address: srv.Addr()})
 		return srv, nil
 	}
-	// Every service gets its own outbound client so /metrics attributes
-	// retries and breaker trips to the caller that suffered them.
-	newClient := func() *httpkit.Client {
-		return httpkit.NewClient(cfg.Resilience.clientTimeout(),
-			httpkit.WithRetry(cfg.Resilience.Retry),
-			httpkit.WithBreaker(cfg.Resilience.Breaker))
-	}
 
-	// Registry first: everything else announces itself there.
+	// Registry first: it is the routing plane everything else resolves
+	// through.
 	st.reg = registry.New(cfg.RegistryTTL)
 	st.stopSwp = st.reg.StartSweeper(time.Second)
 	regSrv, err := listen("registry", st.reg.Mux())
@@ -155,71 +200,105 @@ func Start(cfg Config) (*Stack, error) {
 	}
 	st.RegistryURL = regSrv.URL()
 
-	// Persistence over the seeded store.
+	// Every service gets its own outbound client — so /metrics attributes
+	// retries, breaker trips, and per-replica routing to the caller that
+	// performed them — but all balancers resolve through one registry
+	// client hitting the real HTTP discovery API.
+	resolver := registry.NewClient(st.RegistryURL, httpkit.NewClient(2*time.Second))
+	newClient := func() *httpkit.Client {
+		return httpkit.NewClient(cfg.Resilience.clientTimeout(),
+			httpkit.WithRetry(cfg.Resilience.Retry),
+			httpkit.WithBreaker(cfg.Resilience.Breaker),
+			httpkit.WithBalancer(httpkit.NewBalancer(resolver,
+				httpkit.BalancerConfig{CacheTTL: cfg.BalancerCacheTTL})))
+	}
+
+	// Persistence over the seeded store. Replicas are stateless compute
+	// sharing one store, the all-in-one analogue of app servers in front
+	// of a single database.
 	if err := st.Store.Generate(cfg.Catalog, auth.HashPassword); err != nil {
 		return fail(fmt.Errorf("teastore: seeding catalog: %w", err))
 	}
-	persistSvc := persistence.New(st.Store)
-	persistSrv, err := listen("persistence", persistSvc.Mux())
-	if err != nil {
-		return fail(err)
+	for i := 0; i < cfg.replicas("persistence"); i++ {
+		srv, err := listen("persistence", persistence.New(st.Store).Mux())
+		if err != nil {
+			return fail(err)
+		}
+		if st.PersistenceURL == "" {
+			st.PersistenceURL = srv.URL()
+		}
 	}
-	st.PersistenceURL = persistSrv.URL()
 
 	// Auth verifies against persistence.
-	authHC := newClient()
-	authSvc, err := auth.New(cfg.Key, persistence.NewClient(st.PersistenceURL, authHC))
-	if err != nil {
-		return fail(err)
+	for i := 0; i < cfg.replicas("auth"); i++ {
+		hc := newClient()
+		svc, err := auth.New(cfg.Key, persistence.NewClient(httpkit.BalancedURL("persistence"), hc))
+		if err != nil {
+			return fail(err)
+		}
+		srv, err := listen("auth", svc.Mux())
+		if err != nil {
+			return fail(err)
+		}
+		srv.AttachClient(hc)
+		if st.AuthURL == "" {
+			st.AuthURL = srv.URL()
+		}
 	}
-	authSrv, err := listen("auth", authSvc.Mux())
-	if err != nil {
-		return fail(err)
-	}
-	authSrv.AttachClient(authHC)
-	st.AuthURL = authSrv.URL()
 
-	// Recommender trains on the order history.
-	recHC := newClient()
-	recSvc, err := recommender.New(cfg.Algorithm, persistence.NewClient(st.PersistenceURL, recHC))
-	if err != nil {
-		return fail(err)
+	// Recommender replicas each train their own model on the order
+	// history, exactly as independently deployed instances would.
+	for i := 0; i < cfg.replicas("recommender"); i++ {
+		hc := newClient()
+		svc, err := recommender.New(cfg.Algorithm, persistence.NewClient(httpkit.BalancedURL("persistence"), hc))
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := svc.Train(context.Background()); err != nil {
+			return fail(err)
+		}
+		srv, err := listen("recommender", svc.Mux())
+		if err != nil {
+			return fail(err)
+		}
+		srv.AttachClient(hc)
+		if st.RecommenderURL == "" {
+			st.RecommenderURL = srv.URL()
+		}
 	}
-	if _, err := recSvc.Train(context.Background()); err != nil {
-		return fail(err)
-	}
-	recSrv, err := listen("recommender", recSvc.Mux())
-	if err != nil {
-		return fail(err)
-	}
-	recSrv.AttachClient(recHC)
-	st.RecommenderURL = recSrv.URL()
 
-	// Image provider.
-	imgSvc := imagesvc.New(cfg.ImageCacheBytes)
-	imgSrv, err := listen("image", imgSvc.Mux())
-	if err != nil {
-		return fail(err)
+	// Image provider replicas each own an independent cache.
+	for i := 0; i < cfg.replicas("image"); i++ {
+		srv, err := listen("image", imagesvc.New(cfg.ImageCacheBytes).Mux())
+		if err != nil {
+			return fail(err)
+		}
+		if st.ImageURL == "" {
+			st.ImageURL = srv.URL()
+		}
 	}
-	st.ImageURL = imgSrv.URL()
 
-	// WebUI fans out to everything.
-	uiHC := newClient()
-	ui, err := webui.New(webui.Backends{
-		Auth:        auth.NewClient(st.AuthURL, uiHC),
-		Persistence: persistence.NewClient(st.PersistenceURL, uiHC),
-		Recommender: recommender.NewClient(st.RecommenderURL, uiHC),
-		Image:       imagesvc.NewClient(st.ImageURL, uiHC),
-	})
-	if err != nil {
-		return fail(err)
+	// WebUI fans out to everything through the balancer.
+	for i := 0; i < cfg.replicas("webui"); i++ {
+		hc := newClient()
+		ui, err := webui.New(webui.Backends{
+			Auth:        auth.NewClient(httpkit.BalancedURL("auth"), hc),
+			Persistence: persistence.NewClient(httpkit.BalancedURL("persistence"), hc),
+			Recommender: recommender.NewClient(httpkit.BalancedURL("recommender"), hc),
+			Image:       imagesvc.NewClient(httpkit.BalancedURL("image"), hc),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		srv, err := listen("webui", ui.Mux())
+		if err != nil {
+			return fail(err)
+		}
+		srv.AttachClient(hc)
+		if st.WebUIURL == "" {
+			st.WebUIURL = srv.URL()
+		}
 	}
-	uiSrv, err := listen("webui", ui.Mux())
-	if err != nil {
-		return fail(err)
-	}
-	uiSrv.AttachClient(uiHC)
-	st.WebUIURL = uiSrv.URL()
 
 	// A listener can die between its Start and now (port snatched,
 	// fd exhaustion); catch that before declaring the stack up, then
@@ -231,12 +310,9 @@ func Start(cfg Config) (*Stack, error) {
 	}
 	st.watchServeErrors()
 
-	// Announce everyone, then keep the leases alive: without heartbeats
-	// every registration silently expires after one TTL and remote
-	// discovery (loadgen -registry) goes dark on long-running stacks.
-	for _, srv := range st.servers {
-		st.reg.Register(registry.Registration{Service: srv.Name(), Address: srv.Addr()})
-	}
+	// Keep the leases alive: without heartbeats every registration
+	// silently expires after one TTL and both remote discovery (loadgen
+	// -registry) and the routing plane go dark on long-running stacks.
 	ttl := cfg.RegistryTTL
 	if ttl <= 0 {
 		ttl = registry.DefaultTTL
@@ -306,30 +382,76 @@ func (s *Stack) heartbeatOnce() {
 	}
 }
 
-// Services lists the running servers (name → base URL).
+// Services lists the running services (name → first replica's base URL).
+// Use Instances for the full per-replica listing.
 func (s *Stack) Services() map[string]string {
 	out := map[string]string{}
 	for _, srv := range s.servers {
-		out[srv.Name()] = srv.URL()
+		if _, ok := out[srv.Name()]; !ok {
+			out[srv.Name()] = srv.URL()
+		}
 	}
 	return out
 }
 
-// server finds a running server by service name.
-func (s *Stack) server(name string) (*httpkit.Server, error) {
+// ServiceInstance is one running replica of a service.
+type ServiceInstance struct {
+	Service string
+	Addr    string
+	URL     string
+}
+
+// Instances lists every running replica in boot order.
+func (s *Stack) Instances() []ServiceInstance {
+	out := make([]ServiceInstance, 0, len(s.servers))
+	for _, srv := range s.servers {
+		out = append(out, ServiceInstance{Service: srv.Name(), Addr: srv.Addr(), URL: srv.URL()})
+	}
+	return out
+}
+
+// serversOf lists a service's replicas in boot order.
+func (s *Stack) serversOf(name string) []*httpkit.Server {
+	var out []*httpkit.Server
 	for _, srv := range s.servers {
 		if srv.Name() == name {
-			return srv, nil
+			out = append(out, srv)
 		}
 	}
-	return nil, fmt.Errorf("teastore: no service %q", name)
+	return out
+}
+
+// replica finds one replica of a service by boot index.
+func (s *Stack) replica(name string, index int) (*httpkit.Server, error) {
+	replicas := s.serversOf(name)
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("teastore: no service %q", name)
+	}
+	if index < 0 || index >= len(replicas) {
+		return nil, fmt.Errorf("teastore: %s has %d replicas, no index %d", name, len(replicas), index)
+	}
+	return replicas[index], nil
 }
 
 // SetChaos installs (or, with a zero config, removes) fault injection on
-// one service mid-run — the hook the chaos harness uses to break a live
-// stack.
+// every replica of one service mid-run — the hook the chaos harness uses
+// to break a live stack.
 func (s *Stack) SetChaos(service string, cfg httpkit.ChaosConfig) error {
-	srv, err := s.server(service)
+	replicas := s.serversOf(service)
+	if len(replicas) == 0 {
+		return fmt.Errorf("teastore: no service %q", service)
+	}
+	for _, srv := range replicas {
+		srv.SetChaos(cfg)
+	}
+	return nil
+}
+
+// SetReplicaChaos injects faults into a single replica, leaving its
+// siblings healthy — the scenario client-side balancing must route
+// around.
+func (s *Stack) SetReplicaChaos(service string, index int, cfg httpkit.ChaosConfig) error {
+	srv, err := s.replica(service, index)
 	if err != nil {
 		return err
 	}
@@ -337,20 +459,52 @@ func (s *Stack) SetChaos(service string, cfg httpkit.ChaosConfig) error {
 	return nil
 }
 
-// StopService gracefully stops one service, simulating a backend outage
-// while the rest of the stack keeps serving.
+// StopService gracefully stops every replica of one service, simulating a
+// backend outage while the rest of the stack keeps serving. Each replica
+// is deregistered first so the routing plane drops it immediately instead
+// of when its lease expires.
 func (s *Stack) StopService(ctx context.Context, service string) error {
-	srv, err := s.server(service)
+	replicas := s.serversOf(service)
+	if len(replicas) == 0 {
+		return fmt.Errorf("teastore: no service %q", service)
+	}
+	var firstErr error
+	for _, srv := range replicas {
+		s.deregister(srv)
+		if err := srv.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// StopReplica gracefully stops one replica of a service, deregistering it
+// immediately, while its siblings keep serving — the mid-run kill the
+// balancer + breaker failover path is built for.
+func (s *Stack) StopReplica(ctx context.Context, service string, index int) error {
+	srv, err := s.replica(service, index)
 	if err != nil {
 		return err
 	}
+	s.deregister(srv)
 	return srv.Shutdown(ctx)
+}
+
+// deregister removes one server's registration so lookups stop routing to
+// it now rather than after its lease expires (up to RegistryTTL later).
+func (s *Stack) deregister(srv *httpkit.Server) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Deregister(registry.Registration{Service: srv.Name(), Address: srv.Addr()})
 }
 
 // Registry exposes the in-process registry.
 func (s *Stack) Registry() *registry.Registry { return s.reg }
 
-// Shutdown stops every server.
+// Shutdown deregisters and stops every server. Deregistering first means
+// a half-stopped stack never advertises replicas that no longer answer —
+// without it a stopped instance stays routable until its lease expires.
 func (s *Stack) Shutdown(ctx context.Context) {
 	if s.stopHB != nil {
 		s.stopHB()
@@ -358,6 +512,9 @@ func (s *Stack) Shutdown(ctx context.Context) {
 	}
 	if s.stopSwp != nil {
 		s.stopSwp()
+	}
+	for _, srv := range s.servers {
+		s.deregister(srv)
 	}
 	for _, srv := range s.servers {
 		_ = srv.Shutdown(ctx)
