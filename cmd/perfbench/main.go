@@ -1,0 +1,77 @@
+// Command perfbench runs the PR's benchmark harness: head-to-head micro
+// benchmarks of every optimized hot path against compiled-in replicas of
+// the pre-optimization implementations, plus a closed-loop run of the
+// full stack. It writes the machine-readable report (BENCH_PR4.json)
+// and, given a checked-in baseline, enforces the regression gate.
+//
+// Usage:
+//
+//	go run ./cmd/perfbench -quick -out bench_new.json -baseline BENCH_PR4.json -gate
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perfbench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorten the closed-loop stack run (CI mode)")
+	out := flag.String("out", "BENCH_PR4.json", "where to write the report")
+	baselinePath := flag.String("baseline", "", "checked-in report to gate against")
+	gate := flag.Bool("gate", false, "exit non-zero if a tracked metric regresses >15% vs -baseline")
+	flag.Parse()
+
+	rep, err := perfbench.Run(perfbench.Options{
+		Quick: *quick,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(perfbench.Summary(rep))
+	fmt.Println("report:", *out)
+
+	if *baselinePath == "" {
+		return
+	}
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: baseline:", err)
+		os.Exit(1)
+	}
+	var base perfbench.Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench: baseline:", err)
+		os.Exit(1)
+	}
+	violations := perfbench.Gate(base, rep)
+	if len(violations) == 0 {
+		fmt.Println("gate: PASS (no tracked metric regressed >15% vs", *baselinePath+")")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "gate: FAIL")
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "  -", v)
+	}
+	if *gate {
+		os.Exit(2)
+	}
+}

@@ -4,6 +4,14 @@
 //
 // It replaces the MariaDB instance the original TeaStore uses; the
 // Persistence service exposes it over HTTP/JSON.
+//
+// Concurrency model: the read-mostly catalog (categories, products,
+// users) lives in an immutable snapshot behind an atomic pointer —
+// readers never take a lock, writers copy-on-write under a writer mutex
+// and publish atomically. The mutable order log is lock-striped across
+// shards. Nothing on the catalog read path shares a cache line with
+// writers, which is what lets persistence replicas scale reads with
+// cores instead of serializing on a global RWMutex.
 package db
 
 import (
@@ -11,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -64,43 +73,132 @@ var (
 	ErrInvalid   = errors.New("db: invalid entity")
 )
 
+// orderShardCount stripes the mutable order state. Power of two so the
+// shard index is a mask, sized well past the core counts the paper
+// studies.
+const orderShardCount = 32
+
+// catalogSnapshot is one immutable generation of the catalog. Every map
+// and slice in it is frozen at publish time: readers may hold returned
+// slices indefinitely, writers always build a fresh generation.
+type catalogSnapshot struct {
+	categories   map[int64]*Category
+	products     map[int64]*Product
+	users        map[int64]*User
+	usersByEmail map[string]int64
+
+	// categoryList is the ID-sorted listing Categories returns — computed
+	// once per generation instead of sort-per-call.
+	categoryList []Category
+	// productsByCategory holds each category's products ID-sorted, so a
+	// page read is a bounds-checked subslice, not a lock-copy-sort.
+	productsByCategory map[int64][]Product
+}
+
+// emptyCatalog is the generation a fresh or reset store serves.
+func emptyCatalog() *catalogSnapshot {
+	return &catalogSnapshot{
+		categories:         map[int64]*Category{},
+		products:           map[int64]*Product{},
+		users:              map[int64]*User{},
+		usersByEmail:       map[string]int64{},
+		productsByCategory: map[int64][]Product{},
+	}
+}
+
+// clone shallow-copies the snapshot: fresh maps, shared immutable
+// entries. The writer then swaps in new entries for whatever it changes.
+func (c *catalogSnapshot) clone() *catalogSnapshot {
+	next := &catalogSnapshot{
+		categories:         make(map[int64]*Category, len(c.categories)+1),
+		products:           make(map[int64]*Product, len(c.products)+1),
+		users:              make(map[int64]*User, len(c.users)+1),
+		usersByEmail:       make(map[string]int64, len(c.usersByEmail)+1),
+		categoryList:       c.categoryList,
+		productsByCategory: make(map[int64][]Product, len(c.productsByCategory)+1),
+	}
+	for k, v := range c.categories {
+		next.categories[k] = v
+	}
+	for k, v := range c.products {
+		next.products[k] = v
+	}
+	for k, v := range c.users {
+		next.users[k] = v
+	}
+	for k, v := range c.usersByEmail {
+		next.usersByEmail[k] = v
+	}
+	for k, v := range c.productsByCategory {
+		next.productsByCategory[k] = v
+	}
+	return next
+}
+
+// orderShard is one stripe of the order log, keyed by order ID.
+type orderShard struct {
+	mu     sync.Mutex
+	orders map[int64]*Order
+}
+
+// userOrderShard is one stripe of the per-user order index, keyed by
+// user ID. Orders are immutable after placement, so both indexes share
+// the same *Order values.
+type userOrderShard struct {
+	mu     sync.Mutex
+	byUser map[int64][]*Order // append order = placement order
+}
+
 // Store is the in-memory database. All methods are safe for concurrent
-// use; reads take a shared lock, writes an exclusive one.
+// use. Catalog reads (categories, products, users) are lock-free against
+// an immutable snapshot; catalog writes copy-on-write under a writer
+// mutex; order state is lock-striped.
 type Store struct {
-	mu sync.RWMutex
+	catalog atomic.Pointer[catalogSnapshot]
+	// catMu serializes catalog writers: each clones the current
+	// generation, mutates the clone, and publishes it.
+	catMu sync.Mutex
 
-	categories map[int64]*Category
-	products   map[int64]*Product
-	users      map[int64]*User
-	orders     map[int64]*Order
+	nextID atomic.Int64
 
-	// Secondary indexes.
-	productsByCategory map[int64][]int64
-	usersByEmail       map[string]int64
-	ordersByUser       map[int64][]int64
-
-	nextID int64
+	orders     [orderShardCount]orderShard
+	userOrders [orderShardCount]userOrderShard
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		categories:         map[int64]*Category{},
-		products:           map[int64]*Product{},
-		users:              map[int64]*User{},
-		orders:             map[int64]*Order{},
-		productsByCategory: map[int64][]int64{},
-		usersByEmail:       map[string]int64{},
-		ordersByUser:       map[int64][]int64{},
-		nextID:             1,
+	s := &Store{}
+	s.catalog.Store(emptyCatalog())
+	s.nextID.Store(1)
+	for i := range s.orders {
+		s.orders[i].orders = map[int64]*Order{}
 	}
+	for i := range s.userOrders {
+		s.userOrders[i].byUser = map[int64][]*Order{}
+	}
+	return s
 }
 
-// allocID hands out the next primary key. Callers must hold mu.
-func (s *Store) allocID() int64 {
-	id := s.nextID
-	s.nextID++
-	return id
+// snap returns the current catalog generation.
+func (s *Store) snap() *catalogSnapshot { return s.catalog.Load() }
+
+// allocID hands out the next primary key.
+func (s *Store) allocID() int64 { return s.nextID.Add(1) - 1 }
+
+// shardFor masks an ID onto a stripe.
+func shardFor(id int64) int { return int(uint64(id) & (orderShardCount - 1)) }
+
+// mutateCatalog runs one copy-on-write catalog transaction: fn mutates a
+// private clone which is published only if fn succeeds.
+func (s *Store) mutateCatalog(fn func(*catalogSnapshot) error) error {
+	s.catMu.Lock()
+	defer s.catMu.Unlock()
+	next := s.catalog.Load().clone()
+	if err := fn(next); err != nil {
+		return err
+	}
+	s.catalog.Store(next)
+	return nil
 }
 
 // AddCategory inserts a category and returns it with its assigned ID.
@@ -108,30 +206,31 @@ func (s *Store) AddCategory(c Category) (Category, error) {
 	if c.Name == "" {
 		return Category{}, fmt.Errorf("%w: category needs a name", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c.ID = s.allocID()
-	s.categories[c.ID] = &c
+	err := s.mutateCatalog(func(snap *catalogSnapshot) error {
+		c.ID = s.allocID()
+		snap.categories[c.ID] = &c
+		list := make([]Category, 0, len(snap.categoryList)+1)
+		list = append(list, snap.categoryList...)
+		list = append(list, c)
+		sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+		snap.categoryList = list
+		return nil
+	})
+	if err != nil {
+		return Category{}, err
+	}
 	return c, nil
 }
 
-// Categories lists all categories ordered by ID.
+// Categories lists all categories ordered by ID. The returned slice is a
+// read-only view of an immutable snapshot; callers must not modify it.
 func (s *Store) Categories() []Category {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Category, 0, len(s.categories))
-	for _, c := range s.categories {
-		out = append(out, *c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return s.snap().categoryList
 }
 
 // Category fetches one category.
 func (s *Store) Category(id int64) (Category, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.categories[id]
+	c, ok := s.snap().categories[id]
 	if !ok {
 		return Category{}, fmt.Errorf("%w: category %d", ErrNotFound, id)
 	}
@@ -143,30 +242,56 @@ func (s *Store) AddProduct(p Product) (Product, error) {
 	if p.Name == "" || p.PriceCents <= 0 {
 		return Product{}, fmt.Errorf("%w: product needs name and positive price", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.categories[p.CategoryID]; !ok {
-		return Product{}, fmt.Errorf("%w: category %d", ErrNotFound, p.CategoryID)
+	err := s.mutateCatalog(func(snap *catalogSnapshot) error {
+		if _, ok := snap.categories[p.CategoryID]; !ok {
+			return fmt.Errorf("%w: category %d", ErrNotFound, p.CategoryID)
+		}
+		p.ID = s.allocID()
+		snap.products[p.ID] = &p
+		old := snap.productsByCategory[p.CategoryID]
+		list := make([]Product, 0, len(old)+1)
+		list = append(list, old...)
+		list = append(list, p)
+		// IDs are monotonically allocated, so the append keeps ID order;
+		// sort anyway to hold the invariant against future write paths.
+		if len(list) > 1 && list[len(list)-2].ID > p.ID {
+			sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+		}
+		snap.productsByCategory[p.CategoryID] = list
+		return nil
+	})
+	if err != nil {
+		return Product{}, err
 	}
-	p.ID = s.allocID()
-	s.products[p.ID] = &p
-	s.productsByCategory[p.CategoryID] = append(s.productsByCategory[p.CategoryID], p.ID)
 	return p, nil
 }
 
 // Product fetches one product.
 func (s *Store) Product(id int64) (Product, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.products[id]
+	p, ok := s.snap().products[id]
 	if !ok {
 		return Product{}, fmt.Errorf("%w: product %d", ErrNotFound, id)
 	}
 	return *p, nil
 }
 
+// ProductsByIDs resolves a batch of product IDs in one call. Missing IDs
+// are omitted from the result, not errors: the caller asked "which of
+// these exist" and renders what comes back. Order follows the request.
+func (s *Store) ProductsByIDs(ids []int64) []Product {
+	snap := s.snap()
+	out := make([]Product, 0, len(ids))
+	for _, id := range ids {
+		if p, ok := snap.products[id]; ok {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
 // ProductsByCategory returns one page of a category's products, ordered by
-// ID. offset/limit paginate; limit ≤ 0 means 20.
+// ID. offset/limit paginate; limit ≤ 0 means 20. The returned slice is a
+// read-only view of an immutable snapshot; callers must not modify it.
 func (s *Store) ProductsByCategory(categoryID int64, offset, limit int) ([]Product, int, error) {
 	if limit <= 0 {
 		limit = 20
@@ -174,13 +299,12 @@ func (s *Store) ProductsByCategory(categoryID int64, offset, limit int) ([]Produ
 	if offset < 0 {
 		offset = 0
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, ok := s.categories[categoryID]; !ok {
+	snap := s.snap()
+	if _, ok := snap.categories[categoryID]; !ok {
 		return nil, 0, fmt.Errorf("%w: category %d", ErrNotFound, categoryID)
 	}
-	ids := s.productsByCategory[categoryID]
-	total := len(ids)
+	all := snap.productsByCategory[categoryID]
+	total := len(all)
 	if offset >= total {
 		return []Product{}, total, nil
 	}
@@ -188,18 +312,12 @@ func (s *Store) ProductsByCategory(categoryID int64, offset, limit int) ([]Produ
 	if end > total {
 		end = total
 	}
-	out := make([]Product, 0, end-offset)
-	for _, id := range ids[offset:end] {
-		out = append(out, *s.products[id])
-	}
-	return out, total, nil
+	return all[offset:end:end], total, nil
 }
 
 // NumProducts returns the catalog size.
 func (s *Store) NumProducts() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.products)
+	return len(s.snap().products)
 }
 
 // AddUser inserts a user; email must be unique.
@@ -207,22 +325,24 @@ func (s *Store) AddUser(u User) (User, error) {
 	if u.Email == "" || u.PasswordHash == "" {
 		return User{}, fmt.Errorf("%w: user needs email and password hash", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.usersByEmail[u.Email]; ok {
-		return User{}, fmt.Errorf("%w: email %q", ErrDuplicate, u.Email)
+	err := s.mutateCatalog(func(snap *catalogSnapshot) error {
+		if _, ok := snap.usersByEmail[u.Email]; ok {
+			return fmt.Errorf("%w: email %q", ErrDuplicate, u.Email)
+		}
+		u.ID = s.allocID()
+		snap.users[u.ID] = &u
+		snap.usersByEmail[u.Email] = u.ID
+		return nil
+	})
+	if err != nil {
+		return User{}, err
 	}
-	u.ID = s.allocID()
-	s.users[u.ID] = &u
-	s.usersByEmail[u.Email] = u.ID
 	return u, nil
 }
 
 // User fetches a user by ID.
 func (s *Store) User(id int64) (User, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	u, ok := s.users[id]
+	u, ok := s.snap().users[id]
 	if !ok {
 		return User{}, fmt.Errorf("%w: user %d", ErrNotFound, id)
 	}
@@ -231,40 +351,38 @@ func (s *Store) User(id int64) (User, error) {
 
 // UserByEmail fetches a user by unique email.
 func (s *Store) UserByEmail(email string) (User, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	id, ok := s.usersByEmail[email]
+	snap := s.snap()
+	id, ok := snap.usersByEmail[email]
 	if !ok {
 		return User{}, fmt.Errorf("%w: user %q", ErrNotFound, email)
 	}
-	return *s.users[id], nil
+	return *snap.users[id], nil
 }
 
 // NumUsers returns the registered-user count.
 func (s *Store) NumUsers() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.users)
+	return len(s.snap().users)
 }
 
 // PlaceOrder atomically validates and inserts an order: the user and every
 // product must exist, quantities must be positive, and the stored total is
-// recomputed server-side from current prices.
+// recomputed server-side from current prices. Validation reads the
+// catalog snapshot (products and users are never deleted, so a snapshot
+// check cannot go stale); the insert touches only this order's shard.
 func (s *Store) PlaceOrder(userID int64, items []OrderItem, at time.Time) (Order, error) {
 	if len(items) == 0 {
 		return Order{}, fmt.Errorf("%w: order needs items", ErrInvalid)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.users[userID]; !ok {
+	snap := s.snap()
+	if _, ok := snap.users[userID]; !ok {
 		return Order{}, fmt.Errorf("%w: user %d", ErrNotFound, userID)
 	}
-	order := Order{UserID: userID, PlacedAt: at}
+	order := Order{UserID: userID, PlacedAt: at, Items: make([]OrderItem, 0, len(items))}
 	for _, it := range items {
 		if it.Quantity <= 0 {
 			return Order{}, fmt.Errorf("%w: quantity %d", ErrInvalid, it.Quantity)
 		}
-		p, ok := s.products[it.ProductID]
+		p, ok := snap.products[it.ProductID]
 		if !ok {
 			return Order{}, fmt.Errorf("%w: product %d", ErrNotFound, it.ProductID)
 		}
@@ -273,16 +391,26 @@ func (s *Store) PlaceOrder(userID int64, items []OrderItem, at time.Time) (Order
 		order.TotalCents += line.PriceCents * int64(line.Quantity)
 	}
 	order.ID = s.allocID()
-	s.orders[order.ID] = &order
-	s.ordersByUser[userID] = append(s.ordersByUser[userID], order.ID)
+	stored := order
+
+	osh := &s.orders[shardFor(order.ID)]
+	osh.mu.Lock()
+	osh.orders[order.ID] = &stored
+	osh.mu.Unlock()
+
+	ush := &s.userOrders[shardFor(userID)]
+	ush.mu.Lock()
+	ush.byUser[userID] = append(ush.byUser[userID], &stored)
+	ush.mu.Unlock()
 	return order, nil
 }
 
 // Order fetches one order.
 func (s *Store) Order(id int64) (Order, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	o, ok := s.orders[id]
+	sh := &s.orders[shardFor(id)]
+	sh.mu.Lock()
+	o, ok := sh.orders[id]
+	sh.mu.Unlock()
 	if !ok {
 		return Order{}, fmt.Errorf("%w: order %d", ErrNotFound, id)
 	}
@@ -291,27 +419,31 @@ func (s *Store) Order(id int64) (Order, error) {
 
 // OrdersByUser lists a user's orders, newest first.
 func (s *Store) OrdersByUser(userID int64) ([]Order, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, ok := s.users[userID]; !ok {
+	if _, ok := s.snap().users[userID]; !ok {
 		return nil, fmt.Errorf("%w: user %d", ErrNotFound, userID)
 	}
-	ids := s.ordersByUser[userID]
-	out := make([]Order, 0, len(ids))
-	for i := len(ids) - 1; i >= 0; i-- {
-		out = append(out, *s.orders[ids[i]])
+	sh := &s.userOrders[shardFor(userID)]
+	sh.mu.Lock()
+	mine := sh.byUser[userID]
+	out := make([]Order, 0, len(mine))
+	for i := len(mine) - 1; i >= 0; i-- {
+		out = append(out, *mine[i])
 	}
+	sh.mu.Unlock()
 	return out, nil
 }
 
 // AllOrders lists every order ordered by ID — the recommender's training
 // feed.
 func (s *Store) AllOrders() []Order {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]Order, 0, len(s.orders))
-	for _, o := range s.orders {
-		out = append(out, *o)
+	var out []Order
+	for i := range s.orders {
+		sh := &s.orders[i]
+		sh.mu.Lock()
+		for _, o := range sh.orders {
+			out = append(out, *o)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
@@ -319,21 +451,34 @@ func (s *Store) AllOrders() []Order {
 
 // NumOrders returns the order count.
 func (s *Store) NumOrders() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.orders)
+	n := 0
+	for i := range s.orders {
+		sh := &s.orders[i]
+		sh.mu.Lock()
+		n += len(sh.orders)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
-// Reset drops everything (test and regeneration support).
+// Reset drops everything (test and regeneration support). Reset is not
+// atomic against concurrent writers the way a single global lock was:
+// run it only while no writes are in flight (boot, tests, regeneration).
 func (s *Store) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.categories = map[int64]*Category{}
-	s.products = map[int64]*Product{}
-	s.users = map[int64]*User{}
-	s.orders = map[int64]*Order{}
-	s.productsByCategory = map[int64][]int64{}
-	s.usersByEmail = map[string]int64{}
-	s.ordersByUser = map[int64][]int64{}
-	s.nextID = 1
+	s.catMu.Lock()
+	s.catalog.Store(emptyCatalog())
+	s.catMu.Unlock()
+	for i := range s.orders {
+		sh := &s.orders[i]
+		sh.mu.Lock()
+		sh.orders = map[int64]*Order{}
+		sh.mu.Unlock()
+	}
+	for i := range s.userOrders {
+		sh := &s.userOrders[i]
+		sh.mu.Lock()
+		sh.byUser = map[int64][]*Order{}
+		sh.mu.Unlock()
+	}
+	s.nextID.Store(1)
 }

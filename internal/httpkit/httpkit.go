@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"strconv"
@@ -41,13 +42,73 @@ func (e *ErrorBody) Error() string {
 	return fmt.Sprintf("http %d: %s", e.Status, e.Message)
 }
 
-// WriteJSON encodes v with the given status.
+// JSONBuffer is a pooled encode buffer with its encoder permanently
+// bound to it, so encoding a request or response body allocates nothing
+// once the pool is warm.
+type JSONBuffer struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+// Bytes is the encoded document, valid until Release.
+func (jb *JSONBuffer) Bytes() []byte { return jb.buf.Bytes() }
+
+// Release returns the buffer to the pool. The bytes must not be used
+// afterwards. Buffers that grew past maxPooledEncodeBuf are dropped
+// instead of pooled so one huge response (orders/all on a large store)
+// doesn't pin memory forever.
+func (jb *JSONBuffer) Release() {
+	if jb.buf.Cap() <= maxPooledEncodeBuf {
+		jsonEncodePool.Put(jb)
+	}
+}
+
+// jsonEncodePool recycles encode state across requests.
+var jsonEncodePool = sync.Pool{
+	New: func() any {
+		jb := &JSONBuffer{}
+		jb.enc = json.NewEncoder(&jb.buf)
+		return jb
+	},
+}
+
+const maxPooledEncodeBuf = 256 << 10
+
+// EncodeJSON marshals v into a pooled buffer — the allocation-free
+// replacement for marshal-per-call on the request/response hot paths.
+// The caller must Release the buffer when done with its bytes.
+func EncodeJSON(v any) (*JSONBuffer, error) {
+	jb := jsonEncodePool.Get().(*JSONBuffer)
+	jb.buf.Reset()
+	if err := jb.enc.Encode(v); err != nil {
+		jsonEncodePool.Put(jb)
+		return nil, err
+	}
+	return jb, nil
+}
+
+// WriteJSON encodes v with the given status. The body is encoded into a
+// pooled buffer first and written in one shot with a preset
+// Content-Length, so the header is only committed once the encode has
+// succeeded — a failed encode becomes a clean 500 envelope instead of a
+// truncated 200 body, and is logged rather than discarded.
 func WriteJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	if v != nil {
-		_ = json.NewEncoder(w).Encode(v)
+	if v == nil {
+		w.WriteHeader(status)
+		return
 	}
+	jb, err := EncodeJSON(v)
+	if err != nil {
+		log.Printf("httpkit: encoding %T response: %v", v, err)
+		WriteError(w, http.StatusInternalServerError, "response encoding failed")
+		return
+	}
+	defer jb.Release()
+	data := jb.Bytes()
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
 }
 
 // WriteError sends the standard error envelope.
@@ -373,35 +434,37 @@ func (c *Client) ResilienceSnapshot() ClientResilience {
 
 // GetJSON GETs url and decodes into out (which may be nil to discard).
 func (c *Client) GetJSON(ctx context.Context, url string, out any) error {
-	resp, err := c.exec(ctx, http.MethodGet, url, nil, "")
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeError(resp)
-	}
-	if out == nil {
-		_, _ = io.Copy(io.Discard, resp.Body)
-		return nil
-	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("httpkit: decoding response from %s: %w", url, err)
-	}
-	return nil
+	return c.doJSON(ctx, http.MethodGet, url, nil, out)
 }
 
 // PostJSON POSTs in as JSON and decodes the response into out.
 func (c *Client) PostJSON(ctx context.Context, url string, in, out any) error {
+	return c.doJSON(ctx, http.MethodPost, url, in, out)
+}
+
+// doJSON issues one JSON call. The request body is encoded into a pooled
+// buffer that is held until exec returns — exec replays it from the same
+// bytes across retries — then recycled, so steady-state calls allocate
+// no encode buffers.
+func (c *Client) doJSON(ctx context.Context, method, url string, in, out any) error {
 	var body []byte
+	var contentType string
+	var jb *JSONBuffer
 	if in != nil {
-		buf, err := json.Marshal(in)
+		var err error
+		jb, err = EncodeJSON(in)
 		if err != nil {
 			return err
 		}
-		body = buf
+		body = jb.Bytes()
+		contentType = "application/json"
 	}
-	resp, err := c.exec(ctx, http.MethodPost, url, body, "application/json")
+	resp, err := c.exec(ctx, method, url, body, contentType)
+	if jb != nil {
+		// exec has finished sending (or abandoned) every attempt's copy of
+		// the body by the time it returns.
+		jb.Release()
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,149 @@
+package httpkit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// failingValue marshals with an error — the encode-failure path.
+type failingValue struct{}
+
+func (failingValue) MarshalJSON() ([]byte, error) {
+	return nil, fmt.Errorf("synthetic marshal failure")
+}
+
+func TestWriteJSONSetsContentLength(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusOK, map[string]string{"k": "v"})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	cl := rec.Header().Get("Content-Length")
+	if cl == "" {
+		t.Fatal("Content-Length not preset")
+	}
+	if n, _ := strconv.Atoi(cl); n != rec.Body.Len() {
+		t.Fatalf("Content-Length %s != body %d", cl, rec.Body.Len())
+	}
+	var out map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil || out["k"] != "v" {
+		t.Fatalf("body round-trip failed: %v %v", out, err)
+	}
+}
+
+func TestWriteJSONNilBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusNoContent, nil)
+	if rec.Code != http.StatusNoContent || rec.Body.Len() != 0 {
+		t.Fatalf("nil body wrote %d/%q", rec.Code, rec.Body.String())
+	}
+}
+
+// TestWriteJSONEncodeFailure asserts a failed encode produces a clean
+// 500 envelope (not a truncated 200 body) and is logged, because the
+// header is only committed after the buffered encode succeeds.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	var logged strings.Builder
+	old := log.Writer()
+	log.SetOutput(&logged)
+	defer log.SetOutput(old)
+
+	rec := httptest.NewRecorder()
+	WriteJSON(rec, http.StatusOK, failingValue{})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("encode failure status = %d, want 500", rec.Code)
+	}
+	var body ErrorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body.Status != 500 {
+		t.Fatalf("encode failure body = %q (%v), want 500 envelope", rec.Body.String(), err)
+	}
+	if !strings.Contains(logged.String(), "synthetic marshal failure") {
+		t.Fatalf("encode failure not logged: %q", logged.String())
+	}
+}
+
+// TestWriteJSONEncodeFailureOverHTTP drives the failure through a real
+// server: the client must see a well-formed 500, never a 200 with a
+// truncated body.
+func TestWriteJSONEncodeFailureOverHTTP(t *testing.T) {
+	var logged strings.Builder
+	old := log.Writer()
+	log.SetOutput(&logged)
+	defer log.SetOutput(old)
+
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteJSON(w, http.StatusOK, failingValue{})
+	}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	var body ErrorBody
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("client saw malformed body %q: %v", data, err)
+	}
+}
+
+// discardResponseWriter is the cheapest possible sink, so the benchmark
+// measures WriteJSON itself rather than httptest bookkeeping.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = http.Header{}
+	}
+	return d.h
+}
+func (d *discardResponseWriter) Write(p []byte) (int, error) { return len(p), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}
+
+// benchPayload is shaped like a persistence product response.
+type benchPayload struct {
+	ID          int64  `json:"id"`
+	CategoryID  int64  `json:"categoryId"`
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	PriceCents  int64  `json:"priceCents"`
+}
+
+// TestWriteJSONAllocCeiling pins the steady-state allocation budget of
+// the pooled encode path. The ceiling leaves room for encoding/json's
+// own internals but fails if per-call buffer allocations creep back in.
+func TestWriteJSONAllocCeiling(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates")
+	}
+	w := &discardResponseWriter{}
+	v := benchPayload{ID: 7, CategoryID: 3, Name: "Imperial Dragon Oolong", Description: "A test blend.", PriceCents: 1295}
+	// Warm the pool so the measurement sees steady state.
+	WriteJSON(w, http.StatusOK, v)
+	allocs := testing.AllocsPerRun(200, func() {
+		WriteJSON(w, http.StatusOK, v)
+	})
+	if allocs > 5 {
+		t.Fatalf("WriteJSON allocs/op = %.1f, want ≤ 5", allocs)
+	}
+}
+
+func BenchmarkWriteJSON(b *testing.B) {
+	w := &discardResponseWriter{}
+	v := benchPayload{ID: 7, CategoryID: 3, Name: "Imperial Dragon Oolong", Description: "A test blend.", PriceCents: 1295}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WriteJSON(w, http.StatusOK, v)
+	}
+}

@@ -1,0 +1,454 @@
+// Package perfbench is the machine-readable benchmark harness behind
+// BENCH_PR4.json. It measures the PR's hot paths two ways:
+//
+//   - Micro: each optimized path runs head-to-head against a compiled-in
+//     replica of the pre-optimization implementation (global-RWMutex
+//     catalog store, encode-into-ResponseWriter WriteJSON, per-pixel
+//     SetRGBA renderer) via testing.Benchmark. Because both sides run in
+//     the same process on the same machine, the speedup RATIO is
+//     machine-independent and is what the CI gate tracks.
+//   - Stack: a short closed-loop run of the full six-service stack under
+//     the browse profile, reporting throughput and latency percentiles.
+//
+// Allocations per op are deterministic and gated absolutely; wall-clock
+// numbers are reported but never gated directly.
+package perfbench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/httpkit"
+	imagesvc "repro/internal/services/image"
+	"repro/internal/loadgen"
+	"repro/internal/teastore"
+)
+
+// Measurement is one benchmark side in ns/op, B/op, allocs/op.
+type Measurement struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Comparison pairs a baseline replica with the optimized path.
+type Comparison struct {
+	Baseline  Measurement `json:"baseline"`
+	Optimized Measurement `json:"optimized"`
+	// Speedup is baseline ns/op over optimized ns/op (>1 is faster).
+	Speedup float64 `json:"speedup"`
+}
+
+// StackResult summarizes one closed-loop run.
+type StackResult struct {
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	Requests      int64   `json:"requests"`
+	Errors        int64   `json:"errors"`
+	Shed          int64   `json:"shed"`
+	Users         int     `json:"users"`
+	DurationSec   float64 `json:"duration_sec"`
+}
+
+// Report is the BENCH_PR4.json document.
+type Report struct {
+	SchemaVersion int    `json:"schema_version"`
+	Mode          string `json:"mode"` // "quick" or "full"
+	GoVersion     string `json:"go_version"`
+	GOMAXPROCS    int    `json:"gomaxprocs"`
+	// Micro keys: catalog_read, write_json, image_generate.
+	Micro map[string]Comparison `json:"micro"`
+	// StackBefore is the seed (pre-PR) closed-loop run, measured once at
+	// the parent commit with the exact full-mode config below; it rides
+	// along in the checked-in report as the before/after record.
+	StackBefore *StackResult `json:"stack_before,omitempty"`
+	Stack       *StackResult `json:"stack"`
+}
+
+// seedStackBaseline is the closed-loop result of the parent commit
+// (global-RWMutex store, per-product strip lookups, unpooled encoders),
+// captured with fullStackConfig on the reference container.
+var seedStackBaseline = StackResult{
+	ThroughputRPS: 41.52,
+	P50Ms:         734.0,
+	P99Ms:         2139.1,
+	Requests:      499,
+	Errors:        0,
+	Users:         32,
+	DurationSec:   12,
+}
+
+// Options configures a harness run.
+type Options struct {
+	// Quick shortens the closed-loop stack run for CI; micro benchmarks
+	// are unaffected (ratios need full benchtime to be stable anyway).
+	Quick bool
+	// Log receives progress lines; nil silences them.
+	Log func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+// Run executes the full harness and assembles the report.
+func Run(opts Options) (Report, error) {
+	rep := Report{
+		SchemaVersion: 1,
+		Mode:          "full",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Micro:         map[string]Comparison{},
+	}
+	if opts.Quick {
+		rep.Mode = "quick"
+	}
+
+	opts.logf("micro: catalog_read (32-goroutine page mix, snapshot vs global RWMutex)")
+	rep.Micro["catalog_read"] = benchCatalogRead()
+	opts.logf("micro: write_json (pooled body encode vs marshal-per-call)")
+	rep.Micro["write_json"] = benchWriteJSON()
+	opts.logf("micro: image_generate (direct-Pix pooled vs per-pixel SetRGBA)")
+	rep.Micro["image_generate"] = benchImageGenerate()
+
+	opts.logf("stack: closed-loop browse run (%s mode)", rep.Mode)
+	stack, err := runStack(opts.Quick)
+	if err != nil {
+		return rep, fmt.Errorf("stack run: %w", err)
+	}
+	rep.Stack = &stack
+	seed := seedStackBaseline
+	rep.StackBefore = &seed
+	return rep, nil
+}
+
+func toMeasurement(r testing.BenchmarkResult) Measurement {
+	return Measurement{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func compare(baseline, optimized testing.BenchmarkResult) Comparison {
+	b, o := toMeasurement(baseline), toMeasurement(optimized)
+	c := Comparison{Baseline: b, Optimized: o}
+	if o.NsPerOp > 0 {
+		c.Speedup = b.NsPerOp / o.NsPerOp
+	}
+	return c
+}
+
+// --- catalog read: optimized Store vs pre-PR global-RWMutex replica ---
+
+// rwmutexStore replicates the seed catalog store: one global RWMutex,
+// Categories sorts on every call, page reads copy under the read lock.
+// It is the "before" side of the catalog_read comparison.
+type rwmutexStore struct {
+	mu                 sync.RWMutex
+	categories         map[int64]*db.Category
+	products           map[int64]*db.Product
+	productsByCategory map[int64][]int64
+}
+
+func (s *rwmutexStore) Categories() []db.Category {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]db.Category, 0, len(s.categories))
+	for _, c := range s.categories {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+func (s *rwmutexStore) Product(id int64) (db.Product, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.products[id]
+	if !ok {
+		return db.Product{}, fmt.Errorf("not found: product %d", id)
+	}
+	return *p, nil
+}
+
+func (s *rwmutexStore) ProductsByCategory(categoryID int64, offset, limit int) ([]db.Product, int, error) {
+	if limit <= 0 {
+		limit = 20
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.productsByCategory[categoryID]
+	total := len(ids)
+	if offset >= total {
+		return []db.Product{}, total, nil
+	}
+	end := offset + limit
+	if end > total {
+		end = total
+	}
+	out := make([]db.Product, 0, end-offset)
+	for _, id := range ids[offset:end] {
+		out = append(out, *s.products[id])
+	}
+	return out, total, nil
+}
+
+const (
+	benchCategories          = 6
+	benchProductsPerCategory = 100
+)
+
+func benchCatalogRead() Comparison {
+	// Identical catalogs on both sides.
+	old := &rwmutexStore{
+		categories:         map[int64]*db.Category{},
+		products:           map[int64]*db.Product{},
+		productsByCategory: map[int64][]int64{},
+	}
+	store := db.NewStore()
+	var productIDs []int64
+	for c := 0; c < benchCategories; c++ {
+		nc, err := store.AddCategory(db.Category{Name: fmt.Sprintf("cat-%d", c), Description: "d"})
+		if err != nil {
+			panic(err)
+		}
+		old.categories[nc.ID] = &db.Category{ID: nc.ID, Name: nc.Name, Description: nc.Description}
+		for p := 0; p < benchProductsPerCategory; p++ {
+			np, err := store.AddProduct(db.Product{CategoryID: nc.ID, Name: fmt.Sprintf("p-%d-%d", c, p), Description: "d", PriceCents: 100 + int64(p)})
+			if err != nil {
+				panic(err)
+			}
+			old.products[np.ID] = &db.Product{ID: np.ID, CategoryID: nc.ID, Name: np.Name, Description: np.Description, PriceCents: np.PriceCents}
+			old.productsByCategory[nc.ID] = append(old.productsByCategory[nc.ID], np.ID)
+			productIDs = append(productIDs, np.ID)
+		}
+	}
+
+	// The per-page read mix WebUI generates: one category listing, one
+	// product page, two single-product lookups. 32 goroutines contend,
+	// matching the scale-up study's concurrency band.
+	mix := func(b *testing.B, categoriesFn func() []db.Category, pageFn func(int64, int, int) ([]db.Product, int, error), productFn func(int64) (db.Product, error)) {
+		b.ReportAllocs()
+		b.SetParallelism(32)
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				i++
+				cats := categoriesFn()
+				cat := cats[i%len(cats)].ID
+				page, _, err := pageFn(cat, (i*8)%benchProductsPerCategory, 8)
+				if err != nil || len(page) == 0 {
+					b.Error("bad page")
+					return
+				}
+				for k := 0; k < 2; k++ {
+					pid := productIDs[(i*7+k*13)%len(productIDs)]
+					if _, err := productFn(pid); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		})
+	}
+	baseline := testing.Benchmark(func(b *testing.B) {
+		mix(b, old.Categories, old.ProductsByCategory, old.Product)
+	})
+	optimized := testing.Benchmark(func(b *testing.B) {
+		mix(b, store.Categories, store.ProductsByCategory, store.Product)
+	})
+	return compare(baseline, optimized)
+}
+
+// --- WriteJSON: pooled single-encode vs the seed implementation ---
+
+// benchWriteJSON measures the JSON body-encode path both WriteJSON and
+// the client's doJSON sit on. The seed marshalled every request and
+// response into a fresh []byte (json.Marshal copies its internal buffer
+// out); the optimized path encodes into a pooled buffer and recycles it,
+// so steady-state encodes allocate nothing and copy nothing extra. A
+// representative persistence payload — one 20-product page — is used on
+// both sides.
+func benchWriteJSON() Comparison {
+	type pageResp struct {
+		Products []db.Product `json:"products"`
+		Total    int          `json:"total"`
+	}
+	products := make([]db.Product, 20)
+	for i := range products {
+		products[i] = db.Product{
+			ID: int64(i + 1), CategoryID: 3,
+			Name:        fmt.Sprintf("Earl Grey Imperial %02d", i),
+			Description: "A bright, citrus-forward black tea blend.",
+			PriceCents:  1295,
+		}
+	}
+	payload := pageResp{products, 200}
+
+	baseline := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			data, err := json.Marshal(&payload)
+			if err != nil || len(data) == 0 {
+				b.Fatal(err)
+			}
+		}
+	})
+	optimized := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			jb, err := httpkit.EncodeJSON(&payload)
+			if err != nil || len(jb.Bytes()) == 0 {
+				b.Fatal(err)
+			}
+			jb.Release()
+		}
+	})
+	return compare(baseline, optimized)
+}
+
+// --- image generation: direct-Pix pooled vs per-pixel reference ---
+
+func benchImageGenerate() Comparison {
+	baseline := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := imagesvc.RenderReference(int64(i%50), 125); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	optimized := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := imagesvc.Render(int64(i%50), 125); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return compare(baseline, optimized)
+}
+
+// --- closed-loop stack run ---
+
+func runStack(quick bool) (StackResult, error) {
+	users, warmup, duration := 32, 3*time.Second, 12*time.Second
+	if quick {
+		users, warmup, duration = 16, 1*time.Second, 4*time.Second
+	}
+	st, err := teastore.Start(teastore.Config{})
+	if err != nil {
+		return StackResult{}, err
+	}
+	defer st.Shutdown(context.Background())
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		WebUIURL:       st.WebUIURL,
+		PersistenceURL: st.PersistenceURL,
+		Users:          users,
+		Warmup:         warmup,
+		Duration:       duration,
+		ThinkScale:     0.02,
+		Seed:           42,
+	})
+	if err != nil {
+		return StackResult{}, err
+	}
+	return StackResult{
+		ThroughputRPS: res.Throughput,
+		P50Ms:         float64(res.Latency.P50) / 1e6,
+		P99Ms:         float64(res.Latency.P99) / 1e6,
+		Requests:      res.Requests,
+		Errors:        res.Errors,
+		Shed:          res.Shed,
+		Users:         users,
+		DurationSec:   duration.Seconds(),
+	}, nil
+}
+
+// --- regression gate ---
+
+// gateTolerance is how much a tracked metric may regress vs the
+// checked-in baseline before the gate fails the build.
+const gateTolerance = 0.15
+
+// Gate compares a fresh report against the checked-in one and returns
+// the list of violations (empty means the gate passes). Tracked metrics
+// are machine-portable: per-path speedup ratios (both sides of a ratio
+// run on the same host) and allocs/op (deterministic), plus a hard
+// zero-error requirement on the closed-loop run. Wall-clock stack
+// throughput is reported, not gated — CI hosts differ too much for an
+// absolute rps floor to mean anything.
+func Gate(baseline, current Report) []string {
+	var violations []string
+	for name, base := range baseline.Micro {
+		cur, ok := current.Micro[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: missing from current report", name))
+			continue
+		}
+		if floor := base.Speedup * (1 - gateTolerance); cur.Speedup < floor {
+			violations = append(violations, fmt.Sprintf(
+				"%s: speedup %.2fx fell below %.2fx (baseline %.2fx - %d%% tolerance)",
+				name, cur.Speedup, floor, base.Speedup, int(gateTolerance*100)))
+		}
+		// +1 absolute slack keeps zero-alloc paths gateable without
+		// failing on a single incidental allocation.
+		if ceil := int64(float64(base.Optimized.AllocsPerOp)*(1+gateTolerance)) + 1; cur.Optimized.AllocsPerOp > ceil {
+			violations = append(violations, fmt.Sprintf(
+				"%s: allocs/op %d exceeds ceiling %d (baseline %d)",
+				name, cur.Optimized.AllocsPerOp, ceil, base.Optimized.AllocsPerOp))
+		}
+	}
+	if current.Stack == nil {
+		violations = append(violations, "stack: missing from current report")
+	} else if current.Stack.Errors > 0 {
+		violations = append(violations, fmt.Sprintf("stack: %d errors in closed-loop run, want 0", current.Stack.Errors))
+	}
+	return violations
+}
+
+// Summary renders a benchstat-style before/after table for humans (and
+// the CI job summary).
+func Summary(rep Report) string {
+	var bld []byte
+	appendf := func(format string, args ...any) { bld = append(bld, fmt.Sprintf(format, args...)...) }
+	appendf("path              baseline         optimized        speedup  allocs (base→opt)\n")
+	for _, name := range []string{"catalog_read", "write_json", "image_generate"} {
+		c, ok := rep.Micro[name]
+		if !ok {
+			continue
+		}
+		appendf("%-17s %-16s %-16s %6.2fx  %d → %d\n",
+			name, fmtNs(c.Baseline.NsPerOp), fmtNs(c.Optimized.NsPerOp),
+			c.Speedup, c.Baseline.AllocsPerOp, c.Optimized.AllocsPerOp)
+	}
+	if rep.StackBefore != nil && rep.Stack != nil {
+		appendf("stack (closed loop, %s mode): %.1f rps p50=%.0fms p99=%.0fms errors=%d\n",
+			rep.Mode, rep.Stack.ThroughputRPS, rep.Stack.P50Ms, rep.Stack.P99Ms, rep.Stack.Errors)
+		appendf("stack seed baseline (full mode): %.1f rps p50=%.0fms p99=%.0fms\n",
+			rep.StackBefore.ThroughputRPS, rep.StackBefore.P50Ms, rep.StackBefore.P99Ms)
+	}
+	return string(bld)
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms/op", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs/op", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns/op", ns)
+	}
+}

@@ -1,0 +1,99 @@
+package perfbench
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleReport() Report {
+	return Report{
+		SchemaVersion: 1,
+		Mode:          "full",
+		Micro: map[string]Comparison{
+			"catalog_read": {
+				Baseline:  Measurement{NsPerOp: 1000, AllocsPerOp: 9},
+				Optimized: Measurement{NsPerOp: 100, AllocsPerOp: 0},
+				Speedup:   10,
+			},
+			"write_json": {
+				Baseline:  Measurement{NsPerOp: 900, AllocsPerOp: 12},
+				Optimized: Measurement{NsPerOp: 600, AllocsPerOp: 5},
+				Speedup:   1.5,
+			},
+		},
+		Stack: &StackResult{ThroughputRPS: 40, Errors: 0},
+	}
+}
+
+func TestGatePassesOnIdenticalReports(t *testing.T) {
+	base := sampleReport()
+	if v := Gate(base, sampleReport()); len(v) != 0 {
+		t.Fatalf("identical reports violated the gate: %v", v)
+	}
+}
+
+func TestGateCatchesSpeedupRegression(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	c := cur.Micro["catalog_read"]
+	c.Speedup = base.Micro["catalog_read"].Speedup * 0.8 // >15% worse
+	cur.Micro["catalog_read"] = c
+	v := Gate(base, cur)
+	if len(v) != 1 || !strings.Contains(v[0], "catalog_read") {
+		t.Fatalf("gate = %v, want one catalog_read speedup violation", v)
+	}
+}
+
+func TestGateToleratesSmallDrift(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	c := cur.Micro["write_json"]
+	c.Speedup *= 0.9 // within the 15% band
+	cur.Micro["write_json"] = c
+	if v := Gate(base, cur); len(v) != 0 {
+		t.Fatalf("10%% drift tripped the gate: %v", v)
+	}
+}
+
+func TestGateCatchesAllocGrowth(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	c := cur.Micro["write_json"]
+	c.Optimized.AllocsPerOp = 9 // ceiling is 5*1.15+1 = 6
+	cur.Micro["write_json"] = c
+	v := Gate(base, cur)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("gate = %v, want one alloc violation", v)
+	}
+	// Zero-alloc paths keep the +1 slack but no more.
+	base2, cur2 := sampleReport(), sampleReport()
+	c2 := cur2.Micro["catalog_read"]
+	c2.Optimized.AllocsPerOp = 1
+	cur2.Micro["catalog_read"] = c2
+	if v := Gate(base2, cur2); len(v) != 0 {
+		t.Fatalf("+1 alloc on a zero-alloc path tripped the gate: %v", v)
+	}
+	c2.Optimized.AllocsPerOp = 2
+	cur2.Micro["catalog_read"] = c2
+	if v := Gate(base2, cur2); len(v) != 1 {
+		t.Fatalf("+2 allocs on a zero-alloc path passed the gate: %v", v)
+	}
+}
+
+func TestGateCatchesStackErrorsAndMissingPaths(t *testing.T) {
+	base, cur := sampleReport(), sampleReport()
+	cur.Stack.Errors = 3
+	delete(cur.Micro, "write_json")
+	v := Gate(base, cur)
+	if len(v) != 2 {
+		t.Fatalf("gate = %v, want missing-path + stack-error violations", v)
+	}
+}
+
+func TestSummaryMentionsEveryTrackedPath(t *testing.T) {
+	rep := sampleReport()
+	rep.StackBefore = &StackResult{ThroughputRPS: 30}
+	s := Summary(rep)
+	for _, want := range []string{"catalog_read", "write_json", "speedup", "seed baseline"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary lacks %q:\n%s", want, s)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 	"net/http"
 	"strconv"
+	"sync"
 
 	"repro/internal/httpkit"
 )
@@ -57,28 +58,141 @@ func splitmix(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// renderParams derives the deterministic palette and geometry of one
+// product's artwork.
+type renderParams struct {
+	base, accent  color.RGBA
+	fx, fy, rings float64
+}
+
+func paramsFor(productID int64) renderParams {
+	h1 := splitmix(uint64(productID))
+	h2 := splitmix(h1)
+	h3 := splitmix(h2)
+	return renderParams{
+		base:   color.RGBA{R: uint8(h1), G: uint8(h1 >> 8), B: uint8(h1 >> 16), A: 255},
+		accent: color.RGBA{R: uint8(h2), G: uint8(h2 >> 8), B: uint8(h2 >> 16), A: 255},
+		fx:     2 + float64(h3%5),
+		fy:     2 + float64((h3>>8)%5),
+		rings:  3 + float64((h3>>16)%6),
+	}
+}
+
+// pixPool recycles pixel backing slices across renders; a full-size
+// buffer serves every smaller size too.
+var pixPool = sync.Pool{}
+
+// floatPool recycles the per-axis precompute scratch.
+var floatPool = sync.Pool{}
+
+func getScratch(pool *sync.Pool, n int) []float64 {
+	if p, ok := pool.Get().(*[]float64); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float64, n)
+}
+
+// pngBufPool feeds png.Encoder's BufferPool hook so the encoder's large
+// internal state (zlib window, row buffers) is reused across encodes.
+type pngBufPool struct{ p sync.Pool }
+
+func (bp *pngBufPool) Get() *png.EncoderBuffer {
+	b, _ := bp.p.Get().(*png.EncoderBuffer)
+	return b
+}
+func (bp *pngBufPool) Put(b *png.EncoderBuffer) { bp.p.Put(b) }
+
+var encoderPool = &pngBufPool{}
+
+// outBufPool recycles the PNG output buffers.
+var outBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// pngEncoder trades a few percent of compression for encode speed —
+// synthetic artwork is re-rendered constantly under cache pressure, and
+// the paper attributes the image service's scaling ceiling to exactly
+// this CPU burn.
+var pngEncoder = png.Encoder{CompressionLevel: png.BestSpeed, BufferPool: encoderPool}
+
 // Render generates the artwork for a product at the given edge length:
 // a banded radial interference pattern whose palette and geometry derive
-// from the product ID. Identical inputs produce identical bytes.
+// from the product ID. Identical inputs produce identical bytes. Pixels
+// are written straight into the RGBA backing slice (no per-pixel
+// bounds-checked SetRGBA calls), the row/column trigonometry is hoisted
+// out of the pixel loop, and the pixel and PNG buffers are pooled;
+// RenderReference keeps the original implementation for equivalence
+// tests and before/after benchmarks.
 func Render(productID int64, px int) ([]byte, error) {
 	if px <= 0 || px > 1024 {
 		return nil, fmt.Errorf("image: invalid size %d", px)
 	}
-	h1 := splitmix(uint64(productID))
-	h2 := splitmix(h1)
-	h3 := splitmix(h2)
+	p := paramsFor(productID)
 
-	base := color.RGBA{
-		R: uint8(h1), G: uint8(h1 >> 8), B: uint8(h1 >> 16), A: 255,
+	need := px * px * 4
+	var pix []uint8
+	if v, ok := pixPool.Get().(*[]uint8); ok && cap(*v) >= need {
+		pix = (*v)[:need]
+	} else {
+		pix = make([]uint8, need)
 	}
-	accent := color.RGBA{
-		R: uint8(h2), G: uint8(h2 >> 8), B: uint8(h2 >> 16), A: 255,
-	}
-	// Geometry parameters.
-	fx := 2 + float64(h3%5)
-	fy := 2 + float64((h3>>8)%5)
-	rings := 3 + float64((h3>>16)%6)
+	defer pixPool.Put(&pix)
+	img := &image.RGBA{Pix: pix, Stride: px * 4, Rect: image.Rect(0, 0, px, px)}
 
+	// The weight field separates per axis: sin(fx·π·u) depends only on x,
+	// cos(fy·π·v) only on y. Precompute both plus u² for the radial term.
+	sinX := getScratch(&floatPool, px)
+	defer floatPool.Put(&sinX)
+	uu := getScratch(&floatPool, px)
+	defer floatPool.Put(&uu)
+	// u, v, and every weight term use the exact expressions of
+	// RenderReference (division, operator association) so the fast path
+	// rounds identically and stays pixel-for-pixel equal.
+	for i := 0; i < px; i++ {
+		u := float64(i)/float64(px) - 0.5
+		sinX[i] = 0.25 * math.Sin(p.fx*math.Pi*u)
+		uu[i] = u * u
+	}
+	rings2pi := p.rings * 2 * math.Pi
+	for y := 0; y < px; y++ {
+		v := float64(y)/float64(px) - 0.5
+		vv := v * v
+		cosY := math.Cos(p.fy * math.Pi * v)
+		row := pix[y*img.Stride : y*img.Stride+px*4 : y*img.Stride+px*4]
+		for x := 0; x < px; x++ {
+			r := math.Sqrt(uu[x] + vv)
+			w := 0.5 + sinX[x]*cosY + 0.25*math.Sin(rings2pi*r)
+			if w < 0 {
+				w = 0
+			}
+			if w > 1 {
+				w = 1
+			}
+			o := x * 4
+			row[o] = lerp(p.base.R, p.accent.R, w)
+			row[o+1] = lerp(p.base.G, p.accent.G, w)
+			row[o+2] = lerp(p.base.B, p.accent.B, w)
+			row[o+3] = 255
+		}
+	}
+
+	buf := outBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer outBufPool.Put(buf)
+	if err := pngEncoder.Encode(buf, img); err != nil {
+		return nil, fmt.Errorf("image: encoding: %w", err)
+	}
+	out := make([]byte, buf.Len())
+	copy(out, buf.Bytes())
+	return out, nil
+}
+
+// RenderReference is the original per-pixel SetRGBA implementation,
+// kept as the behavioural oracle: Render must produce pixel-identical
+// images, and the perf harness measures its speedup against this.
+func RenderReference(productID int64, px int) ([]byte, error) {
+	if px <= 0 || px > 1024 {
+		return nil, fmt.Errorf("image: invalid size %d", px)
+	}
+	p := paramsFor(productID)
 	img := image.NewRGBA(image.Rect(0, 0, px, px))
 	for y := 0; y < px; y++ {
 		for x := 0; x < px; x++ {
@@ -86,8 +200,8 @@ func Render(productID int64, px int) ([]byte, error) {
 			v := float64(y)/float64(px) - 0.5
 			r := math.Sqrt(u*u + v*v)
 			w := 0.5 +
-				0.25*math.Sin(fx*math.Pi*u)*math.Cos(fy*math.Pi*v) +
-				0.25*math.Sin(rings*2*math.Pi*r)
+				0.25*math.Sin(p.fx*math.Pi*u)*math.Cos(p.fy*math.Pi*v) +
+				0.25*math.Sin(p.rings*2*math.Pi*r)
 			if w < 0 {
 				w = 0
 			}
@@ -95,9 +209,9 @@ func Render(productID int64, px int) ([]byte, error) {
 				w = 1
 			}
 			img.SetRGBA(x, y, color.RGBA{
-				R: lerp(base.R, accent.R, w),
-				G: lerp(base.G, accent.G, w),
-				B: lerp(base.B, accent.B, w),
+				R: lerp(p.base.R, p.accent.R, w),
+				G: lerp(p.base.G, p.accent.G, w),
+				B: lerp(p.base.B, p.accent.B, w),
 				A: 255,
 			})
 		}
@@ -113,9 +227,49 @@ func lerp(a, b uint8, w float64) uint8 {
 	return uint8(float64(a)*(1-w) + float64(b)*w)
 }
 
+// flightCall is one in-progress render that concurrent cache misses for
+// the same key wait on instead of rendering redundantly.
+type flightCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// flightGroup collapses duplicate concurrent renders per key — a
+// minimal singleflight, kept dependency-free.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+// do runs fn once per key across concurrent callers; every caller gets
+// the leader's result.
+func (g *flightGroup) do(key string, fn func() ([]byte, error)) ([]byte, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = map[string]*flightCall{}
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.data, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.data, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.data, c.err
+}
+
 // Service is one ImageProvider instance.
 type Service struct {
-	cache *Cache
+	cache  *Cache
+	flight flightGroup
 }
 
 // New returns an ImageProvider with a cache of cacheBytes (0 → 64 MiB).
@@ -130,6 +284,9 @@ func New(cacheBytes int64) *Service {
 func (s *Service) Cache() *Cache { return s.cache }
 
 // Image returns the (possibly cached) PNG for a product at a size.
+// Concurrent misses for the same (product, size) collapse into one
+// render: a popular product's cache expiry no longer stampedes N
+// identical CPU-heavy renders, it costs exactly one.
 func (s *Service) Image(productID int64, size Size) ([]byte, error) {
 	px := size.Pixels()
 	if px == 0 {
@@ -139,12 +296,14 @@ func (s *Service) Image(productID int64, size Size) ([]byte, error) {
 	if data, ok := s.cache.Get(key); ok {
 		return data, nil
 	}
-	data, err := Render(productID, px)
-	if err != nil {
-		return nil, err
-	}
-	s.cache.Put(key, data)
-	return data, nil
+	return s.flight.do(key, func() ([]byte, error) {
+		data, err := Render(productID, px)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, data)
+		return data, nil
+	})
 }
 
 // Mux returns the HTTP API:

@@ -1,0 +1,168 @@
+package image
+
+import (
+	"bytes"
+	"fmt"
+	"image/png"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRenderMatchesReference decodes both implementations' PNGs and
+// compares every pixel: the optimized direct-Pix path must be an exact
+// behavioural clone of the original per-pixel SetRGBA renderer.
+func TestRenderMatchesReference(t *testing.T) {
+	for _, px := range []int{1, 7, 64, 125} {
+		for _, id := range []int64{0, 1, 42, 977, -3} {
+			fast, err := Render(id, px)
+			if err != nil {
+				t.Fatalf("Render(%d,%d): %v", id, px, err)
+			}
+			ref, err := RenderReference(id, px)
+			if err != nil {
+				t.Fatalf("RenderReference(%d,%d): %v", id, px, err)
+			}
+			fi, err := png.Decode(bytes.NewReader(fast))
+			if err != nil {
+				t.Fatalf("fast PNG invalid: %v", err)
+			}
+			ri, err := png.Decode(bytes.NewReader(ref))
+			if err != nil {
+				t.Fatalf("reference PNG invalid: %v", err)
+			}
+			if fi.Bounds() != ri.Bounds() {
+				t.Fatalf("bounds differ: %v vs %v", fi.Bounds(), ri.Bounds())
+			}
+			for y := 0; y < px; y++ {
+				for x := 0; x < px; x++ {
+					if fi.At(x, y) != ri.At(x, y) {
+						t.Fatalf("pixel (%d,%d) of product %d at %dpx differs: %v vs %v",
+							x, y, id, px, fi.At(x, y), ri.At(x, y))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRenderPoolReuseKeepsDeterminism renders interleaved sizes and
+// products so pooled pixel buffers are reused dirty, asserting outputs
+// stay byte-identical to a fresh render.
+func TestRenderPoolReuseKeepsDeterminism(t *testing.T) {
+	want := map[string][]byte{}
+	for _, px := range []int{64, 125, 256} {
+		for id := int64(1); id <= 3; id++ {
+			data, err := Render(id, px)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[fmt.Sprintf("%d/%d", id, px)] = data
+		}
+	}
+	// Second pass reuses pooled buffers in a different order.
+	for id := int64(3); id >= 1; id-- {
+		for _, px := range []int{256, 64, 125} {
+			data, err := Render(id, px)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(data, want[fmt.Sprintf("%d/%d", id, px)]) {
+				t.Fatalf("pooled re-render of %d at %dpx differs", id, px)
+			}
+		}
+	}
+}
+
+// countingService wraps renders to observe how many actually ran.
+func TestConcurrentMissesCollapseToOneRender(t *testing.T) {
+	s := New(0)
+	var started sync.WaitGroup
+	var results [16][]byte
+	var wg sync.WaitGroup
+	started.Add(1)
+	for i := 0; i < len(results); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Wait()
+			data, err := s.Image(7, SizeFull)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = data
+		}(i)
+	}
+	started.Done()
+	wg.Wait()
+	for i := 1; i < len(results); i++ {
+		if !bytes.Equal(results[0], results[i]) {
+			t.Fatal("collapsed callers saw different bytes")
+		}
+	}
+	// All 16 requests missed the cache, but the misses collapsed: only
+	// the leader populated it, so the miss counter (recorded on Get)
+	// shows 16 while the cache holds exactly one entry rendered once.
+	if s.Cache().Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", s.Cache().Len())
+	}
+}
+
+// TestFlightGroupCollapses pins the singleflight itself: concurrent
+// calls for one key run fn once; a later call runs it again.
+func TestFlightGroupCollapses(t *testing.T) {
+	var g flightGroup
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := g.do("k", func() ([]byte, error) {
+				calls.Add(1)
+				<-gate
+				return []byte("v"), nil
+			})
+			if err != nil || string(data) != "v" {
+				t.Errorf("do = %q, %v", data, err)
+			}
+		}()
+	}
+	// Let every goroutine reach the flight before the leader finishes.
+	for calls.Load() == 0 {
+	}
+	close(gate)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	if _, err := g.do("k", func() ([]byte, error) { calls.Add(1); return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fresh call after completion ran %d times total, want 2", n)
+	}
+}
+
+// BenchmarkImageGenerate measures the optimized render at the preview
+// size the storefront grid uses; BenchmarkImageGenerateReference is the
+// before number the perf gate compares against.
+func BenchmarkImageGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Render(int64(i%50), 125); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImageGenerateReference(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := RenderReference(int64(i%50), 125); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package persistence
+
+import (
+	"context"
+	"net/http"
+	"testing"
+
+	"repro/internal/httpkit"
+)
+
+// TestBatchProductsPreservesNotFoundSemantics pins the batch contract:
+// missing IDs are omitted from the response, never errors — one dead
+// recommendation must not blank the whole strip.
+func TestBatchProductsPreservesNotFoundSemantics(t *testing.T) {
+	c, store := newFixture(t)
+	ctx := context.Background()
+	cats, err := c.Categories(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := c.Products(ctx, cats[0].ID, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := page.Products
+
+	got, err := c.ProductsByIDs(ctx, []int64{want[1].ID, 424242, want[0].ID})
+	if err != nil {
+		t.Fatalf("batch with a missing ID errored: %v", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("batch returned %d products, want 2 (missing omitted)", len(got))
+	}
+	if got[0].ID != want[1].ID || got[1].ID != want[0].ID {
+		t.Fatalf("batch order not request order: %+v", got)
+	}
+
+	// All-missing batch: empty result, still no error.
+	if got, err := c.ProductsByIDs(ctx, []int64{999990, 999991}); err != nil || len(got) != 0 {
+		t.Fatalf("all-missing batch = %v, %v; want empty, nil", got, err)
+	}
+
+	// Empty request never leaves the client.
+	if got, err := c.ProductsByIDs(ctx, nil); err != nil || got != nil {
+		t.Fatalf("empty batch = %v, %v", got, err)
+	}
+
+	// The store itself is the source of truth for the response values.
+	if p, err := store.Product(want[0].ID); err != nil || p.Name != want[0].Name {
+		t.Fatalf("store disagrees with fixture: %v %v", p, err)
+	}
+}
+
+// TestBatchProductsBounds rejects oversized and malformed batches.
+func TestBatchProductsBounds(t *testing.T) {
+	c, _ := newFixture(t)
+	ctx := context.Background()
+	huge := make([]int64, maxBatchProducts+1)
+	if _, err := c.ProductsByIDs(ctx, huge); !httpkit.IsStatus(err, http.StatusBadRequest) {
+		t.Fatalf("oversized batch err = %v, want 400", err)
+	}
+}

@@ -61,12 +61,29 @@ type OrderRequest struct {
 	Items  []db.OrderItem `json:"items"`
 }
 
+// BatchProductsRequest asks for many products in one round-trip.
+type BatchProductsRequest struct {
+	IDs []int64 `json:"ids"`
+}
+
+// BatchProductsResponse carries the resolved products in request order;
+// IDs that don't exist are omitted, never errors — per-ID not-found
+// must not fail the whole batch.
+type BatchProductsResponse struct {
+	Products []db.Product `json:"products"`
+}
+
+// maxBatchProducts bounds one batch lookup so a client cannot ask for
+// the whole catalog in a single request.
+const maxBatchProducts = 256
+
 // Mux returns the HTTP API:
 //
 //	GET  /categories
 //	GET  /categories/{id}
 //	GET  /categories/{id}/products?offset=&limit=
 //	GET  /products/{id}
+//	POST /products/batch            {ids} → {products} (missing IDs omitted)
 //	GET  /user-by-email/{email}
 //	GET  /users/{id}
 //	GET  /users/{id}/orders
@@ -119,6 +136,19 @@ func (s *Service) Mux() *http.ServeMux {
 			return
 		}
 		httpkit.WriteJSON(w, http.StatusOK, p)
+	})
+	mux.HandleFunc("POST /products/batch", func(w http.ResponseWriter, r *http.Request) {
+		var req BatchProductsRequest
+		if err := httpkit.ReadJSON(r, &req); err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if len(req.IDs) > maxBatchProducts {
+			httpkit.WriteError(w, http.StatusBadRequest,
+				"persistence: batch of %d products exceeds the %d limit", len(req.IDs), maxBatchProducts)
+			return
+		}
+		httpkit.WriteJSON(w, http.StatusOK, BatchProductsResponse{Products: s.store.ProductsByIDs(req.IDs)})
 	})
 	mux.HandleFunc("GET /user-by-email/{email}", func(w http.ResponseWriter, r *http.Request) {
 		email, err := url.PathUnescape(r.PathValue("email"))
@@ -266,6 +296,19 @@ func (c *Client) Product(ctx context.Context, id int64) (db.Product, error) {
 	var out db.Product
 	err := c.http.GetJSON(ctx, fmt.Sprintf("%s/products/%d", c.base, id), &out)
 	return out, err
+}
+
+// ProductsByIDs resolves many products in one round-trip. Missing IDs
+// are omitted from the result; order follows the request. The POST is a
+// pure read, so it opts into the client's idempotent retry policy.
+func (c *Client) ProductsByIDs(ctx context.Context, ids []int64) ([]db.Product, error) {
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	ctx = httpkit.WithCallRetry(ctx, httpkit.RetryPolicy{RetryNonIdempotent: true})
+	var out BatchProductsResponse
+	err := c.http.PostJSON(ctx, c.base+"/products/batch", BatchProductsRequest{IDs: ids}, &out)
+	return out.Products, err
 }
 
 // UserByEmail fetches a user record for Auth; it satisfies the

@@ -1,0 +1,29 @@
+package webui
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+// BenchmarkWebUIHomePage drives the full storefront home page —
+// categories, popularity strip via one batch call, and the bounded
+// icon fan-out — through real in-process backends over HTTP. It is the
+// end-to-end number the hot-path work rolls up into.
+func BenchmarkWebUIHomePage(b *testing.B) {
+	f := newFixture(b)
+	client := &http.Client{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get(f.ui.URL + "/")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("home page = %d", resp.StatusCode)
+		}
+	}
+}

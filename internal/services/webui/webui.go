@@ -193,16 +193,25 @@ type productCard struct {
 	ImageB64 string
 }
 
-// fetchImages loads images for products concurrently, returning base64
-// strings aligned with the input. Failures yield the gray placeholder
-// rather than failing the page or emitting broken image tags.
+// maxImageFanout bounds how many image fetches one page issues
+// concurrently: enough to hide latency across a product grid, small
+// enough that a 100-card page cannot spike goroutines and in-flight
+// connections against the image service.
+const maxImageFanout = 8
+
+// fetchImages loads images for products concurrently through a
+// semaphore-bounded pool, returning base64 strings aligned with the
+// input. Failures yield the gray placeholder rather than failing the
+// page or emitting broken image tags.
 func (s *Service) fetchImages(ctx context.Context, products []db.Product, size imagesvc.Size) []string {
 	out := make([]string, len(products))
+	sem := make(chan struct{}, maxImageFanout)
 	var wg sync.WaitGroup
 	for i, p := range products {
 		wg.Add(1)
+		sem <- struct{}{}
 		go func(i int, id int64) {
-			defer wg.Done()
+			defer func() { <-sem; wg.Done() }()
 			if data, err := s.backends.Image.Image(ctx, id, size); err == nil {
 				out[i] = base64.StdEncoding.EncodeToString(data)
 			} else {
@@ -237,11 +246,13 @@ func (s *Service) recommendedCards(ctx context.Context, userID int64, current []
 		cached, _ := s.recFall.get(key)
 		return cached
 	}
-	var products []db.Product
-	for _, id := range ids {
-		if p, err := s.backends.Persistence.Product(ctx, id); err == nil {
-			products = append(products, p)
-		}
+	// One batch round-trip resolves the whole strip; IDs the catalog no
+	// longer knows are omitted by the endpoint, matching the old
+	// skip-on-not-found behaviour without N sequential lookups.
+	products, err := s.backends.Persistence.ProductsByIDs(ctx, ids)
+	if err != nil {
+		cached, _ := s.recFall.get(key)
+		return cached
 	}
 	var cards []productCard
 	if withImages {
@@ -402,12 +413,24 @@ type cartLine struct {
 
 func (s *Service) handleCart(w http.ResponseWriter, r *http.Request) {
 	sess := s.loadSession(r)
+	cartIDs := make([]int64, len(sess.cart))
+	for i, it := range sess.cart {
+		cartIDs[i] = it.ProductID
+	}
+	// One batch call resolves the whole cart; products the catalog no
+	// longer knows are simply not returned, so their lines are skipped
+	// exactly as the per-ID loop used to.
+	resolved, _ := s.backends.Persistence.ProductsByIDs(r.Context(), cartIDs)
+	byID := make(map[int64]db.Product, len(resolved))
+	for _, p := range resolved {
+		byID[p.ID] = p
+	}
 	var lines []cartLine
 	var total int64
 	var ids []int64
 	for _, it := range sess.cart {
-		p, err := s.backends.Persistence.Product(r.Context(), it.ProductID)
-		if err != nil {
+		p, ok := byID[it.ProductID]
+		if !ok {
 			continue
 		}
 		lines = append(lines, cartLine{

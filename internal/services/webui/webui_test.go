@@ -24,7 +24,7 @@ type fixture struct {
 	store *db.Store
 }
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t testing.TB) *fixture {
 	t.Helper()
 	store := db.NewStore()
 	if err := store.Generate(db.GenerateSpec{

@@ -1,0 +1,53 @@
+package teastore
+
+import (
+	"net/url"
+	"testing"
+
+	"repro/internal/db"
+)
+
+// TestProductPageUsesOneBatchCall pins the PR's fan-in: the product
+// page's recommendation strip must resolve through a single
+// POST /products/batch persistence call instead of one GET per
+// recommended product. The trace for one page view therefore contains
+// exactly one batch span and exactly one single-product span (the
+// product being viewed), regardless of strip width.
+func TestProductPageUsesOneBatchCall(t *testing.T) {
+	st := startStack(t, "coocc")
+
+	// Log in untraced so the traced request is only the page view.
+	b := newTracedBrowser(t, st.WebUIURL, "")
+	b.post("/login", url.Values{
+		"email":    {db.EmailFor(1)},
+		"password": {db.PasswordFor(1)},
+	})
+
+	const traceID = "itest-batch-0001"
+	b.traceID = traceID
+	b.get("/product/2")
+
+	spans := st.Trace(traceID)
+	var batch, single int
+	for _, sp := range spans {
+		if sp.Service != "persistence" {
+			continue
+		}
+		switch sp.Route {
+		case "POST /products/batch":
+			batch++
+		case "GET /products/{id}":
+			single++
+		case "GET /categories":
+			// Nav bar; unrelated to the strip.
+		default:
+			t.Fatalf("unexpected persistence route on a product page: %+v", sp)
+		}
+	}
+	if batch != 1 {
+		t.Fatalf("product page made %d batch calls, want exactly 1; spans: %+v", batch, spans)
+	}
+	if single != 1 {
+		t.Fatalf("product page made %d single-product calls, want exactly 1 (the viewed product); spans: %+v", single, spans)
+	}
+}
