@@ -7,8 +7,10 @@
 //	        [-users 64] [-duration 30s] [-warmup 5s] [-profile browse]
 //	        [-think-scale 1.0] [-catalog-users 100] [-registry http://127.0.0.1:PORT]
 //
-// With -registry set, the run ends with a per-service p50/p95/p99 latency
-// breakdown collected from every instance's /metrics.json endpoint.
+// With -registry set, sessions spread across every live webui replica
+// (including ones the autoscaler starts mid-run) and the run ends with a
+// per-service p50/p95/p99 latency breakdown collected from every
+// instance's /metrics.json endpoint.
 package main
 
 import (
@@ -29,7 +31,7 @@ import (
 func main() {
 	webui := flag.String("webui", "", "WebUI base URL (required)")
 	persistenceURL := flag.String("persistence", "", "Persistence base URL (required, for catalog discovery)")
-	registryURL := flag.String("registry", "", "Registry base URL (optional; prints the per-service latency breakdown after the run)")
+	registryURL := flag.String("registry", "", "Registry base URL (optional; spreads sessions across live webui replicas and prints the per-service latency breakdown after the run)")
 	users := flag.Int("users", 64, "closed-loop user population")
 	sweep := flag.String("sweep", "", "comma-separated user counts; runs one measurement per count and prints a scaling table (overrides -users)")
 	duration := flag.Duration("duration", 30*time.Second, "measured duration")
@@ -52,6 +54,7 @@ func main() {
 	base := loadgen.Config{
 		WebUIURL:       *webui,
 		PersistenceURL: *persistenceURL,
+		RegistryURL:    *registryURL,
 		Profile:        profile,
 		Warmup:         *warmup,
 		Duration:       *duration,

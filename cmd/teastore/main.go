@@ -6,6 +6,9 @@
 //	teastore [-host 127.0.0.1] [-algorithm popularity]
 //	         [-categories 6] [-products 100] [-users 100] [-orders 400]
 //	         [-replicas image=2,recommender=2]
+//	         [-autoscale] [-autoscale-spec image=1:3,webui=1:2]
+//	         [-autoscale-interval 2s] [-autoscale-cooldown 30s]
+//	         [-caps webui=8,image=4]
 //
 // The process runs until interrupted.
 package main
@@ -22,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/scalectl"
 	"repro/internal/teastore"
 )
 
@@ -34,18 +38,44 @@ func main() {
 	orders := flag.Int("orders", 400, "seed orders for recommender training")
 	seed := flag.Int64("seed", 1, "catalog generation seed")
 	replicasSpec := flag.String("replicas", "", "per-service replica counts, e.g. image=2,recommender=2 (services not named run one instance)")
+	autoscale := flag.Bool("autoscale", false, "run the scale-up control plane (metrics-driven replica reconciliation)")
+	autoscaleSpec := flag.String("autoscale-spec", "webui=1:2,auth=1:2,persistence=1:2,recommender=1:2,image=1:2",
+		"per-service replica bounds for -autoscale, e.g. image=1:3,webui=1:2")
+	autoscaleInterval := flag.Duration("autoscale-interval", 2*time.Second, "reconciler tick interval for -autoscale")
+	autoscaleCooldown := flag.Duration("autoscale-cooldown", 30*time.Second, "minimum idle time before -autoscale drains a replica")
+	capsSpec := flag.String("caps", "", "per-replica inflight caps, e.g. webui=8,image=4 — models per-instance capacity limits")
 	flag.Parse()
 
-	replicas, err := parseReplicas(*replicasSpec)
+	replicas, err := parseCounts("-replicas", *replicasSpec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "teastore:", err)
 		os.Exit(2)
 	}
+	caps, err := parseCounts("-caps", *capsSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "teastore:", err)
+		os.Exit(2)
+	}
+	var autoscaleCfg *scalectl.Config
+	if *autoscale {
+		bounds, err := parseBounds(*autoscaleSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "teastore:", err)
+			os.Exit(2)
+		}
+		autoscaleCfg = &scalectl.Config{
+			Services:     bounds,
+			Interval:     *autoscaleInterval,
+			DownCooldown: *autoscaleCooldown,
+		}
+	}
 
 	stack, err := teastore.Start(teastore.Config{
-		Host:      *host,
-		Algorithm: *algorithm,
-		Replicas:  replicas,
+		Host:               *host,
+		Algorithm:          *algorithm,
+		Replicas:           replicas,
+		ServiceMaxInflight: caps,
+		Autoscale:          autoscaleCfg,
 		Catalog: db.GenerateSpec{
 			Categories:          *categories,
 			ProductsPerCategory: *products,
@@ -66,6 +96,9 @@ func main() {
 	fmt.Printf("\nOpen %s in a browser. Demo login: %s / %s\n",
 		stack.WebUIURL, db.EmailFor(0), db.PasswordFor(0))
 	fmt.Println("Every service exposes /metrics (Prometheus), /metrics.json, and /trace/{id}.")
+	if stack.ScalectlURL != "" {
+		fmt.Printf("Autoscaler: %s/status (gauges on %s/metrics)\n", stack.ScalectlURL, stack.ScalectlURL)
+	}
 	fmt.Println("Ctrl-C to stop.")
 
 	sig := make(chan os.Signal, 1)
@@ -80,8 +113,28 @@ func main() {
 	fmt.Println("bye")
 }
 
-// parseReplicas parses "image=2,recommender=2" into per-service counts.
-func parseReplicas(spec string) (map[string]int, error) {
+// parseBounds parses "image=1:3,webui=1:2" into per-service replica
+// bounds for the reconciler.
+func parseBounds(spec string) (map[string]scalectl.Bounds, error) {
+	out := map[string]scalectl.Bounds{}
+	for _, part := range strings.Split(spec, ",") {
+		name, bounds, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -autoscale-spec element %q, want name=min:max", part)
+		}
+		lo, hi, ok := strings.Cut(bounds, ":")
+		minR, errMin := strconv.Atoi(lo)
+		maxR, errMax := strconv.Atoi(hi)
+		if !ok || errMin != nil || errMax != nil {
+			return nil, fmt.Errorf("bad -autoscale-spec element %q, want name=min:max", part)
+		}
+		out[name] = scalectl.Bounds{Min: minR, Max: maxR}
+	}
+	return out, nil
+}
+
+// parseCounts parses "image=2,recommender=2" into per-service counts.
+func parseCounts(flagName, spec string) (map[string]int, error) {
 	if spec == "" {
 		return nil, nil
 	}
@@ -90,7 +143,7 @@ func parseReplicas(spec string) (map[string]int, error) {
 		name, count, ok := strings.Cut(strings.TrimSpace(part), "=")
 		n, err := strconv.Atoi(count)
 		if !ok || err != nil || name == "" {
-			return nil, fmt.Errorf("bad -replicas element %q, want name=count", part)
+			return nil, fmt.Errorf("bad %s element %q, want name=count", flagName, part)
 		}
 		out[name] = n
 	}

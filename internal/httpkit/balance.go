@@ -151,6 +151,27 @@ func (b *Balancer) Invalidate(name string) {
 	s.mu.Unlock()
 }
 
+// Drop removes one replica from a service's cached list immediately —
+// the push-side counterpart of Invalidate for planned scale-downs. A
+// draining replica still answers requests, so connection failures never
+// purge it from the cache; without Drop it keeps receiving its traffic
+// share until the TTL lapses, stretching every drain by a full cache
+// lifetime. The surviving list stays cached (no refresh stampede); a
+// resolver that still advertises the address will re-add it on the next
+// refresh.
+func (b *Balancer) Drop(name, addr string) {
+	s := b.service(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.addrs[:0]
+	for _, a := range s.addrs {
+		if a != addr {
+			kept = append(kept, a)
+		}
+	}
+	s.addrs = kept
+}
+
 // pick chooses a replica from candidates with power-of-two-choices over
 // in-flight counts, preferring addresses not in avoid (replicas that
 // already failed this logical call); when every candidate is in avoid the

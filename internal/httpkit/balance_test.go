@@ -337,3 +337,70 @@ func TestSplitBalancedURL(t *testing.T) {
 		}
 	}
 }
+
+// TestBalancerDropRemovesReplicaImmediately: Drop must take a replica out
+// of the routing pool at once — a draining instance still answers, so the
+// connection-failure invalidation path never fires and, without Drop, it
+// would keep its traffic share until the cache TTL lapses.
+func TestBalancerDropRemovesReplicaImmediately(t *testing.T) {
+	replicas, addrs := startReplicas(t, 2)
+	res := &staticResolver{addrs: addrs}
+	// A TTL far longer than the test: any traffic reaching the dropped
+	// replica below got there through the cache, not a refresh.
+	c := NewClient(5*time.Second, WithBalancer(NewBalancer(res, BalancerConfig{CacheTTL: time.Hour})))
+	b := c.balancer
+
+	for i := 0; i < 40; i++ {
+		if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replicas[0].hits.Load() == 0 || replicas[1].hits.Load() == 0 {
+		t.Fatal("warmup traffic did not reach both replicas")
+	}
+
+	// Scale-down: the resolver stops advertising the replica and the
+	// balancer is told to drop it, exactly what Stack deregistration does.
+	dropped := addrs[0]
+	var surviving []string
+	for _, a := range addrs {
+		if a != dropped {
+			surviving = append(surviving, a)
+		}
+	}
+	res.set(surviving, nil)
+	b.Drop("echo", dropped)
+
+	var droppedIdx int
+	for i, r := range replicas {
+		if r.srv.Addr() == dropped {
+			droppedIdx = i
+		}
+	}
+	before := replicas[droppedIdx].hits.Load()
+	for i := 0; i < 60; i++ {
+		if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := replicas[droppedIdx].hits.Load(); got != before {
+		t.Fatalf("dropped replica served %d post-drop requests — share should fall to zero immediately", got-before)
+	}
+}
+
+// TestBalancerDropLastReplicaForcesRefresh: dropping the only cached
+// replica must not wedge routing — the next call re-resolves.
+func TestBalancerDropLastReplicaForcesRefresh(t *testing.T) {
+	_, addrs := startReplicas(t, 2)
+	res := &staticResolver{addrs: addrs[:1]}
+	c := NewClient(5*time.Second, WithBalancer(NewBalancer(res, BalancerConfig{CacheTTL: time.Hour})))
+
+	if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.balancer.Drop("echo", addrs[0])
+	res.set(addrs[1:], nil)
+	if err := c.GetJSON(context.Background(), BalancedURL("echo")+"/ping", nil); err != nil {
+		t.Fatalf("call after dropping the last cached replica: %v", err)
+	}
+}

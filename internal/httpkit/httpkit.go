@@ -178,6 +178,11 @@ type Server struct {
 	chaos         atomic.Pointer[ChaosConfig]
 	chaosInjected atomic.Int64
 
+	// extraGauges supplies control-plane gauges (e.g. the autoscaler's
+	// desired/actual replica counts) appended to /metrics and
+	// /metrics.json; nil when the server carries none.
+	extraGauges atomic.Pointer[func() []Gauge]
+
 	// clients whose resilience stats this server reports on /metrics —
 	// the outbound side of the service that owns this server.
 	clientMu sync.Mutex
@@ -250,7 +255,9 @@ func (s *Server) SetMaxInflight(n int) { s.maxInflight.Store(int64(n)) }
 // Sheds counts requests refused by admission control since start.
 func (s *Server) Sheds() int64 { return s.sheds.Load() }
 
-// Inflight returns the requests currently being served.
+// Inflight returns the requests currently being served. The gauge counts
+// every non-observability request regardless of whether shedding is
+// enabled, so graceful drains can wait on it.
 func (s *Server) Inflight() int64 { return s.inflight.Load() }
 
 // shedRetryAfter is the backoff hint sheds carry; clients honouring it
@@ -259,15 +266,18 @@ const shedRetryAfter = "1"
 
 // admit is the load-shedding middleware: a bounded in-flight counter with
 // fail-fast 503s. Observability endpoints bypass it so an overloaded
-// service can still be inspected.
+// service can still be inspected and a draining one still scraped. The
+// in-flight gauge is maintained even with shedding disabled — it feeds
+// drains and the autoscaler's saturation score, not just the limit check.
 func (s *Server) admit(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		limit := s.maxInflight.Load()
-		if limit <= 0 || skipObservation(r.URL.Path) {
+		if skipObservation(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return
 		}
-		if cur := s.inflight.Add(1); cur > limit {
+		limit := s.maxInflight.Load()
+		cur := s.inflight.Add(1)
+		if limit > 0 && cur > limit {
 			s.inflight.Add(-1)
 			s.sheds.Add(1)
 			w.Header().Set("Retry-After", shedRetryAfter)

@@ -2,6 +2,7 @@ package httpkit
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -158,16 +159,51 @@ func (s *Server) observe(next http.Handler) http.Handler {
 	})
 }
 
+// Gauge is one labelled metric value a server exports beyond its built-in
+// counters — the extension point control planes (the autoscaler) use to
+// publish their state through the standard /metrics and /metrics.json
+// endpoints.
+type Gauge struct {
+	Name   string            `json:"name"`
+	Help   string            `json:"help,omitempty"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// SetExtraMetrics installs a gauge supplier whose values are appended to
+// /metrics (Prometheus text) and /metrics.json on every scrape. Pass nil
+// to remove it. Safe to call while serving.
+func (s *Server) SetExtraMetrics(fn func() []Gauge) {
+	if fn == nil {
+		s.extraGauges.Store(nil)
+		return
+	}
+	s.extraGauges.Store(&fn)
+}
+
+// extraGaugeValues snapshots the installed supplier's gauges.
+func (s *Server) extraGaugeValues() []Gauge {
+	if p := s.extraGauges.Load(); p != nil {
+		return (*p)()
+	}
+	return nil
+}
+
 // MetricsSnapshot is the JSON payload of /metrics.json: one service's
 // request count plus overall and per-route latency summaries, and the
 // resilience counters — server-side sheds and injected faults alongside
-// the attached clients' retry/breaker activity.
+// the attached clients' retry/breaker activity. OverallBuckets carries
+// the cumulative overall latency histogram's non-empty buckets so remote
+// scrapers (the autoscale reconciler) can compute windowed percentiles
+// from scrape-to-scrape bucket deltas instead of lifetime aggregates.
 type MetricsSnapshot struct {
-	Service    string                      `json:"service"`
-	Requests   int64                       `json:"requests"`
-	Overall    metrics.Snapshot            `json:"overall"`
-	Routes     map[string]metrics.Snapshot `json:"routes"`
-	Resilience ResilienceSnapshot          `json:"resilience"`
+	Service        string                      `json:"service"`
+	Requests       int64                       `json:"requests"`
+	Overall        metrics.Snapshot            `json:"overall"`
+	OverallBuckets []metrics.Bucket            `json:"overallBuckets,omitempty"`
+	Routes         map[string]metrics.Snapshot `json:"routes"`
+	Resilience     ResilienceSnapshot          `json:"resilience"`
+	Gauges         []Gauge                     `json:"gauges,omitempty"`
 }
 
 // ResilienceSnapshot is one service's resilience summary: what its server
@@ -261,6 +297,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		Requests:   s.reqs.Load(),
 		Routes:     make(map[string]metrics.Snapshot, len(frozen)),
 		Resilience: s.resilienceSnapshot(),
+		Gauges:     s.extraGaugeValues(),
 	}
 	var all metrics.Histogram
 	for route, h := range frozen {
@@ -268,6 +305,7 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 		all.Merge(h)
 	}
 	out.Overall = all.Snapshot()
+	out.OverallBuckets = all.Buckets()
 	return out
 }
 
@@ -361,6 +399,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+
+	writeExtraGauges(w, s.extraGaugeValues())
+}
+
+// writeExtraGauges renders installed control-plane gauges in Prometheus
+// text format, grouped by name so HELP/TYPE headers appear once.
+func writeExtraGauges(w io.Writer, gauges []Gauge) {
+	if len(gauges) == 0 {
+		return
+	}
+	sort.SliceStable(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+	last := ""
+	for _, g := range gauges {
+		if g.Name != last {
+			if g.Help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", g.Name, g.Help)
+			}
+			fmt.Fprintf(w, "# TYPE %s gauge\n", g.Name)
+			last = g.Name
+		}
+		fmt.Fprintf(w, "%s%s %s\n", g.Name, formatLabels(g.Labels),
+			strconv.FormatFloat(g.Value, 'g', -1, 64))
+	}
+}
+
+// formatLabels renders a sorted {k="v",...} label set ("" when empty).
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	sb.WriteByte('}')
+	return sb.String()
 }
 
 // breakerStateValue maps state names onto the gauge encoding.

@@ -22,7 +22,7 @@ import (
 func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, error) {
 	t := metrics.Table{
 		Title:   "Per-service latency breakdown",
-		Headers: []string{"service", "instance", "requests", "share", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "opens"},
+		Headers: []string{"service", "instance", "requests", "share", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "opens", "autoscale"},
 	}
 	hc := httpkit.NewClient(5 * time.Second)
 	var names []string
@@ -33,6 +33,7 @@ func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, err
 		return t, fmt.Errorf("loadgen: registry at %s lists no services (registrations expired?)", registryURL)
 	}
 	sort.Strings(names)
+	autoscale := fetchAutoscale(ctx, hc, registryURL, names)
 	ms := func(v int64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
 	for _, name := range names {
 		var addrs []string
@@ -60,12 +61,63 @@ func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, err
 			if total > 0 {
 				share = fmt.Sprintf("%.1f%%", 100*float64(snap.Requests)/float64(total))
 			}
+			asc := autoscale[name]
+			if asc == "" {
+				asc = "-"
+			}
 			t.AddRow(name, addr, strconv.FormatInt(snap.Requests, 10), share,
 				ms(snap.Overall.P50), ms(snap.Overall.P95), ms(snap.Overall.P99),
 				strconv.FormatInt(snap.Resilience.Retries, 10),
 				strconv.FormatInt(snap.Resilience.Shed, 10),
-				strconv.FormatInt(opens, 10))
+				strconv.FormatInt(opens, 10),
+				asc)
 		}
 	}
 	return t, nil
+}
+
+// fetchAutoscale summarizes the scale-up control plane's view per service
+// ("actual/desired last-action") when the stack runs one — the registry
+// lists a "scalectl" endpoint whose /status reports every controlled
+// service. Stacks without a reconciler, or an unreachable controller,
+// yield an empty map and the table shows "-" throughout. The status shape
+// mirrors scalectl.Status; it is decoded structurally so this package
+// stays import-free of the control plane.
+func fetchAutoscale(ctx context.Context, hc *httpkit.Client, registryURL string, names []string) map[string]string {
+	out := map[string]string{}
+	found := false
+	for _, n := range names {
+		if n == "scalectl" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return out
+	}
+	var addrs []string
+	if err := hc.GetJSON(ctx, registryURL+"/services/scalectl", &addrs); err != nil || len(addrs) == 0 {
+		return out
+	}
+	var status struct {
+		Services []struct {
+			Service      string `json:"service"`
+			Desired      int    `json:"desired"`
+			Actual       int    `json:"actual"`
+			LastDecision struct {
+				Action string `json:"action"`
+			} `json:"lastDecision"`
+		} `json:"services"`
+	}
+	if err := hc.GetJSON(ctx, "http://"+addrs[0]+"/status", &status); err != nil {
+		return out
+	}
+	for _, ss := range status.Services {
+		action := ss.LastDecision.Action
+		if action == "" {
+			action = "pending"
+		}
+		out[ss.Service] = fmt.Sprintf("%d/%d %s", ss.Actual, ss.Desired, action)
+	}
+	return out
 }

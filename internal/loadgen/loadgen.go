@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/httpkit"
 	"repro/internal/metrics"
 	"repro/internal/services/persistence"
 	"repro/internal/workload"
@@ -32,6 +33,13 @@ type Config struct {
 	WebUIURL string
 	// PersistenceURL is used once at start-up to discover the catalog.
 	PersistenceURL string
+	// RegistryURL, when set, lets workers spread sessions across every
+	// live webui replica: each new session picks a random replica from the
+	// registry's current listing (refreshed about once a second), so webui
+	// replicas started at runtime receive traffic without a restart. When
+	// empty — or whenever the registry is unreachable or lists no webui —
+	// all sessions go to WebUIURL.
+	RegistryURL string
 	// Profile is the behaviour model; nil means workload.Browse().
 	Profile *workload.Profile
 	// Users is the closed-loop population.
@@ -98,6 +106,10 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var pool *webuiPool
+	if cfg.RegistryURL != "" {
+		pool = newWebuiPool(cfg.RegistryURL, cfg.WebUIURL)
+	}
 
 	var measuring atomic.Bool
 	var errCount atomic.Int64
@@ -108,7 +120,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	defer cancel()
 
 	for i := range workers {
-		w, err := newWorker(cfg, cat, int64(i), &measuring, &errCount)
+		w, err := newWorker(cfg, cat, pool, int64(i), &measuring, &errCount)
 		if err != nil {
 			return Result{}, err
 		}
@@ -192,10 +204,59 @@ func discover(ctx context.Context, persistenceURL string) (catalog, error) {
 	return out, nil
 }
 
+// webuiPool resolves live webui replicas through the registry so sessions
+// spread across replicas added at runtime. The listing is cached briefly
+// and shared by every worker; a failed or empty refresh falls back to the
+// configured WebUIURL so a registry outage degrades to single-URL load
+// rather than stopping the run.
+type webuiPool struct {
+	registryURL string
+	fallback    string
+	client      *httpkit.Client
+	ttl         time.Duration
+
+	mu      sync.Mutex
+	urls    []string
+	fetched time.Time
+}
+
+func newWebuiPool(registryURL, fallback string) *webuiPool {
+	return &webuiPool{
+		registryURL: registryURL,
+		fallback:    fallback,
+		client:      httpkit.NewClient(2*time.Second, httpkit.WithoutRetries(), httpkit.WithoutBreakers()),
+		ttl:         time.Second,
+	}
+}
+
+// pick returns the webui base URL for one session — a uniformly random
+// live replica. Cookie jars are keyed by domain, so a user whose next
+// session lands on a different replica keeps their login.
+func (p *webuiPool) pick(ctx context.Context, rng *rand.Rand) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if time.Since(p.fetched) >= p.ttl {
+		var addrs []string
+		if err := p.client.GetJSON(ctx, p.registryURL+"/services/webui", &addrs); err == nil {
+			p.urls = p.urls[:0]
+			for _, a := range addrs {
+				p.urls = append(p.urls, "http://"+a)
+			}
+		}
+		p.fetched = time.Now()
+	}
+	if len(p.urls) == 0 {
+		return p.fallback
+	}
+	return p.urls[rng.Intn(len(p.urls))]
+}
+
 // worker is one closed-loop user.
 type worker struct {
 	cfg       Config
 	cat       catalog
+	pool      *webuiPool
+	base      string
 	rng       *rand.Rand
 	http      *http.Client
 	measuring *atomic.Bool
@@ -212,14 +273,14 @@ type worker struct {
 	userIdx     int
 }
 
-func newWorker(cfg Config, cat catalog, id int64, measuring *atomic.Bool, errCount *atomic.Int64) (*worker, error) {
+func newWorker(cfg Config, cat catalog, pool *webuiPool, id int64, measuring *atomic.Bool, errCount *atomic.Int64) (*worker, error) {
 	jar, err := cookiejar.New(nil)
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + id))
 	return &worker{
-		cfg: cfg, cat: cat, rng: rng,
+		cfg: cfg, cat: cat, pool: pool, base: cfg.WebUIURL, rng: rng,
 		http:      &http.Client{Jar: jar, Timeout: 30 * time.Second},
 		measuring: measuring, errCount: errCount,
 		userIdx: int(id) % cfg.CatalogUsers,
@@ -233,6 +294,9 @@ func (w *worker) run(ctx context.Context) {
 		return
 	}
 	for {
+		if w.pool != nil {
+			w.base = w.pool.pick(ctx, w.rng)
+		}
 		walker := workload.NewWalker(w.cfg.Profile, w.rng)
 		for {
 			req, ok := walker.Next()
@@ -331,7 +395,7 @@ func (w *worker) issue(ctx context.Context, req workload.Request) error {
 }
 
 func (w *worker) get(ctx context.Context, path string) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.cfg.WebUIURL+path, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.base+path, nil)
 	if err != nil {
 		return err
 	}
@@ -339,7 +403,7 @@ func (w *worker) get(ctx context.Context, path string) error {
 }
 
 func (w *worker) postForm(ctx context.Context, path string, form url.Values) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.WebUIURL+path,
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.base+path,
 		strings.NewReader(form.Encode()))
 	if err != nil {
 		return err

@@ -1,4 +1,4 @@
-package loadgen
+package loadgen_test
 
 import (
 	"context"
@@ -7,6 +7,9 @@ import (
 	"time"
 
 	"repro/internal/db"
+	"repro/internal/httpkit"
+	"repro/internal/loadgen"
+	"repro/internal/scalectl"
 	"repro/internal/teastore"
 	"repro/internal/workload"
 )
@@ -31,7 +34,7 @@ func startStack(t *testing.T) *teastore.Stack {
 
 func TestRunAgainstRealStack(t *testing.T) {
 	st := startStack(t)
-	res, err := Run(context.Background(), Config{
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
 		WebUIURL:       st.WebUIURL,
 		PersistenceURL: st.PersistenceURL,
 		Users:          8,
@@ -66,7 +69,7 @@ func TestRunAgainstRealStack(t *testing.T) {
 // latency table through the registry exactly like `loadgen -registry`.
 func TestFetchBreakdown(t *testing.T) {
 	st := startStack(t)
-	if _, err := Run(context.Background(), Config{
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
 		WebUIURL:       st.WebUIURL,
 		PersistenceURL: st.PersistenceURL,
 		Users:          4,
@@ -78,7 +81,7 @@ func TestFetchBreakdown(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	tab, err := FetchBreakdown(context.Background(), st.RegistryURL)
+	tab, err := loadgen.FetchBreakdown(context.Background(), st.RegistryURL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,16 +96,108 @@ func TestFetchBreakdown(t *testing.T) {
 	}
 }
 
+// TestFetchBreakdownAutoscaleColumn: against a stack running the scale-up
+// control plane, the breakdown's autoscale column reports the controlled
+// service's replica state while uncontrolled services show "-". The plain
+// TestFetchBreakdown above covers the no-reconciler stack, where every
+// row shows "-".
+func TestFetchBreakdownAutoscaleColumn(t *testing.T) {
+	st, err := teastore.Start(teastore.Config{
+		Catalog: db.GenerateSpec{
+			Categories: 2, ProductsPerCategory: 8, Users: 4, SeedOrders: 20, Seed: 3,
+		},
+		Autoscale: &scalectl.Config{
+			Interval: time.Hour, // observe state only; no churn during the test
+			Services: map[string]scalectl.Bounds{"image": {Min: 1, Max: 2}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		st.Shutdown(ctx)
+	})
+	tab, err := loadgen.FetchBreakdown(context.Background(), st.RegistryURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := -1
+	for i, h := range tab.Headers {
+		if h == "autoscale" {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("breakdown has no autoscale column: %v", tab.Headers)
+	}
+	var imageCell string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "image":
+			imageCell = row[col]
+		case "webui":
+			if row[col] != "-" {
+				t.Errorf("uncontrolled webui has autoscale cell %q, want -", row[col])
+			}
+		}
+	}
+	if imageCell == "" || imageCell == "-" {
+		t.Fatalf("controlled image service has autoscale cell %q, want replica state:\n%s", imageCell, tab.String())
+	}
+}
+
+// TestRunSpreadsAcrossWebUIReplicas: with RegistryURL set, sessions pick
+// among all live webui replicas, so a replica started at runtime receives
+// load without restarting the generator.
+func TestRunSpreadsAcrossWebUIReplicas(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second load run")
+	}
+	st := startStack(t)
+	if err := st.StartReplica("webui"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadgen.Run(context.Background(), loadgen.Config{
+		WebUIURL:       st.WebUIURL,
+		PersistenceURL: st.PersistenceURL,
+		RegistryURL:    st.RegistryURL,
+		Users:          6,
+		Warmup:         100 * time.Millisecond,
+		Duration:       1500 * time.Millisecond,
+		ThinkScale:     0.02,
+		CatalogUsers:   4,
+		Seed:           5,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	urls := st.ReplicaURLs("webui")
+	if len(urls) != 2 {
+		t.Fatalf("stack has %d webui replicas, want 2", len(urls))
+	}
+	hc := httpkit.NewClient(2 * time.Second)
+	for _, url := range urls {
+		var snap httpkit.MetricsSnapshot
+		if err := hc.GetJSON(context.Background(), url+"/metrics.json", &snap); err != nil {
+			t.Fatal(err)
+		}
+		if snap.Requests == 0 {
+			t.Errorf("webui replica %s received no requests", url)
+		}
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	ctx := context.Background()
-	cases := []Config{
+	cases := []loadgen.Config{
 		{},
 		{WebUIURL: "http://x", PersistenceURL: "", Users: 1, Duration: time.Second},
 		{WebUIURL: "http://x", PersistenceURL: "http://y", Users: 0, Duration: time.Second},
 		{WebUIURL: "http://x", PersistenceURL: "http://y", Users: 1, Duration: 0},
 	}
 	for i, cfg := range cases {
-		if _, err := Run(ctx, cfg); err == nil {
+		if _, err := loadgen.Run(ctx, cfg); err == nil {
 			t.Errorf("bad config %d accepted", i)
 		}
 	}
@@ -111,7 +206,7 @@ func TestRunValidation(t *testing.T) {
 func TestRunFailsOnEmptyStore(t *testing.T) {
 	st := startStack(t)
 	st.Store.Reset()
-	_, err := Run(context.Background(), Config{
+	_, err := loadgen.Run(context.Background(), loadgen.Config{
 		WebUIURL:       st.WebUIURL,
 		PersistenceURL: st.PersistenceURL,
 		Users:          1,
@@ -130,7 +225,7 @@ func TestRunHonoursContextCancel(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	_, err := Run(ctx, Config{
+	_, err := loadgen.Run(ctx, loadgen.Config{
 		WebUIURL:       st.WebUIURL,
 		PersistenceURL: st.PersistenceURL,
 		Users:          2,

@@ -1,0 +1,153 @@
+package scalectl_test
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/scalectl"
+	"repro/internal/teastore"
+)
+
+// TestCharacterizeSweep runs a compressed scale-up sweep against a live
+// stack and checks the report's shape: curves per service, sane knees,
+// restored topology, and busy-time demand shares that carry the same
+// robust structure as the placement reference shares (webui dominant,
+// registry marginal, fractions summing to one).
+func TestCharacterizeSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization sweep is multi-second")
+	}
+	st, err := teastore.Start(teastore.Config{
+		Catalog: db.GenerateSpec{
+			Categories: 2, ProductsPerCategory: 6, Users: 4, SeedOrders: 10, Seed: 7,
+		},
+		BalancerCacheTTL: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		st.Shutdown(ctx)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := scalectl.Characterize(ctx, st, scalectl.SweepConfig{
+		Services:     []string{"webui", "image", "registry"},
+		MaxReplicas:  2,
+		Loads:        []int{6},
+		StepDuration: 400 * time.Millisecond,
+		Warmup:       100 * time.Millisecond,
+		Settle:       150 * time.Millisecond,
+		ThinkScale:   0.01,
+		Seed:         11,
+		Log:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Services) != 3 {
+		t.Fatalf("got %d service curves, want 3", len(rep.Services))
+	}
+	for _, curve := range rep.Services {
+		wantPoints := 2 // replicas 1..2 × one load
+		if curve.Service == "registry" {
+			wantPoints = 1
+			if curve.Replicable {
+				t.Errorf("registry reported replicable")
+			}
+			if curve.Knee != 1 {
+				t.Errorf("registry knee = %d, want 1", curve.Knee)
+			}
+		} else if !curve.Replicable {
+			t.Errorf("%s reported non-replicable", curve.Service)
+		}
+		if len(curve.Points) != wantPoints {
+			t.Errorf("%s has %d points, want %d", curve.Service, len(curve.Points), wantPoints)
+		}
+		for _, p := range curve.Points {
+			if p.Throughput <= 0 {
+				t.Errorf("%s r=%d load=%d measured zero throughput", curve.Service, p.Replicas, p.Load)
+			}
+		}
+		if curve.Knee < 1 || curve.Knee > 2 {
+			t.Errorf("%s knee = %d, want within [1,2]", curve.Service, curve.Knee)
+		}
+	}
+
+	// The sweep must leave the stack as it found it: one replica each.
+	for _, svc := range []string{"webui", "image"} {
+		if n := len(st.ReplicaURLs(svc)); n != 1 {
+			t.Errorf("%s left at %d replicas after sweep, want 1", svc, n)
+		}
+	}
+
+	// Measured demand shares: fractions over every live service, summing
+	// to one, with webui's wall-clock share dominant (it fronts every
+	// request) and the registry's marginal — the same ordering structure
+	// as the paper-derived placement shares.
+	if len(rep.MeasuredShares) == 0 {
+		t.Fatal("no measured shares")
+	}
+	var sum float64
+	for svc, share := range rep.MeasuredShares {
+		if share < 0 || share > 1 {
+			t.Errorf("share[%s] = %v outside [0,1]", svc, share)
+		}
+		sum += share
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("measured shares sum to %v, want ~1", sum)
+	}
+	webui := rep.MeasuredShares["webui"]
+	for svc, share := range rep.MeasuredShares {
+		if share > webui {
+			t.Errorf("measured share[%s]=%v exceeds webui's %v", svc, share, webui)
+		}
+	}
+	if reg := rep.MeasuredShares["registry"]; reg > 0.15 {
+		t.Errorf("registry measured share %v, want marginal (≤0.15)", reg)
+	}
+
+	// Reference shares come from placement.DefaultShares and must show
+	// the same structure the measured shares are compared against.
+	if len(rep.ReferenceShares) != 6 {
+		t.Fatalf("got %d reference shares, want 6", len(rep.ReferenceShares))
+	}
+	refWebui := rep.ReferenceShares["webui"]
+	refReg := rep.ReferenceShares["registry"]
+	for svc, share := range rep.ReferenceShares {
+		if share > refWebui {
+			t.Errorf("reference share[%s]=%v exceeds webui's %v", svc, share, refWebui)
+		}
+		if svc != "registry" && share < refReg {
+			t.Errorf("reference share[%s]=%v below registry's %v", svc, share, refReg)
+		}
+	}
+
+	// The report must round-trip through its SCALEUP.json serialization.
+	path := filepath.Join(t.TempDir(), "SCALEUP.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back scalectl.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("SCALEUP.json does not parse: %v", err)
+	}
+	if len(back.Services) != len(rep.Services) {
+		t.Errorf("round-trip lost service curves: %d vs %d", len(back.Services), len(rep.Services))
+	}
+}

@@ -1,0 +1,32 @@
+package scalectl
+
+import "testing"
+
+func TestKneeOf(t *testing.T) {
+	cases := []struct {
+		name     string
+		peak     []float64
+		knee     int
+		maxGain  float64
+		gainFrac float64
+	}{
+		{"empty", nil, 1, 1, 0.1},
+		{"single", []float64{100}, 1, 1, 0.1},
+		{"linear scaling", []float64{100, 190, 270}, 3, 2.7, 0.1},
+		{"flat after two", []float64{100, 180, 185}, 2, 1.85, 0.1},
+		{"never pays", []float64{100, 105, 104}, 1, 1.05, 0.1},
+		{"zero baseline", []float64{0, 50}, 1, 1, 0.1},
+		{"dip then recovery below threshold", []float64{100, 90, 95}, 1, 1, 0.1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			knee, gain := kneeOf(c.peak, c.gainFrac)
+			if knee != c.knee {
+				t.Errorf("knee = %d, want %d", knee, c.knee)
+			}
+			if diff := gain - c.maxGain; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("maxGain = %v, want %v", gain, c.maxGain)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/httpkit"
 	"repro/internal/metrics"
+	"repro/internal/scalectl"
 )
 
 // ServiceStats is one service instance's observed traffic summary within
@@ -23,14 +24,27 @@ type ServiceStats struct {
 	// Resilience carries shed counts, injected faults, and the instance's
 	// outbound retry/breaker/per-replica routing activity.
 	Resilience httpkit.ResilienceSnapshot
+	// Autoscale is the reconciler's view of this instance's service —
+	// desired/actual replicas, saturation score, last decision — shared by
+	// every replica of the service; nil when the service is not under
+	// autoscale control (or the stack runs without a reconciler).
+	Autoscale *scalectl.ServiceStatus
 }
 
 // StatsSnapshot collects every instance's per-route latency state, sorted
 // by service name then address — the stack-wide view the paper's
 // per-service scale-up attribution needs, one row per replica.
 func (s *Stack) StatsSnapshot() []ServiceStats {
-	out := make([]ServiceStats, 0, len(s.servers))
-	for _, srv := range s.servers {
+	autoscale := map[string]*scalectl.ServiceStatus{}
+	if s.autoscaler != nil {
+		for _, ss := range s.autoscaler.Status().Services {
+			ss := ss
+			autoscale[ss.Service] = &ss
+		}
+	}
+	live := s.liveServers()
+	out := make([]ServiceStats, 0, len(live))
+	for _, srv := range live {
 		ms := srv.MetricsSnapshot()
 		out = append(out, ServiceStats{
 			Service:    srv.Name(),
@@ -40,6 +54,7 @@ func (s *Stack) StatsSnapshot() []ServiceStats {
 			Overall:    ms.Overall,
 			Routes:     ms.Routes,
 			Resilience: ms.Resilience,
+			Autoscale:  autoscale[srv.Name()],
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -56,7 +71,7 @@ func (s *Stack) StatsSnapshot() []ServiceStats {
 // means no service saw the trace.
 func (s *Stack) Trace(id string) []httpkit.Span {
 	var spans []httpkit.Span
-	for _, srv := range s.servers {
+	for _, srv := range s.liveServers() {
 		spans = append(spans, srv.Spans(id)...)
 	}
 	sort.Slice(spans, func(i, j int) bool {
@@ -74,7 +89,7 @@ func (s *Stack) Trace(id string) []httpkit.Span {
 func (s *Stack) BreakdownTable() metrics.Table {
 	t := metrics.Table{
 		Title:   "Per-service latency breakdown",
-		Headers: []string{"service", "instance", "requests", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "breakers"},
+		Headers: []string{"service", "instance", "requests", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "breakers", "autoscale"},
 	}
 	ms := func(v int64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
 	for _, st := range s.StatsSnapshot() {
@@ -82,9 +97,23 @@ func (s *Stack) BreakdownTable() metrics.Table {
 			ms(st.Overall.P50), ms(st.Overall.P95), ms(st.Overall.P99),
 			strconv.FormatInt(st.Resilience.Retries, 10),
 			strconv.FormatInt(st.Resilience.Shed, 10),
-			breakerSummary(st.Resilience))
+			breakerSummary(st.Resilience),
+			autoscaleSummary(st.Autoscale))
 	}
 	return t
+}
+
+// autoscaleSummary renders a service's reconciler column: actual/desired
+// replicas plus the last decision, or "-" for uncontrolled services.
+func autoscaleSummary(ss *scalectl.ServiceStatus) string {
+	if ss == nil {
+		return "-"
+	}
+	action := ss.LastDecision.Action
+	if action == "" {
+		action = "pending"
+	}
+	return fmt.Sprintf("%d/%d %s", ss.Actual, ss.Desired, action)
 }
 
 // breakerSummary renders a service's breaker column: destinations not in

@@ -120,6 +120,7 @@ func imageTarget(i int) string {
 func driveImages(t *testing.T, c *httpkit.Client, workers int, d time.Duration) (int64, int64) {
 	t.Helper()
 	var ok, fail atomic.Int64
+	var firstErr atomic.Value
 	deadline := time.Now().Add(d)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -129,6 +130,7 @@ func driveImages(t *testing.T, c *httpkit.Client, workers int, d time.Duration) 
 			for i := w; time.Now().Before(deadline); i++ {
 				if _, err := c.GetBytes(context.Background(), imageTarget(i)); err != nil {
 					fail.Add(1)
+					firstErr.CompareAndSwap(nil, err)
 				} else {
 					ok.Add(1)
 				}
@@ -136,6 +138,9 @@ func driveImages(t *testing.T, c *httpkit.Client, workers int, d time.Duration) 
 		}(w)
 	}
 	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		t.Logf("driveImages: first failure: %v", err)
+	}
 	return ok.Load(), fail.Load()
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/httpkit"
+	"repro/internal/scalectl"
 	"repro/internal/services/auth"
 	imagesvc "repro/internal/services/image"
 	"repro/internal/services/persistence"
@@ -81,11 +82,13 @@ type Config struct {
 	// long runs; tests shorten it to observe expiry quickly.
 	RegistryTTL time.Duration
 	// Replicas maps service names ("auth", "persistence", "recommender",
-	// "image", "webui") to instance counts; absent or zero means one.
-	// Every replica gets its own listener, registers with the registry,
-	// and heartbeats independently; inter-service calls spread across
-	// replicas via registry-backed client-side load balancing. The
+	// "image", "webui") to instance counts booted up front; absent or zero
+	// means one. Every replica gets its own listener, registers with the
+	// registry, and heartbeats independently; inter-service calls spread
+	// across replicas via registry-backed client-side load balancing. The
 	// registry itself cannot be replicated (it IS the routing plane).
+	// Further replicas can be added at runtime with Stack.StartReplica —
+	// directly or via the autoscale reconciler.
 	Replicas map[string]int
 	// BalancerCacheTTL bounds how long outbound clients reuse a resolved
 	// replica list before re-consulting the registry (0 →
@@ -95,9 +98,22 @@ type Config struct {
 	// Resilience tunes retries, breakers, and load shedding.
 	Resilience ResilienceConfig
 	// Chaos maps service names to fault-injection specs applied at boot
-	// (to every replica of the service); use Stack.SetChaos or
-	// Stack.SetReplicaChaos to flip faults on mid-run.
+	// (to every replica of the service, including replicas started later);
+	// use Stack.SetChaos or Stack.SetReplicaChaos to flip faults on
+	// mid-run.
 	Chaos map[string]httpkit.ChaosConfig
+	// ServiceMaxInflight overrides Resilience.MaxInflight per service:
+	// positive values set that service's admission bound, negative values
+	// disable its shedding, zero/absent inherits the stack-wide setting.
+	// Replicas started at runtime inherit the same bound, so a throttled
+	// service stays throttled as it scales.
+	ServiceMaxInflight map[string]int
+	// Autoscale, when non-nil, runs the scalectl reconciler over this
+	// stack: a "scalectl" control-plane service is booted, registered in
+	// the registry, and serves the reconciler's /status plus
+	// teastore_replicas_desired/actual gauges on /metrics, while the
+	// reconcile loop scales the configured services between their bounds.
+	Autoscale *scalectl.Config
 }
 
 // replicableServices are the service names Config.Replicas may scale.
@@ -124,15 +140,41 @@ func (c Config) validateReplicas() error {
 			return fmt.Errorf("teastore: negative replica count %d for %s", n, name)
 		}
 	}
+	for name := range c.ServiceMaxInflight {
+		if !replicableServices[name] && name != "registry" {
+			return fmt.Errorf("teastore: ServiceMaxInflight for unknown service %q", name)
+		}
+	}
+	if c.Autoscale != nil {
+		for name := range c.Autoscale.Services {
+			if !replicableServices[name] {
+				return fmt.Errorf("teastore: cannot autoscale %q (replicable: auth, persistence, recommender, image, webui)", name)
+			}
+		}
+	}
 	return nil
 }
 
 // Stack is a running all-in-one TeaStore.
 type Stack struct {
-	servers []*httpkit.Server
+	// mu guards servers and balancers: with runtime scaling both mutate
+	// while heartbeats, stats, and the reconciler read them.
+	mu        sync.RWMutex
+	servers   []*httpkit.Server
+	balancers []*httpkit.Balancer
+
+	cfg     Config
 	reg     *registry.Registry
 	stopSwp func()
 	stopHB  func()
+
+	// boot holds one factory per replicable service, built during Start and
+	// immutable afterward — what StartReplica uses to add capacity at
+	// runtime with exactly the boot-time wiring.
+	boot map[string]func() (*httpkit.Server, error)
+
+	autoscaler *scalectl.Controller
+	stopCtl    func()
 
 	// serveErr records the first listener death across the stack.
 	errMu    sync.Mutex
@@ -146,13 +188,19 @@ type Stack struct {
 	RecommenderURL string
 	ImageURL       string
 	WebUIURL       string
+	// ScalectlURL is the autoscale control plane's base URL ("" unless
+	// Config.Autoscale was set).
+	ScalectlURL string
 }
 
 // Start boots every service — Config.Replicas instances of each — seeds
 // the catalog, trains the recommender, and registers every instance with
 // the registry. Inter-service calls go through svc:// logical URLs
 // resolved per attempt by a registry-backed client-side balancer, so
-// traffic spreads across replicas and fails over when one dies.
+// traffic spreads across replicas and fails over when one dies. The
+// per-service boot recipes are kept, so replicas can also be added after
+// boot (StartReplica) and drained away (ScaleDown) — manually or by the
+// reconciler when Config.Autoscale is set.
 func Start(cfg Config) (*Stack, error) {
 	if cfg.Host == "" {
 		cfg.Host = "127.0.0.1"
@@ -166,35 +214,17 @@ func Start(cfg Config) (*Stack, error) {
 	if err := cfg.validateReplicas(); err != nil {
 		return nil, err
 	}
-	st := &Stack{Store: db.NewStore()}
+	st := &Stack{Store: db.NewStore(), cfg: cfg}
 	fail := func(err error) (*Stack, error) {
 		st.Shutdown(context.Background())
 		return nil, err
-	}
-	// Each instance registers as soon as it listens (not in a batch after
-	// boot): later services resolve earlier ones through the registry —
-	// the recommender trains against svc://persistence before webui even
-	// exists.
-	listen := func(name string, mux *http.ServeMux) (*httpkit.Server, error) {
-		srv, err := httpkit.NewServer(name, cfg.Host+":0", mux)
-		if err != nil {
-			return nil, err
-		}
-		srv.SetMaxInflight(cfg.Resilience.maxInflight())
-		if chaos, ok := cfg.Chaos[name]; ok {
-			srv.SetChaos(chaos)
-		}
-		srv.Start()
-		st.servers = append(st.servers, srv)
-		st.reg.Register(registry.Registration{Service: name, Address: srv.Addr()})
-		return srv, nil
 	}
 
 	// Registry first: it is the routing plane everything else resolves
 	// through.
 	st.reg = registry.New(cfg.RegistryTTL)
 	st.stopSwp = st.reg.StartSweeper(time.Second)
-	regSrv, err := listen("registry", st.reg.Mux())
+	regSrv, err := st.listen("registry", st.reg.Mux())
 	if err != nil {
 		return fail(err)
 	}
@@ -203,112 +233,134 @@ func Start(cfg Config) (*Stack, error) {
 	// Every service gets its own outbound client — so /metrics attributes
 	// retries, breaker trips, and per-replica routing to the caller that
 	// performed them — but all balancers resolve through one registry
-	// client hitting the real HTTP discovery API.
+	// client hitting the real HTTP discovery API. The stack keeps every
+	// balancer it hands out so planned drains can push replica removals
+	// into the routing caches instead of waiting out the TTL.
 	resolver := registry.NewClient(st.RegistryURL, httpkit.NewClient(2*time.Second))
 	newClient := func() *httpkit.Client {
+		b := httpkit.NewBalancer(resolver, httpkit.BalancerConfig{CacheTTL: cfg.BalancerCacheTTL})
+		st.mu.Lock()
+		st.balancers = append(st.balancers, b)
+		st.mu.Unlock()
 		return httpkit.NewClient(cfg.Resilience.clientTimeout(),
 			httpkit.WithRetry(cfg.Resilience.Retry),
 			httpkit.WithBreaker(cfg.Resilience.Breaker),
-			httpkit.WithBalancer(httpkit.NewBalancer(resolver,
-				httpkit.BalancerConfig{CacheTTL: cfg.BalancerCacheTTL})))
+			httpkit.WithBalancer(b))
 	}
 
-	// Persistence over the seeded store. Replicas are stateless compute
-	// sharing one store, the all-in-one analogue of app servers in front
-	// of a single database.
 	if err := st.Store.Generate(cfg.Catalog, auth.HashPassword); err != nil {
 		return fail(fmt.Errorf("teastore: seeding catalog: %w", err))
 	}
-	for i := 0; i < cfg.replicas("persistence"); i++ {
-		srv, err := listen("persistence", persistence.New(st.Store).Mux())
-		if err != nil {
-			return fail(err)
-		}
-		if st.PersistenceURL == "" {
-			st.PersistenceURL = srv.URL()
-		}
+
+	// One boot recipe per replicable service. Each call boots one fresh
+	// replica — own listener, own outbound client, own model/cache — and
+	// registers it, whether invoked during Start or months into a run by
+	// the reconciler.
+	st.boot = map[string]func() (*httpkit.Server, error){
+		// Persistence replicas are stateless compute sharing one store, the
+		// all-in-one analogue of app servers in front of a single database.
+		"persistence": func() (*httpkit.Server, error) {
+			return st.listen("persistence", persistence.New(st.Store).Mux())
+		},
+		// Auth verifies against persistence.
+		"auth": func() (*httpkit.Server, error) {
+			hc := newClient()
+			svc, err := auth.New(cfg.Key, persistence.NewClient(httpkit.BalancedURL("persistence"), hc))
+			if err != nil {
+				return nil, err
+			}
+			srv, err := st.listen("auth", svc.Mux())
+			if err != nil {
+				return nil, err
+			}
+			srv.AttachClient(hc)
+			return srv, nil
+		},
+		// Recommender replicas each train their own model on the order
+		// history, exactly as independently deployed instances would.
+		"recommender": func() (*httpkit.Server, error) {
+			hc := newClient()
+			svc, err := recommender.New(cfg.Algorithm, persistence.NewClient(httpkit.BalancedURL("persistence"), hc))
+			if err != nil {
+				return nil, err
+			}
+			if _, err := svc.Train(context.Background()); err != nil {
+				return nil, err
+			}
+			srv, err := st.listen("recommender", svc.Mux())
+			if err != nil {
+				return nil, err
+			}
+			srv.AttachClient(hc)
+			return srv, nil
+		},
+		// Image provider replicas each own an independent cache.
+		"image": func() (*httpkit.Server, error) {
+			return st.listen("image", imagesvc.New(cfg.ImageCacheBytes).Mux())
+		},
+		// WebUI fans out to everything through the balancer.
+		"webui": func() (*httpkit.Server, error) {
+			hc := newClient()
+			ui, err := webui.New(webui.Backends{
+				Auth:        auth.NewClient(httpkit.BalancedURL("auth"), hc),
+				Persistence: persistence.NewClient(httpkit.BalancedURL("persistence"), hc),
+				Recommender: recommender.NewClient(httpkit.BalancedURL("recommender"), hc),
+				Image:       imagesvc.NewClient(httpkit.BalancedURL("image"), hc),
+			})
+			if err != nil {
+				return nil, err
+			}
+			srv, err := st.listen("webui", ui.Mux())
+			if err != nil {
+				return nil, err
+			}
+			srv.AttachClient(hc)
+			return srv, nil
+		},
 	}
 
-	// Auth verifies against persistence.
-	for i := 0; i < cfg.replicas("auth"); i++ {
-		hc := newClient()
-		svc, err := auth.New(cfg.Key, persistence.NewClient(httpkit.BalancedURL("persistence"), hc))
-		if err != nil {
-			return fail(err)
-		}
-		srv, err := listen("auth", svc.Mux())
-		if err != nil {
-			return fail(err)
-		}
-		srv.AttachClient(hc)
-		if st.AuthURL == "" {
-			st.AuthURL = srv.URL()
-		}
-	}
-
-	// Recommender replicas each train their own model on the order
-	// history, exactly as independently deployed instances would.
-	for i := 0; i < cfg.replicas("recommender"); i++ {
-		hc := newClient()
-		svc, err := recommender.New(cfg.Algorithm, persistence.NewClient(httpkit.BalancedURL("persistence"), hc))
-		if err != nil {
-			return fail(err)
-		}
-		if _, err := svc.Train(context.Background()); err != nil {
-			return fail(err)
-		}
-		srv, err := listen("recommender", svc.Mux())
-		if err != nil {
-			return fail(err)
-		}
-		srv.AttachClient(hc)
-		if st.RecommenderURL == "" {
-			st.RecommenderURL = srv.URL()
-		}
-	}
-
-	// Image provider replicas each own an independent cache.
-	for i := 0; i < cfg.replicas("image"); i++ {
-		srv, err := listen("image", imagesvc.New(cfg.ImageCacheBytes).Mux())
-		if err != nil {
-			return fail(err)
-		}
-		if st.ImageURL == "" {
-			st.ImageURL = srv.URL()
-		}
-	}
-
-	// WebUI fans out to everything through the balancer.
-	for i := 0; i < cfg.replicas("webui"); i++ {
-		hc := newClient()
-		ui, err := webui.New(webui.Backends{
-			Auth:        auth.NewClient(httpkit.BalancedURL("auth"), hc),
-			Persistence: persistence.NewClient(httpkit.BalancedURL("persistence"), hc),
-			Recommender: recommender.NewClient(httpkit.BalancedURL("recommender"), hc),
-			Image:       imagesvc.NewClient(httpkit.BalancedURL("image"), hc),
-		})
-		if err != nil {
-			return fail(err)
-		}
-		srv, err := listen("webui", ui.Mux())
-		if err != nil {
-			return fail(err)
-		}
-		srv.AttachClient(hc)
-		if st.WebUIURL == "" {
-			st.WebUIURL = srv.URL()
+	// Boot order matters: each instance registers as soon as it listens,
+	// and later services resolve earlier ones through the registry — the
+	// recommender trains against svc://persistence before webui exists.
+	for _, name := range []string{"persistence", "auth", "recommender", "image", "webui"} {
+		for i := 0; i < cfg.replicas(name); i++ {
+			srv, err := st.boot[name]()
+			if err != nil {
+				return fail(err)
+			}
+			switch name {
+			case "persistence":
+				if st.PersistenceURL == "" {
+					st.PersistenceURL = srv.URL()
+				}
+			case "auth":
+				if st.AuthURL == "" {
+					st.AuthURL = srv.URL()
+				}
+			case "recommender":
+				if st.RecommenderURL == "" {
+					st.RecommenderURL = srv.URL()
+				}
+			case "image":
+				if st.ImageURL == "" {
+					st.ImageURL = srv.URL()
+				}
+			case "webui":
+				if st.WebUIURL == "" {
+					st.WebUIURL = srv.URL()
+				}
+			}
 		}
 	}
 
 	// A listener can die between its Start and now (port snatched,
-	// fd exhaustion); catch that before declaring the stack up, then
-	// keep watching for the lifetime of the stack.
-	for _, srv := range st.servers {
+	// fd exhaustion); catch that before declaring the stack up. Runtime
+	// deaths are watched per server by track().
+	for _, srv := range st.liveServers() {
 		if err := srv.Err(); err != nil {
 			return fail(fmt.Errorf("teastore: %s listener died during boot: %w", srv.Name(), err))
 		}
 	}
-	st.watchServeErrors()
 
 	// Keep the leases alive: without heartbeats every registration
 	// silently expires after one TTL and both remote discovery (loadgen
@@ -318,27 +370,98 @@ func Start(cfg Config) (*Stack, error) {
 		ttl = registry.DefaultTTL
 	}
 	st.stopHB = st.startHeartbeats(ttl / 3)
+
+	// Autoscale control plane last: it scrapes the services booted above
+	// and must not begin scaling until the stack is complete.
+	if cfg.Autoscale != nil {
+		ctl, err := scalectl.New(st, *cfg.Autoscale)
+		if err != nil {
+			return fail(err)
+		}
+		ctlSrv, err := st.listen("scalectl", ctl.Mux())
+		if err != nil {
+			return fail(err)
+		}
+		ctlSrv.SetExtraMetrics(ctl.Gauges)
+		st.autoscaler = ctl
+		st.ScalectlURL = ctlSrv.URL()
+		st.stopCtl = ctl.Start()
+	}
 	return st, nil
 }
 
-// watchServeErrors surfaces listener deaths loudly: the first fatal Serve
-// error is recorded for Err and logged. Each watcher exits when its
-// server's serve goroutine does, so stacks don't leak goroutines.
-func (s *Stack) watchServeErrors() {
-	for _, srv := range s.servers {
-		go func(srv *httpkit.Server) {
-			err, ok := <-srv.ErrChan()
-			if !ok {
-				return
-			}
-			s.errMu.Lock()
-			if s.serveErr == nil {
-				s.serveErr = fmt.Errorf("teastore: %s listener died: %w", srv.Name(), err)
-			}
-			s.errMu.Unlock()
-			log.Printf("teastore: FATAL: %s listener died: %v", srv.Name(), err)
-		}(srv)
+// listen boots one named listener with the stack-wide middleware stack
+// (admission bound, chaos spec), tracks it, and registers it with the
+// registry. Used for the initial boot and for runtime StartReplica calls
+// alike.
+func (s *Stack) listen(name string, mux *http.ServeMux) (*httpkit.Server, error) {
+	srv, err := httpkit.NewServer(name, s.cfg.Host+":0", mux)
+	if err != nil {
+		return nil, err
 	}
+	srv.SetMaxInflight(s.maxInflightFor(name))
+	if chaos, ok := s.cfg.Chaos[name]; ok {
+		srv.SetChaos(chaos)
+	}
+	srv.Start()
+	s.track(srv)
+	s.reg.Register(registry.Registration{Service: name, Address: srv.Addr()})
+	return srv, nil
+}
+
+// maxInflightFor resolves a service's admission bound: the per-service
+// override when present, else the stack-wide resilience setting.
+func (s *Stack) maxInflightFor(name string) int {
+	if n, ok := s.cfg.ServiceMaxInflight[name]; ok && n != 0 {
+		if n < 0 {
+			return 0 // shedding disabled for this service
+		}
+		return n
+	}
+	return s.cfg.Resilience.maxInflight()
+}
+
+// track appends a server to the live set and watches its serve loop: the
+// first fatal Serve error across the stack is recorded for Err and
+// logged. The watcher exits when the server's serve goroutine does, so
+// stacks don't leak goroutines.
+func (s *Stack) track(srv *httpkit.Server) {
+	s.mu.Lock()
+	s.servers = append(s.servers, srv)
+	s.mu.Unlock()
+	go func() {
+		err, ok := <-srv.ErrChan()
+		if !ok {
+			return
+		}
+		s.errMu.Lock()
+		if s.serveErr == nil {
+			s.serveErr = fmt.Errorf("teastore: %s listener died: %w", srv.Name(), err)
+		}
+		s.errMu.Unlock()
+		log.Printf("teastore: FATAL: %s listener died: %v", srv.Name(), err)
+	}()
+}
+
+// untrack removes a stopped server from the live set so stats,
+// heartbeats, and the reconciler stop seeing it.
+func (s *Stack) untrack(srv *httpkit.Server) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.servers[:0]
+	for _, x := range s.servers {
+		if x != srv {
+			kept = append(kept, x)
+		}
+	}
+	s.servers = kept
+}
+
+// liveServers snapshots the live server list.
+func (s *Stack) liveServers() []*httpkit.Server {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]*httpkit.Server(nil), s.servers...)
 }
 
 // Err reports the first listener death observed across the stack, nil
@@ -374,7 +497,7 @@ func (s *Stack) startHeartbeats(period time.Duration) (stop func()) {
 }
 
 func (s *Stack) heartbeatOnce() {
-	for _, srv := range s.servers {
+	for _, srv := range s.liveServers() {
 		if !srv.Ready() {
 			continue
 		}
@@ -386,7 +509,7 @@ func (s *Stack) heartbeatOnce() {
 // Use Instances for the full per-replica listing.
 func (s *Stack) Services() map[string]string {
 	out := map[string]string{}
-	for _, srv := range s.servers {
+	for _, srv := range s.liveServers() {
 		if _, ok := out[srv.Name()]; !ok {
 			out[srv.Name()] = srv.URL()
 		}
@@ -403,9 +526,35 @@ type ServiceInstance struct {
 
 // Instances lists every running replica in boot order.
 func (s *Stack) Instances() []ServiceInstance {
-	out := make([]ServiceInstance, 0, len(s.servers))
-	for _, srv := range s.servers {
+	live := s.liveServers()
+	out := make([]ServiceInstance, 0, len(live))
+	for _, srv := range live {
 		out = append(out, ServiceInstance{Service: srv.Name(), Addr: srv.Addr(), URL: srv.URL()})
+	}
+	return out
+}
+
+// ServiceNames lists the distinct live service names in boot order —
+// the scalectl.Target scrape surface.
+func (s *Stack) ServiceNames() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, srv := range s.liveServers() {
+		if !seen[srv.Name()] {
+			seen[srv.Name()] = true
+			out = append(out, srv.Name())
+		}
+	}
+	return out
+}
+
+// ReplicaURLs lists a service's live replica base URLs in boot order —
+// the scalectl.Target replica view.
+func (s *Stack) ReplicaURLs(service string) []string {
+	replicas := s.serversOf(service)
+	out := make([]string, 0, len(replicas))
+	for _, srv := range replicas {
+		out = append(out, srv.URL())
 	}
 	return out
 }
@@ -413,7 +562,7 @@ func (s *Stack) Instances() []ServiceInstance {
 // serversOf lists a service's replicas in boot order.
 func (s *Stack) serversOf(name string) []*httpkit.Server {
 	var out []*httpkit.Server
-	for _, srv := range s.servers {
+	for _, srv := range s.liveServers() {
 		if srv.Name() == name {
 			out = append(out, srv)
 		}
@@ -432,6 +581,105 @@ func (s *Stack) replica(name string, index int) (*httpkit.Server, error) {
 	}
 	return replicas[index], nil
 }
+
+// StartReplica boots and registers one new replica of a running service
+// using its boot-time recipe — the scale-up primitive the reconciler
+// (and operators via the control plane) drive at runtime. The replica
+// inherits the service's admission bound and chaos spec, registers as
+// soon as it listens, and starts receiving traffic on the balancers'
+// next refresh (at most one cache TTL later).
+func (s *Stack) StartReplica(service string) error {
+	if !replicableServices[service] {
+		return fmt.Errorf("teastore: cannot replicate %q (replicable: auth, persistence, recommender, image, webui)", service)
+	}
+	if s.boot == nil {
+		return fmt.Errorf("teastore: stack not started")
+	}
+	srv, err := s.boot[service]()
+	if err != nil {
+		return fmt.Errorf("teastore: starting %s replica: %w", service, err)
+	}
+	if err := srv.Err(); err != nil {
+		return fmt.Errorf("teastore: new %s replica died during boot: %w", service, err)
+	}
+	return nil
+}
+
+// ScaleDown gracefully drains and stops the newest replica of a service,
+// refusing to remove the last one. This is the planned shrink the
+// reconciler uses: unlike a crash, no request should fail.
+func (s *Stack) ScaleDown(ctx context.Context, service string) error {
+	replicas := s.serversOf(service)
+	switch {
+	case len(replicas) == 0:
+		return fmt.Errorf("teastore: no service %q", service)
+	case len(replicas) == 1:
+		return fmt.Errorf("teastore: refusing to stop the last %s replica", service)
+	}
+	return s.drainAndStop(ctx, replicas[len(replicas)-1])
+}
+
+// drainAndStop removes one replica without failing its in-flight work:
+// deregister (new lookups skip it), push the removal into every routing
+// cache (no new picks before the TTL lapses), wait — bounded by ctx —
+// for requests already inside to finish, then close the listener and
+// drop the server from the live set. Requests that raced the very last
+// step die on a closed connection and are absorbed by the callers'
+// idempotent retries.
+func (s *Stack) drainAndStop(ctx context.Context, srv *httpkit.Server) error {
+	s.deregister(srv)
+	s.mu.RLock()
+	balancers := append([]*httpkit.Balancer(nil), s.balancers...)
+	s.mu.RUnlock()
+	for _, b := range balancers {
+		b.Drop(srv.Name(), srv.Addr())
+	}
+	// In-stack balancers were just Drop()ed, but external clients (loadgen
+	// -registry, the examples) only pull: they keep picking this replica
+	// until their cached list expires. Keep serving for one balancer TTL so
+	// their stale picks land on an open listener, then wait out the
+	// in-flight work.
+	linger := s.cfg.BalancerCacheTTL
+	if linger <= 0 {
+		linger = httpkit.DefaultBalancerCacheTTL
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(linger):
+	}
+	waitInflightZero(ctx, srv)
+	err := srv.Shutdown(ctx)
+	s.untrack(srv)
+	return err
+}
+
+// waitInflightZero polls a server's in-flight gauge until it has been
+// zero for a short quiet window, giving up when ctx expires (the caller
+// still shuts down — a bounded drain beats a wedged one). The quiet
+// window absorbs picks racing the gauge: a request routed a moment ago
+// has dialed and incremented in-flight well within it.
+func waitInflightZero(ctx context.Context, srv *httpkit.Server) {
+	const quietPolls = 5
+	zeros := 0
+	t := time.NewTicker(2 * time.Millisecond)
+	defer t.Stop()
+	for zeros < quietPolls {
+		if srv.Inflight() > 0 {
+			zeros = 0
+		} else {
+			zeros++
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// Autoscaler exposes the reconciler when Config.Autoscale was set, nil
+// otherwise.
+func (s *Stack) Autoscaler() *scalectl.Controller { return s.autoscaler }
 
 // SetChaos installs (or, with a zero config, removes) fault injection on
 // every replica of one service mid-run — the hook the chaos harness uses
@@ -459,10 +707,11 @@ func (s *Stack) SetReplicaChaos(service string, index int, cfg httpkit.ChaosConf
 	return nil
 }
 
-// StopService gracefully stops every replica of one service, simulating a
-// backend outage while the rest of the stack keeps serving. Each replica
-// is deregistered first so the routing plane drops it immediately instead
-// of when its lease expires.
+// StopService stops every replica of one service, simulating a backend
+// outage while the rest of the stack keeps serving. Each replica is
+// deregistered first so the routing plane drops it immediately instead
+// of when its lease expires — but unlike ScaleDown there is no drain:
+// an outage does not wait for in-flight work.
 func (s *Stack) StopService(ctx context.Context, service string) error {
 	replicas := s.serversOf(service)
 	if len(replicas) == 0 {
@@ -474,20 +723,26 @@ func (s *Stack) StopService(ctx context.Context, service string) error {
 		if err := srv.Shutdown(ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		s.untrack(srv)
 	}
 	return firstErr
 }
 
-// StopReplica gracefully stops one replica of a service, deregistering it
-// immediately, while its siblings keep serving — the mid-run kill the
-// balancer + breaker failover path is built for.
+// StopReplica gracefully removes one replica of a service while its
+// siblings keep serving: deregister, push the removal into the routing
+// caches, drain in-flight work (bounded by ctx), then close. Use
+// SetReplicaChaos or StopService to simulate failures — this is the
+// planned path, and planned removals should not fail requests. The
+// historical bug here was closing the listener immediately after
+// deregistering: requests already admitted (or picked from a still-warm
+// balancer cache) died mid-flight, so every planned scale-down showed a
+// spike of spurious failures.
 func (s *Stack) StopReplica(ctx context.Context, service string, index int) error {
 	srv, err := s.replica(service, index)
 	if err != nil {
 		return err
 	}
-	s.deregister(srv)
-	return srv.Shutdown(ctx)
+	return s.drainAndStop(ctx, srv)
 }
 
 // deregister removes one server's registration so lookups stop routing to
@@ -502,10 +757,16 @@ func (s *Stack) deregister(srv *httpkit.Server) {
 // Registry exposes the in-process registry.
 func (s *Stack) Registry() *registry.Registry { return s.reg }
 
-// Shutdown deregisters and stops every server. Deregistering first means
-// a half-stopped stack never advertises replicas that no longer answer —
+// Shutdown stops the control loops, then deregisters and stops every
+// server. The reconciler is stopped first so it cannot add replicas to a
+// stack that is going away. Deregistering before closing means a
+// half-stopped stack never advertises replicas that no longer answer —
 // without it a stopped instance stays routable until its lease expires.
 func (s *Stack) Shutdown(ctx context.Context) {
+	if s.stopCtl != nil {
+		s.stopCtl()
+		s.stopCtl = nil
+	}
 	if s.stopHB != nil {
 		s.stopHB()
 		s.stopHB = nil
@@ -513,10 +774,11 @@ func (s *Stack) Shutdown(ctx context.Context) {
 	if s.stopSwp != nil {
 		s.stopSwp()
 	}
-	for _, srv := range s.servers {
+	live := s.liveServers()
+	for _, srv := range live {
 		s.deregister(srv)
 	}
-	for _, srv := range s.servers {
+	for _, srv := range live {
 		_ = srv.Shutdown(ctx)
 	}
 }
