@@ -1,0 +1,235 @@
+// Command crossval cross-validates the simulator against the real
+// stack: it boots TeaStore in-process, runs the same load × replica
+// scale-up sweep in the real world (scalectl characterizer) and the
+// simulated one (desim/simcpu, with exact MVA as an analytic witness),
+// calibrates the simulator's demands from the measured busy shares, and
+// gates shape agreement — knee replica counts, saturation ordering,
+// normalized curve error — writing the verdict to CROSSVAL.json.
+//
+// Usage:
+//
+//	crossval [-quick] [-out CROSSVAL.json] [-tolerance 0.30]
+//	         [-calibrate-only] [-real-report SCALEUP.json]
+//	         [-loads 16,32] [-max-replicas 3] [-step 4s]
+//	         [-summary summary.md] [-seed 1] [-host 127.0.0.1]
+//
+// -quick compresses the sweep for CI (small catalog, 1s steps); drop it
+// for measurement-grade curves. -real-report skips the live sweep and
+// evaluates the simulator against an existing characterization report —
+// the sweep conditions recorded there must match the scenario.
+// The exit status is the verdict: 0 pass, 1 fail.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/crossval"
+	"repro/internal/db"
+	"repro/internal/scalectl"
+	"repro/internal/teastore"
+)
+
+func main() {
+	out := flag.String("out", "CROSSVAL.json", "verdict output path")
+	quick := flag.Bool("quick", false, "compressed sweep for CI (small catalog, short steps)")
+	tolerance := flag.Float64("tolerance", 0, "normalized curve-RMSE tolerance (default 0.30)")
+	residualTol := flag.Float64("residual-tolerance", 0, "calibration residual tolerance (default 0.15)")
+	calibrateOnly := flag.Bool("calibrate-only", false, "stop after calibration: report the demand fit and residual, skip the sweep comparison")
+	realReport := flag.String("real-report", "", "evaluate against an existing SCALEUP-style report instead of sweeping live")
+	loadsSpec := flag.String("loads", "", "comma-separated closed-loop populations (default 16,32)")
+	maxReplicas := flag.Int("max-replicas", 0, "replica counts swept per service (default 3)")
+	step := flag.Duration("step", 0, "measured window per real sweep cell (default 4s; quick 1s)")
+	summary := flag.String("summary", "", "also write a markdown agreement table to this path")
+	seed := flag.Int64("seed", 1, "seed for catalog, load, and simulation streams")
+	host := flag.String("host", "127.0.0.1", "address to bind service listeners on")
+	flag.Parse()
+
+	scenario := crossval.QuickScenario()
+	if *loadsSpec != "" {
+		loads, err := parseLoads(*loadsSpec)
+		if err != nil {
+			fatal(2, err)
+		}
+		scenario.Loads = loads
+	}
+	if *maxReplicas > 0 {
+		scenario.MaxReplicas = *maxReplicas
+	}
+
+	catalog := db.GenerateSpec{
+		Categories: 6, ProductsPerCategory: 100, Users: 100, SeedOrders: 400, Seed: *seed,
+	}
+	stepDur := 4 * time.Second
+	if *quick {
+		catalog = db.GenerateSpec{
+			Categories: 2, ProductsPerCategory: 10, Users: 8, SeedOrders: 40, Seed: *seed,
+		}
+		stepDur = time.Second
+	}
+	if *step > 0 {
+		stepDur = *step
+	}
+
+	cfg := crossval.Config{
+		Scenario: scenario,
+		Tolerances: crossval.Tolerances{
+			CurveNRMSE: *tolerance,
+			Residual:   *residualTol,
+		},
+		Seed:          *seed,
+		StepDuration:  stepDur,
+		CatalogUsers:  catalog.Users,
+		CalibrateOnly: *calibrateOnly,
+		Log: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var report *crossval.Report
+	var err error
+	if *realReport != "" {
+		real, lerr := scalectl.LoadReport(*realReport)
+		if lerr != nil {
+			fatal(1, lerr)
+		}
+		fmt.Printf("evaluating simulator against %s\n", *realReport)
+		report, err = crossval.Evaluate(real, cfg)
+	} else {
+		stack, serr := teastore.Start(teastore.Config{
+			Host:               *host,
+			Catalog:            catalog,
+			ServiceMaxInflight: scenario.Caps,
+			Chaos:              scenario.ChaosConfig(),
+		})
+		if serr != nil {
+			fatal(1, serr)
+		}
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			stack.Shutdown(sctx)
+		}()
+		fmt.Printf("cross-validating scenario %q: services %v, loads %v, replicas 1..%d, %s per real cell\n",
+			scenario.Name, scenario.Services, scenario.Loads, scenario.MaxReplicas, stepDur)
+		report, err = crossval.Run(ctx, stack, cfg)
+	}
+	if err != nil {
+		fatal(1, err)
+	}
+	if err := report.WriteFile(*out); err != nil {
+		fatal(1, err)
+	}
+
+	printReport(report)
+	if *summary != "" {
+		if err := os.WriteFile(*summary, []byte(markdownSummary(report)), 0o644); err != nil {
+			fatal(1, err)
+		}
+	}
+	fmt.Printf("\nwrote %s\n", *out)
+	if !report.Verdict.Pass {
+		os.Exit(1)
+	}
+}
+
+func printReport(r *crossval.Report) {
+	cal := r.Calibration
+	fmt.Printf("\ncalibration: T=%.2fms anchored on %s (W=%d, measured %.1f rps at r=1), residual %.4f\n",
+		cal.TotalDemandMs, cal.AnchorService, cal.AnchorWorkers, cal.AnchorRPS, cal.Residual)
+	fmt.Println("  demand factors vs default specs:")
+	for _, svc := range orderedKeys(cal.Factors) {
+		fmt.Printf("    %-12s ×%-8.3f (target share %5.1f%%, achieved %5.1f%%)\n",
+			svc, cal.Factors[svc], 100*cal.TargetShares[svc], 100*cal.AchievedShares[svc])
+	}
+	if r.Mode != "calibrate-only" {
+		fmt.Println("\nshape agreement:")
+		for _, s := range r.Services {
+			fmt.Printf("  %-12s knee real/sim/mva %d/%d/%d  gain real/sim %.2fx/%.2fx  NRMSE %.3f\n",
+				s.Service, s.RealKnee, s.SimKnee, s.MVAKnee, s.RealMaxGain, s.SimMaxGain, s.CurveNRMSE)
+		}
+		fmt.Printf("  saturation ordering: real %v, sim %v\n", r.RealOrdering, r.SimOrdering)
+	}
+	fmt.Println("\nverdict checks:")
+	for _, c := range r.Verdict.Checks {
+		mark := "PASS"
+		if !c.OK {
+			mark = "FAIL"
+		}
+		fmt.Printf("  [%s] %-22s %s\n", mark, c.Name, c.Detail)
+	}
+	if r.Verdict.Pass {
+		fmt.Println("\nverdict: PASS — simulated and measured scale-up shapes agree")
+	} else {
+		fmt.Println("\nverdict: FAIL — shape divergence between simulator and measurement")
+	}
+}
+
+// markdownSummary renders the agreement table for CI job summaries.
+func markdownSummary(r *crossval.Report) string {
+	var b strings.Builder
+	verdict := "✅ PASS"
+	if !r.Verdict.Pass {
+		verdict = "❌ FAIL"
+	}
+	fmt.Fprintf(&b, "## Sim↔real cross-validation: %s\n\n", verdict)
+	fmt.Fprintf(&b, "Scenario `%s`, loads %v, replicas 1..%d. Calibration anchored on `%s` (W=%d, %.1f rps): total demand %.2f ms, residual %.4f.\n\n",
+		r.Scenario, r.Loads, r.MaxReplicas,
+		r.Calibration.AnchorService, r.Calibration.AnchorWorkers, r.Calibration.AnchorRPS,
+		r.Calibration.TotalDemandMs, r.Calibration.Residual)
+	if len(r.Services) > 0 {
+		b.WriteString("| service | knee real | knee sim | knee mva | gain real | gain sim | curve NRMSE |\n")
+		b.WriteString("|---|---|---|---|---|---|---|\n")
+		for _, s := range r.Services {
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %.2fx | %.2fx | %.3f |\n",
+				s.Service, s.RealKnee, s.SimKnee, s.MVAKnee, s.RealMaxGain, s.SimMaxGain, s.CurveNRMSE)
+		}
+		fmt.Fprintf(&b, "\nSaturation ordering: real `%v`, sim `%v`.\n\n", r.RealOrdering, r.SimOrdering)
+	}
+	b.WriteString("| check | result | detail |\n|---|---|---|\n")
+	for _, c := range r.Verdict.Checks {
+		mark := "✅"
+		if !c.OK {
+			mark = "❌"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s |\n", c.Name, mark, c.Detail)
+	}
+	return b.String()
+}
+
+func orderedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func parseLoads(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -loads element %q, want positive integer", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, "crossval:", err)
+	os.Exit(code)
+}

@@ -1,0 +1,122 @@
+package crossval_test
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/crossval"
+	"repro/internal/db"
+	"repro/internal/teastore"
+)
+
+// TestQuickSweepEndToEnd is the crossval acceptance suite: boot the real
+// stack in-process under the quick scenario (webui worker-capped with
+// injected latency, image as flat control), run the full pipeline —
+// real characterization sweep, demand calibration, simulated sweep, MVA
+// witness, shape comparison — and fail the build if the worlds diverge.
+// The steps are shorter than cmd/crossval's quick mode to keep the test
+// in CI budget, which is exactly the noise regime the tolerance gates
+// are sized for.
+func TestQuickSweepEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation sweep is multi-second")
+	}
+	if raceEnabled {
+		t.Skip("race detector slows the real stack ~10×; measured curves are noise and the shape gates rightly fail")
+	}
+	scenario := crossval.QuickScenario()
+	st, err := teastore.Start(teastore.Config{
+		Catalog: db.GenerateSpec{
+			Categories: 2, ProductsPerCategory: 10, Users: 8, SeedOrders: 40, Seed: 5,
+		},
+		ServiceMaxInflight: scenario.Caps,
+		Chaos:              scenario.ChaosConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		st.Shutdown(ctx)
+	})
+
+	cfg := crossval.Config{
+		Scenario:     scenario,
+		Seed:         5,
+		StepDuration: 700 * time.Millisecond,
+		Warmup:       150 * time.Millisecond,
+		Settle:       200 * time.Millisecond,
+		CatalogUsers: 8,
+		Log:          t.Logf,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := crossval.Run(ctx, st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Report integrity before the verdict: both scenario services
+	// compared, full curves from both worlds, calibration recorded.
+	if rep.Scenario != scenario.Name || rep.Mode != "sweep" {
+		t.Fatalf("report header %q/%q, want %q/sweep", rep.Scenario, rep.Mode, scenario.Name)
+	}
+	if len(rep.Services) != len(scenario.Services) {
+		t.Fatalf("compared %d services, want %d", len(rep.Services), len(scenario.Services))
+	}
+	cells := scenario.MaxReplicas * len(scenario.Loads)
+	for _, s := range rep.Services {
+		if len(s.RealCurve) != cells || len(s.SimCurve) != cells {
+			t.Fatalf("%s: real/sim curves have %d/%d points, want %d",
+				s.Service, len(s.RealCurve), len(s.SimCurve), cells)
+		}
+	}
+	if rep.Calibration.AnchorService != "webui" || len(rep.Calibration.Factors) == 0 {
+		t.Fatalf("calibration incomplete: %+v", rep.Calibration)
+	}
+
+	// The gate itself: shape divergence between the simulated and
+	// measured sweeps fails this suite.
+	if !rep.Verdict.Pass {
+		for _, c := range rep.Verdict.Checks {
+			if !c.OK {
+				t.Errorf("check %s failed: %s", c.Name, c.Detail)
+			}
+		}
+		t.Fatal("shape divergence between simulator and measured stack")
+	}
+
+	// The capped service must visibly profit from replicas in the real
+	// world — otherwise the scenario isn't exercising scale-up at all
+	// and the agreement above is vacuous.
+	for _, s := range rep.Services {
+		if s.Service == "webui" && s.RealKnee < 2 {
+			t.Fatalf("webui real knee %d: capped service did not profit from replicas", s.RealKnee)
+		}
+	}
+
+	// Round-trip: the written verdict must survive its own strict loader.
+	path := filepath.Join(t.TempDir(), "CROSSVAL.json")
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := crossval.LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Scenario != rep.Scenario || loaded.Verdict.Pass != rep.Verdict.Pass {
+		t.Fatalf("round-trip mismatch: %q/%v vs %q/%v",
+			loaded.Scenario, loaded.Verdict.Pass, rep.Scenario, rep.Verdict.Pass)
+	}
+
+	// The sweep must hand the stack back scaled down to one replica per
+	// service — a leaked replica would poison later tests on this stack.
+	for _, svc := range scenario.Services {
+		if n := len(st.ReplicaURLs(svc)); n != 1 {
+			t.Fatalf("%s left at %d replicas after sweep", svc, n)
+		}
+	}
+}

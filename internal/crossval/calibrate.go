@@ -1,0 +1,273 @@
+package crossval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/desim"
+	"repro/internal/scalectl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Calibrate fits the simulator's per-service demands to the real
+// sweep's measurements, in three steps:
+//
+//  1. Target shares. The characterizer's measuredShares are wall-clock
+//     busy fractions, and webui's includes the time it spends waiting on
+//     downstream calls — which the downstream services' own shares
+//     already count. Subtracting the downstream sum from webui yields
+//     exclusive shares comparable to the simulator's CPU busy shares.
+//     The registry is excluded: the simulator models it as heartbeat
+//     background work, not request demand.
+//
+//  2. Absolute anchor. Shares fix only the demand *vector*'s direction;
+//     the scale comes from the capped anchor service's saturation law.
+//     With W workers per replica and a measured one-replica saturated
+//     throughput X, each request holds a worker for T = W/X seconds —
+//     in both worlds, because the simulated WebUI holds its worker
+//     across the downstream fan-out exactly like the real synchronous
+//     servlet. Per-service demands are then d_s = share_s × T.
+//
+//  3. Factors. Each service's default-spec demand is scaled by
+//     k_s = d_s / baseline_s, where baseline_s is the mix-weighted mean
+//     demand of the default request specs, so the calibrated specs keep
+//     their per-request structure (fan-out, payloads, relative request
+//     weights) while matching the measured per-service demand vector.
+//
+// The returned residual is honest: it comes from running the calibrated
+// simulator once at the scenario's conditions and comparing its
+// *achieved* busy shares against the target — so everything calibration
+// cannot control (RPC serialization taxes, heartbeats, SMT and memory
+// effects, worker-pool queueing) counts against the fit.
+func Calibrate(real *scalectl.Report, cfg Config) (Calibration, map[workload.Request]sim.RequestSpec, error) {
+	cfg = cfg.withDefaults()
+	if len(real.MeasuredShares) == 0 {
+		return Calibration{}, nil, fmt.Errorf("crossval: real report has no measured shares to calibrate from")
+	}
+
+	cal := Calibration{TargetShares: targetShares(real.MeasuredShares)}
+
+	// Mix-weighted baseline demands of the default specs.
+	mix := mixFractions(real, cfg)
+	specs := sim.DefaultRequestSpecs()
+	baseline := map[string]float64{}
+	var baselineTotal float64
+	for _, svc := range sim.AllServices() {
+		if svc == sim.Registry {
+			continue
+		}
+		var d float64
+		for req, frac := range mix {
+			d += frac * specs[req].DemandOn(svc).Seconds()
+		}
+		baseline[svc.String()] = d
+		baselineTotal += d
+	}
+	cal.BaselineShares = map[string]float64{}
+	for svc, d := range baseline {
+		if baselineTotal > 0 {
+			cal.BaselineShares[svc] = d / baselineTotal
+		}
+	}
+
+	// Absolute anchor: T = W/X from the capped service's one-replica
+	// saturated throughput. Without a capped service the default specs'
+	// own total demand keeps the absolute scale.
+	totalDemand := baselineTotal
+	anchorSvc, anchorW := cfg.Scenario.anchor()
+	if anchorSvc != "" {
+		curve := realCurveFor(real, anchorSvc)
+		if curve == nil {
+			return Calibration{}, nil, fmt.Errorf("crossval: anchor service %s missing from real report", anchorSvc)
+		}
+		maxLoad := cfg.Scenario.Loads[len(cfg.Scenario.Loads)-1]
+		x := 0.0
+		for _, p := range curve.Points {
+			if p.Replicas == 1 && p.Load == maxLoad {
+				x = p.Throughput
+			}
+		}
+		if x <= 0 {
+			return Calibration{}, nil, fmt.Errorf("crossval: anchor %s measured no throughput at r=1 load=%d", anchorSvc, maxLoad)
+		}
+		cal.AnchorService = anchorSvc
+		cal.AnchorWorkers = anchorW
+		cal.AnchorRPS = x
+		totalDemand = float64(anchorW) / x
+	}
+	cal.TotalDemandMs = totalDemand * 1e3
+
+	// Per-service factors, floored so no service's demand collapses to
+	// zero (a zero-demand service would vanish from the simulated fan-out
+	// rather than just being cheap).
+	cal.Factors = map[string]float64{}
+	for svc, b := range baseline {
+		if b <= 0 {
+			continue
+		}
+		k := cal.TargetShares[svc] * totalDemand / b
+		if k < 1e-3 {
+			k = 1e-3
+		}
+		cal.Factors[svc] = k
+	}
+
+	calibrated := scaleSpecs(specs, cal.Factors)
+
+	// Verification run: measure what the calibrated simulator actually
+	// does under the scenario's caps at the top load, one replica each.
+	res, err := simRun(cfg, calibrated, "", 1, cfg.Scenario.Loads[len(cfg.Scenario.Loads)-1])
+	if err != nil {
+		return Calibration{}, nil, fmt.Errorf("crossval: calibration verification run: %w", err)
+	}
+	cal.AchievedShares = map[string]float64{}
+	var achievedTotal float64
+	for _, st := range res.Services {
+		if st.Service == sim.Registry {
+			continue
+		}
+		achievedTotal += st.BusyCores
+	}
+	for _, st := range res.Services {
+		if st.Service == sim.Registry || achievedTotal <= 0 {
+			continue
+		}
+		cal.AchievedShares[st.Service.String()] = st.BusyCores / achievedTotal
+	}
+	cal.Residual = shareResidual(cal.TargetShares, cal.AchievedShares)
+	return cal, calibrated, nil
+}
+
+// targetShares corrects the measured wall-clock shares into exclusive
+// busy shares: webui's downstream wait is subtracted (it is double
+// counted in the downstream services' own busy time) and the registry is
+// dropped, then the remainder renormalizes.
+func targetShares(measured map[string]float64) map[string]float64 {
+	var downstream float64
+	for svc, sh := range measured {
+		if svc != "webui" && svc != "registry" {
+			downstream += sh
+		}
+	}
+	corrected := map[string]float64{}
+	var total float64
+	for svc, sh := range measured {
+		switch svc {
+		case "registry":
+			continue
+		case "webui":
+			excl := sh - downstream
+			// A webui share at or below its downstream sum means the
+			// exclusive part is lost in measurement noise; keep a sliver
+			// so webui stays in the demand vector.
+			if excl < 0.05*sh {
+				excl = 0.05 * sh
+			}
+			corrected[svc] = excl
+		default:
+			corrected[svc] = sh
+		}
+		total += corrected[svc]
+	}
+	if total <= 0 {
+		return corrected
+	}
+	for svc := range corrected {
+		corrected[svc] /= total
+	}
+	return corrected
+}
+
+// mixFractions returns the request mix the sweep actually drove — from
+// the report's measured counts when present, else sampled from the
+// scenario profile.
+func mixFractions(real *scalectl.Report, cfg Config) map[workload.Request]float64 {
+	out := map[workload.Request]float64{}
+	var total int64
+	for _, req := range workload.AllRequests() {
+		total += real.MixCounts[req.String()]
+	}
+	if total > 0 {
+		for _, req := range workload.AllRequests() {
+			out[req] = float64(real.MixCounts[req.String()]) / float64(total)
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	mix := cfg.Scenario.Profile.Mix(rng, 2000)
+	for _, req := range workload.AllRequests() {
+		out[req] = mix[req]
+	}
+	return out
+}
+
+// scaleSpecs deep-copies the request specs with each service's demand
+// multiplied by its factor (absent factor means unchanged).
+func scaleSpecs(specs map[workload.Request]sim.RequestSpec, factors map[string]float64) map[workload.Request]sim.RequestSpec {
+	factor := func(s sim.Service) float64 {
+		if k, ok := factors[s.String()]; ok {
+			return k
+		}
+		return 1
+	}
+	out := make(map[workload.Request]sim.RequestSpec, len(specs))
+	for req, spec := range specs {
+		c := spec
+		kw := factor(sim.WebUI)
+		c.Pre = scaleDemand(spec.Pre, kw)
+		c.Post = scaleDemand(spec.Post, kw)
+		c.Parallel = scaleOps(spec.Parallel, factor)
+		c.Sequential = scaleOps(spec.Sequential, factor)
+		out[req] = c
+	}
+	return out
+}
+
+func scaleOps(ops []sim.Op, factor func(sim.Service) float64) []sim.Op {
+	if ops == nil {
+		return nil
+	}
+	out := make([]sim.Op, len(ops))
+	copy(out, ops)
+	for i := range out {
+		out[i].Demand = scaleDemand(out[i].Demand, factor(out[i].Target))
+	}
+	return out
+}
+
+func scaleDemand(d desim.Duration, k float64) desim.Duration {
+	scaled := desim.Duration(float64(d) * k)
+	if d > 0 && scaled < 1 {
+		scaled = 1 // keep a nonzero demand so the op still executes
+	}
+	return scaled
+}
+
+// shareResidual is the RMS distance between two share vectors over the
+// union of their services.
+func shareResidual(target, achieved map[string]float64) float64 {
+	union := map[string]bool{}
+	for svc := range target {
+		union[svc] = true
+	}
+	for svc := range achieved {
+		union[svc] = true
+	}
+	if len(union) == 0 {
+		return 0
+	}
+	names := make([]string, 0, len(union))
+	for svc := range union {
+		names = append(names, svc)
+	}
+	sort.Strings(names)
+	var sum float64
+	for _, svc := range names {
+		d := target[svc] - achieved[svc]
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(names)))
+}

@@ -1,0 +1,241 @@
+package crossval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/scalectl"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+func TestTargetSharesCorrectsWebUIDoubleCount(t *testing.T) {
+	measured := map[string]float64{
+		"webui": 0.70, "auth": 0.10, "image": 0.15, "registry": 0.05,
+	}
+	got := targetShares(measured)
+	if _, ok := got["registry"]; ok {
+		t.Fatal("registry must be excluded from target shares")
+	}
+	// Downstream sum 0.25 is double counted inside webui's wall-clock
+	// share: exclusive webui is 0.45, renormalized over 0.70.
+	want := map[string]float64{
+		"webui": 0.45 / 0.70, "auth": 0.10 / 0.70, "image": 0.15 / 0.70,
+	}
+	var sum float64
+	for svc, w := range want {
+		if math.Abs(got[svc]-w) > 1e-9 {
+			t.Fatalf("%s share = %v, want %v", svc, got[svc], w)
+		}
+	}
+	for _, v := range got {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", sum)
+	}
+}
+
+func TestTargetSharesFloorsVanishingWebUI(t *testing.T) {
+	// Downstream busy exceeds webui's own share — arithmetic would push
+	// webui's exclusive share negative; the floor keeps it a sliver.
+	measured := map[string]float64{"webui": 0.30, "auth": 0.35, "image": 0.35}
+	got := targetShares(measured)
+	if got["webui"] <= 0 {
+		t.Fatalf("webui share %v, want positive floor", got["webui"])
+	}
+	if got["webui"] >= got["auth"] {
+		t.Fatalf("floored webui share %v should stay below downstream %v", got["webui"], got["auth"])
+	}
+}
+
+func TestScaleSpecsScalesPerService(t *testing.T) {
+	specs := sim.DefaultRequestSpecs()
+	out := scaleSpecs(specs, map[string]float64{"webui": 2, "auth": 0.5})
+	for req, spec := range specs {
+		scaled := out[req]
+		if scaled.Pre != 2*spec.Pre || scaled.Post != 2*spec.Post {
+			t.Fatalf("%v: webui demand not doubled: %v/%v vs %v/%v",
+				req, scaled.Pre, scaled.Post, spec.Pre, spec.Post)
+		}
+		for i, op := range spec.Parallel {
+			checkOpScaled(t, op, scaled.Parallel[i])
+		}
+		for i, op := range spec.Sequential {
+			checkOpScaled(t, op, scaled.Sequential[i])
+		}
+	}
+	// The originals must be untouched (deep copy, not aliasing).
+	fresh := sim.DefaultRequestSpecs()
+	for req, spec := range specs {
+		if spec.Pre != fresh[req].Pre {
+			t.Fatalf("%v: scaleSpecs mutated its input", req)
+		}
+		for i, op := range spec.Parallel {
+			if op.Demand != fresh[req].Parallel[i].Demand {
+				t.Fatalf("%v: scaleSpecs mutated parallel op %d", req, i)
+			}
+		}
+	}
+	// A collapsing factor floors at one nanosecond instead of zeroing the
+	// op out of existence.
+	floored := scaleSpecs(specs, map[string]float64{"auth": 1e-12})
+	for req, spec := range floored {
+		for _, op := range append(append([]sim.Op{}, spec.Parallel...), spec.Sequential...) {
+			if op.Target == sim.Auth && op.Demand < 1 {
+				t.Fatalf("%v: auth op demand %v collapsed to zero", req, op.Demand)
+			}
+		}
+	}
+}
+
+func checkOpScaled(t *testing.T, orig, scaled sim.Op) {
+	t.Helper()
+	want := orig.Demand
+	if orig.Target == sim.Auth {
+		want = orig.Demand / 2
+	}
+	if scaled.Demand != want {
+		t.Fatalf("op on %v: demand %v, want %v", orig.Target, scaled.Demand, want)
+	}
+	if scaled.Payload != orig.Payload || scaled.Target != orig.Target {
+		t.Fatalf("op on %v: non-demand fields changed", orig.Target)
+	}
+}
+
+// syntheticReport builds a real-world report with a chosen webui curve,
+// as if the characterizer had measured it.
+func syntheticReport(points []scalectl.CurvePoint, knee int, maxGain float64) *scalectl.Report {
+	return &scalectl.Report{
+		LoadLevels:   []int{24},
+		MaxReplicas:  3,
+		StepDuration: "1s",
+		KneeGainFrac: 0.10,
+		Services: []scalectl.ServiceCurve{{
+			Service: "webui", Replicable: true, Knee: knee, MaxGain: maxGain, Points: points,
+		}},
+		MeasuredShares: map[string]float64{
+			"webui": 0.97, "auth": 0.01, "persistence": 0.01, "image": 0.01,
+		},
+	}
+}
+
+// divergenceConfig is a fast scenario: webui capped at 2 workers, one
+// load level, short simulated windows on the small machine.
+func divergenceConfig() Config {
+	return Config{
+		Scenario: Scenario{
+			Name:        "divergence-test",
+			Services:    []string{"webui"},
+			Caps:        map[string]int{"webui": 2},
+			Loads:       []int{24},
+			MaxReplicas: 3,
+			ThinkScale:  0.02,
+			Profile:     workload.Browse(),
+		},
+		Seed:       3,
+		SimMachine: topology.Small(),
+		SimWarmup:  100 * time.Millisecond,
+		SimMeasure: 600 * time.Millisecond,
+	}
+}
+
+// TestCalibrateAnchorsOnCappedService checks the absolute fit: with the
+// anchor measuring X rps at one replica and W workers, the fitted total
+// demand must be W/X, and the verification run's residual must be small
+// on a scenario the simulator can express directly.
+func TestCalibrateAnchorsOnCappedService(t *testing.T) {
+	real := syntheticReport([]scalectl.CurvePoint{
+		{Replicas: 1, Load: 24, Throughput: 200},
+		{Replicas: 2, Load: 24, Throughput: 400},
+		{Replicas: 3, Load: 24, Throughput: 580},
+	}, 3, 2.9)
+	cal, specs, err := Calibrate(real, divergenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.AnchorService != "webui" || cal.AnchorWorkers != 2 || cal.AnchorRPS != 200 {
+		t.Fatalf("anchor = %s W=%d X=%v, want webui W=2 X=200",
+			cal.AnchorService, cal.AnchorWorkers, cal.AnchorRPS)
+	}
+	wantT := 2.0 / 200 * 1e3 // ms
+	if math.Abs(cal.TotalDemandMs-wantT) > 1e-9 {
+		t.Fatalf("total demand %.3fms, want %.3fms", cal.TotalDemandMs, wantT)
+	}
+	if len(specs) != workload.NumRequests {
+		t.Fatalf("calibrated specs cover %d requests, want %d", len(specs), workload.NumRequests)
+	}
+	if cal.Residual < 0 || cal.Residual > 0.2 {
+		t.Fatalf("residual %.4f outside sane range for an expressible scenario", cal.Residual)
+	}
+	for svc, k := range cal.Factors {
+		if k <= 0 {
+			t.Fatalf("factor for %s is %v", svc, k)
+		}
+	}
+}
+
+// TestEvaluateFlagsShapeDivergence feeds Evaluate a measured world whose
+// webui curve *decreases* with replicas while the calibrated simulator —
+// whose worker pool genuinely profits from replicas — scales. The
+// verdict must fail on the knee and curve gates: this is the harness's
+// reason to exist, so a quiet pass here would mean the gate is dead.
+func TestEvaluateFlagsShapeDivergence(t *testing.T) {
+	real := syntheticReport([]scalectl.CurvePoint{
+		{Replicas: 1, Load: 24, Throughput: 200},
+		{Replicas: 2, Load: 24, Throughput: 150},
+		{Replicas: 3, Load: 24, Throughput: 120},
+	}, 1, 1)
+	rep, err := Evaluate(real, divergenceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict.Pass {
+		t.Fatalf("verdict passed on diverging shapes: %+v", rep.Verdict.Checks)
+	}
+	failed := map[string]bool{}
+	for _, c := range rep.Verdict.Checks {
+		if !c.OK {
+			failed[c.Name] = true
+		}
+	}
+	if !failed["knee:webui"] {
+		t.Fatalf("knee gate did not fire; failed checks: %v", failed)
+	}
+	if !failed["curve:webui"] {
+		t.Fatalf("curve gate did not fire; failed checks: %v", failed)
+	}
+	if len(rep.Services) != 1 || rep.Services[0].SimKnee < rep.Services[0].RealKnee+2 {
+		t.Fatalf("expected the simulator to scale past the measured knee: %+v", rep.Services)
+	}
+}
+
+// TestEvaluateCalibrateOnly stops after the demand fit: no sweep runs,
+// and only the residual is gated.
+func TestEvaluateCalibrateOnly(t *testing.T) {
+	real := syntheticReport([]scalectl.CurvePoint{
+		{Replicas: 1, Load: 24, Throughput: 200},
+		{Replicas: 2, Load: 24, Throughput: 400},
+		{Replicas: 3, Load: 24, Throughput: 580},
+	}, 3, 2.9)
+	cfg := divergenceConfig()
+	cfg.CalibrateOnly = true
+	rep, err := Evaluate(real, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "calibrate-only" {
+		t.Fatalf("mode %q, want calibrate-only", rep.Mode)
+	}
+	if len(rep.Services) != 0 {
+		t.Fatal("calibrate-only report carries sweep comparisons")
+	}
+	if len(rep.Verdict.Checks) != 1 || rep.Verdict.Checks[0].Name != "calibration-residual" {
+		t.Fatalf("calibrate-only checks = %+v, want only the residual gate", rep.Verdict.Checks)
+	}
+	if !rep.Verdict.Pass {
+		t.Fatalf("residual gate failed: %+v", rep.Verdict.Checks)
+	}
+}

@@ -1,0 +1,95 @@
+package crossval
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NRMSE computes the normalized root-mean-square error between two
+// throughput surfaces over their shared (replicas, load) cells, each
+// surface scaled by its own peak throughput first. Absolute rates in
+// the two worlds are incomparable (wall clock vs virtual time, real
+// scheduler noise vs modeled demand), so only normalized shape is
+// scored: 0 means the curves bend identically, 1 means they disagree by
+// the full dynamic range. Surfaces with no shared cells or an
+// all-zero side score 1 (maximally disagreeing) rather than vacuously 0.
+func NRMSE(a, b []Point) float64 {
+	peak := func(ps []Point) float64 {
+		var m float64
+		for _, p := range ps {
+			if p.RPS > m {
+				m = p.RPS
+			}
+		}
+		return m
+	}
+	pa, pb := peak(a), peak(b)
+	if pa <= 0 || pb <= 0 {
+		return 1
+	}
+	bv := map[[2]int]float64{}
+	for _, p := range b {
+		bv[[2]int{p.Replicas, p.Load}] = p.RPS / pb
+	}
+	var sum float64
+	n := 0
+	for _, p := range a {
+		nb, ok := bv[[2]int{p.Replicas, p.Load}]
+		if !ok {
+			continue
+		}
+		d := p.RPS/pa - nb
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// OrderingOf ranks services by max gain, most scaling-hungry first;
+// exact ties break alphabetically so the ordering is deterministic.
+func OrderingOf(gains map[string]float64) []string {
+	out := make([]string, 0, len(gains))
+	for svc := range gains {
+		out = append(out, svc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if gains[out[i]] != gains[out[j]] {
+			return gains[out[i]] > gains[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// OrderingAgrees reports whether two worlds rank services' scaling
+// appetite compatibly: a violation is a strict inversion, where one
+// world says a clearly out-gains b (by more than eps) and the other
+// says the opposite. Pairs within eps of each other in either world are
+// ties and never violate — measured gains jitter, and a gate that flips
+// on near-ties would make CI flaky without measuring anything real.
+func OrderingAgrees(realGains, simGains map[string]float64, eps float64) (bool, []string) {
+	names := make([]string, 0, len(realGains))
+	for svc := range realGains {
+		names = append(names, svc)
+	}
+	sort.Strings(names)
+	var violations []string
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			a, b := names[i], names[j]
+			realAB := realGains[a] - realGains[b]
+			simAB := simGains[a] - simGains[b]
+			if realAB > eps && simAB < -eps {
+				violations = append(violations, fmt.Sprintf("%s>%s real but %s>%s sim", a, b, b, a))
+			}
+			if realAB < -eps && simAB > eps {
+				violations = append(violations, fmt.Sprintf("%s>%s real but %s>%s sim", b, a, a, b))
+			}
+		}
+	}
+	return len(violations) == 0, violations
+}

@@ -1,0 +1,107 @@
+package crossval
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestNRMSE(t *testing.T) {
+	linear := []Point{
+		{Replicas: 1, Load: 8, RPS: 100},
+		{Replicas: 2, Load: 8, RPS: 200},
+		{Replicas: 3, Load: 8, RPS: 300},
+	}
+	cases := []struct {
+		name string
+		a, b []Point
+		want float64
+		tol  float64
+	}{
+		{"identical", linear, linear, 0, 1e-12},
+		{"scaled copy is shape-identical", linear, []Point{
+			{Replicas: 1, Load: 8, RPS: 10},
+			{Replicas: 2, Load: 8, RPS: 20},
+			{Replicas: 3, Load: 8, RPS: 30},
+		}, 0, 1e-12},
+		{"flat vs linear disagrees", linear, []Point{
+			{Replicas: 1, Load: 8, RPS: 250},
+			{Replicas: 2, Load: 8, RPS: 250},
+			{Replicas: 3, Load: 8, RPS: 250},
+		}, math.Sqrt(((1.0/3-1)*(1.0/3-1) + (2.0/3-1)*(2.0/3-1)) / 3), 1e-9},
+		{"no shared cells is max error", linear, []Point{
+			{Replicas: 9, Load: 8, RPS: 100},
+		}, 1, 1e-12},
+		{"zero side is max error", linear, []Point{
+			{Replicas: 1, Load: 8, RPS: 0},
+		}, 1, 1e-12},
+		{"empty sides are max error", nil, nil, 1, 1e-12},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := NRMSE(c.a, c.b)
+			if math.Abs(got-c.want) > c.tol {
+				t.Fatalf("NRMSE = %v, want %v", got, c.want)
+			}
+			// Symmetric when cells match one-to-one.
+			if len(c.a) == len(c.b) {
+				if back := NRMSE(c.b, c.a); math.Abs(back-got) > 1e-12 {
+					t.Fatalf("asymmetric: %v vs %v", got, back)
+				}
+			}
+		})
+	}
+}
+
+func TestOrderingOf(t *testing.T) {
+	gains := map[string]float64{"webui": 2.8, "image": 1.02, "auth": 1.02}
+	got := OrderingOf(gains)
+	want := []string{"webui", "auth", "image"} // tie breaks alphabetically
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ordering %v, want %v", got, want)
+	}
+}
+
+func TestOrderingAgrees(t *testing.T) {
+	cases := []struct {
+		name       string
+		real, sim  map[string]float64
+		eps        float64
+		agree      bool
+		violations int
+	}{
+		{
+			"identical ranking",
+			map[string]float64{"webui": 1.8, "image": 1.0},
+			map[string]float64{"webui": 2.8, "image": 1.0},
+			0.15, true, 0,
+		},
+		{
+			"strict inversion fails",
+			map[string]float64{"webui": 1.8, "image": 1.0},
+			map[string]float64{"webui": 1.0, "image": 1.9},
+			0.15, false, 1,
+		},
+		{
+			"near tie in sim is not an inversion",
+			map[string]float64{"webui": 1.8, "image": 1.0},
+			map[string]float64{"webui": 1.05, "image": 1.1},
+			0.15, true, 0,
+		},
+		{
+			"near tie in real never violates",
+			map[string]float64{"webui": 1.1, "image": 1.0},
+			map[string]float64{"webui": 1.0, "image": 3.0},
+			0.15, true, 0,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			agree, violations := OrderingAgrees(c.real, c.sim, c.eps)
+			if agree != c.agree || len(violations) != c.violations {
+				t.Fatalf("agree=%v violations=%v, want agree=%v with %d violations",
+					agree, violations, c.agree, c.violations)
+			}
+		})
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package crossval_test
+
+const raceEnabled = false

@@ -1,0 +1,11 @@
+//go:build race
+
+package crossval_test
+
+// raceEnabled reports whether the race detector is compiled in. The
+// end-to-end sweep skips under it: the detector slows the real serving
+// path ~10×, which turns the measured curves into noise the shape gates
+// rightly reject — that's the gate working, not a race. Concurrency
+// coverage for this package comes from the determinism tests and the
+// scalectl scrape-hold hammer, which do run under -race.
+const raceEnabled = true

@@ -1,0 +1,142 @@
+package crossval
+
+import (
+	"fmt"
+
+	"repro/internal/desim"
+	"repro/internal/mva"
+	"repro/internal/scalectl"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// simRun executes one simulated cell: the full stack at one replica per
+// service except swept (which gets replicas), under the scenario's
+// worker caps, driven by users closed-loop clients. An empty swept name
+// runs the all-ones baseline used for calibration verification.
+func simRun(cfg Config, specs map[workload.Request]sim.RequestSpec, swept string, replicas, users int) (sim.Result, error) {
+	repl := map[sim.Service]int{}
+	if swept != "" {
+		svc, err := sim.ParseService(swept)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		repl[svc] = replicas
+	}
+	dep := sim.Unpinned(cfg.SimMachine, "crossval-"+cfg.Scenario.Name, repl)
+	for i := range dep.Instances {
+		if w := cfg.Scenario.Caps[dep.Instances[i].Service.String()]; w > 0 {
+			dep.Instances[i].Workers = w
+		}
+	}
+	return sim.Run(sim.Config{
+		Machine:    cfg.SimMachine,
+		Deployment: dep,
+		Workload:   scaledProfile(cfg),
+		Users:      users,
+		Seed:       cfg.Seed,
+		Warmup:     desim.FromStd(cfg.SimWarmup),
+		Measure:    desim.FromStd(cfg.SimMeasure),
+		Requests:   specs,
+	})
+}
+
+// scaledProfile clones the scenario profile with think times compressed
+// by ThinkScale, matching what the real load generator does.
+func scaledProfile(cfg Config) *workload.Profile {
+	p := *cfg.Scenario.Profile
+	p.ThinkMedian = int64(float64(p.ThinkMedian) * cfg.Scenario.ThinkScale)
+	return &p
+}
+
+// SimSweep runs the scenario's load × replica sweep in the simulator
+// with calibrated specs, returning one curve per swept service in
+// scenario order. Knees use the characterizer's definition.
+func SimSweep(cfg Config, specs map[workload.Request]sim.RequestSpec, gainFrac float64) ([]WorldCurve, error) {
+	cfg = cfg.withDefaults()
+	out := make([]WorldCurve, 0, len(cfg.Scenario.Services))
+	for _, svcName := range cfg.Scenario.Services {
+		curve := WorldCurve{Service: svcName, Knee: 1, MaxGain: 1}
+		maxR := cfg.Scenario.MaxReplicas
+		if svcName == "registry" {
+			maxR = 1 // the routing plane does not replicate in either world
+		}
+		peak := make([]float64, 0, maxR)
+		for r := 1; r <= maxR; r++ {
+			var atTop float64
+			for _, load := range cfg.Scenario.Loads {
+				res, err := simRun(cfg, specs, svcName, r, load)
+				if err != nil {
+					return nil, fmt.Errorf("crossval: sim sweep %s r=%d users=%d: %w", svcName, r, load, err)
+				}
+				curve.Points = append(curve.Points, Point{Replicas: r, Load: load, RPS: res.Throughput})
+				atTop = res.Throughput
+				cfg.Log("sim %s r=%d users=%d: %.1f rps", svcName, r, load, res.Throughput)
+			}
+			peak = append(peak, atTop)
+		}
+		curve.Knee, curve.MaxGain = scalectl.KneeOf(peak, gainFrac)
+		out = append(out, curve)
+	}
+	return out, nil
+}
+
+// MVASweep produces the analytic witness: a closed queueing network with
+// the anchor service's worker pool as an m-server station of demand T
+// (the full per-request residence — the worker is held across the
+// downstream fan-out, so downstream time lives inside the station) plus
+// the scenario think time. Scaling the anchor multiplies its servers;
+// scaling an uncapped service leaves the network unchanged, predicting
+// the flat curve the control service should measure. Without an anchor
+// every curve is flat.
+func MVASweep(cfg Config, cal Calibration, gainFrac float64) ([]WorldCurve, error) {
+	cfg = cfg.withDefaults()
+	T := cal.TotalDemandMs / 1e3
+	if T <= 0 {
+		return nil, fmt.Errorf("crossval: calibration has no total demand for the MVA witness")
+	}
+	think := cfg.thinkMeanSeconds()
+	out := make([]WorldCurve, 0, len(cfg.Scenario.Services))
+	for _, svcName := range cfg.Scenario.Services {
+		curve := WorldCurve{Service: svcName, Knee: 1, MaxGain: 1}
+		maxR := cfg.Scenario.MaxReplicas
+		if svcName == "registry" {
+			maxR = 1
+		}
+		peak := make([]float64, 0, maxR)
+		for r := 1; r <= maxR; r++ {
+			servers := cal.AnchorWorkers
+			if servers <= 0 {
+				servers = 1 << 10 // no cap anywhere: effectively a delay station
+			} else if svcName == cal.AnchorService {
+				servers *= r
+			}
+			net := mva.Network{
+				ThinkTime: think,
+				Stations: []mva.Station{
+					{Name: cal.AnchorService + "-pool", Demand: T, Servers: servers},
+				},
+			}
+			maxLoad := 0
+			for _, load := range cfg.Scenario.Loads {
+				if load > maxLoad {
+					maxLoad = load
+				}
+			}
+			results, err := mva.SolveRange(net, maxLoad)
+			if err != nil {
+				return nil, fmt.Errorf("crossval: mva %s r=%d: %w", svcName, r, err)
+			}
+			var atTop float64
+			for _, load := range cfg.Scenario.Loads {
+				x := results[load-1].Throughput
+				curve.Points = append(curve.Points, Point{Replicas: r, Load: load, RPS: x})
+				atTop = x
+			}
+			peak = append(peak, atTop)
+		}
+		curve.Knee, curve.MaxGain = scalectl.KneeOf(peak, gainFrac)
+		out = append(out, curve)
+	}
+	return out, nil
+}

@@ -75,6 +75,27 @@ func (r RNG) Pick(weights []float64) int {
 
 // RNGPool hands out independent named random streams derived from a single
 // master seed.
+//
+// Seed contract: a stream's output is a pure function of (master seed,
+// stream name) — stable across runs, processes, and platforms, because
+// each stream is math/rand's fixed generator seeded with an FNV-1a +
+// splitmix mix of the two. Together with the engine's FIFO tie-break for
+// same-instant events and its single-threaded execution, this makes any
+// model built on the kernel a deterministic function of its master seed:
+// two runs with the same seed produce byte-identical event traces and
+// results. Consequences for model code:
+//
+//   - Request a stream once and keep it; re-requesting the same name
+//     restarts the stream from its beginning.
+//   - Adding a NEW named stream never perturbs draws on existing
+//     streams; renaming a stream, or borrowing draws from another
+//     component's stream, changes every downstream sample.
+//   - Iteration order over maps must never decide draw order; schedule
+//     events instead (the engine fires same-instant events FIFO).
+//
+// The determinism regression test (determinism_test.go) locks the
+// contract in; the cross-validation harness relies on it so simulated
+// sweeps are exactly reproducible from a recorded seed.
 type RNGPool struct {
 	seed uint64
 }

@@ -88,19 +88,32 @@ type Result struct {
 // Solve runs the exact MVA recursion for populations 1..N and returns the
 // solution at N.
 func Solve(net Network, customers int) (Result, error) {
-	if err := net.Validate(); err != nil {
+	all, err := SolveRange(net, customers)
+	if err != nil {
 		return Result{}, err
 	}
-	if customers < 1 {
-		return Result{}, fmt.Errorf("mva: population %d must be ≥ 1", customers)
+	return all[len(all)-1], nil
+}
+
+// SolveRange runs the recursion once and returns the solution at every
+// population 1..maxN (index i holds population i+1). The recursion
+// already visits each intermediate population, so reading off the whole
+// throughput curve — what the cross-validation harness compares against
+// measured and simulated sweeps — costs the same as solving at maxN.
+func SolveRange(net Network, maxN int) ([]Result, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if maxN < 1 {
+		return nil, fmt.Errorf("mva: population %d must be ≥ 1", maxN)
 	}
 	k := len(net.Stations)
 	// Per Seidmann, the queueing part of each station has demand D/m; the
 	// remaining D(m−1)/m is a fixed delay.
 	queue := make([]float64, k) // customers at the queueing part
 	resp := make([]float64, k)  // full per-station response times
-	var x float64
-	for n := 1; n <= customers; n++ {
+	out := make([]Result, 0, maxN)
+	for n := 1; n <= maxN; n++ {
 		total := net.ThinkTime
 		for i, st := range net.Stations {
 			resp[i] = 0
@@ -112,7 +125,7 @@ func Solve(net Network, customers int) (Result, error) {
 			resp[i] = dq*(1+queue[i]) + st.Demand*(m-1)/m
 			total += resp[i]
 		}
-		x = float64(n) / total
+		x := float64(n) / total
 		for i, st := range net.Stations {
 			if st.Demand == 0 {
 				continue
@@ -122,22 +135,23 @@ func Solve(net Network, customers int) (Result, error) {
 			// Only the queueing part's population feeds the recursion.
 			queue[i] = x * dq * (1 + queue[i])
 		}
-	}
-	res := Result{
-		Population:   customers,
-		Throughput:   x,
-		StationQueue: make([]float64, k),
-		Utilization:  make([]float64, k),
-	}
-	for i, st := range net.Stations {
-		res.ResponseTime += resp[i]
-		res.StationQueue[i] = x * resp[i]
-		res.Utilization[i] = x * st.Demand / float64(st.Servers)
-		if res.Utilization[i] > res.Utilization[res.Bottleneck] {
-			res.Bottleneck = i
+		res := Result{
+			Population:   n,
+			Throughput:   x,
+			StationQueue: make([]float64, k),
+			Utilization:  make([]float64, k),
 		}
+		for i, st := range net.Stations {
+			res.ResponseTime += resp[i]
+			res.StationQueue[i] = x * resp[i]
+			res.Utilization[i] = x * st.Demand / float64(st.Servers)
+			if res.Utilization[i] > res.Utilization[res.Bottleneck] {
+				res.Bottleneck = i
+			}
+		}
+		out = append(out, res)
 	}
-	return res, nil
+	return out, nil
 }
 
 // SaturationPopulation returns the classic asymptotic knee

@@ -1,6 +1,7 @@
 package mva
 
 import (
+	"fmt"
 	"math"
 	"testing"
 	"testing/quick"
@@ -155,4 +156,57 @@ func TestPropertyMVABounds(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// SolveRange at population i must agree exactly with Solve(net, i): the
+// range form is the same recursion with intermediate states read off.
+func TestSolveRangeMatchesSolve(t *testing.T) {
+	net := Network{
+		ThinkTime: 0.010,
+		Stations: []Station{
+			{Name: "webui", Demand: 0.012, Servers: 6},
+			{Name: "auth", Demand: 0.002, Servers: 64},
+			{Name: "image", Demand: 0.004, Servers: 64},
+		},
+	}
+	const maxN = 40
+	all, err := SolveRange(net, maxN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != maxN {
+		t.Fatalf("SolveRange returned %d results, want %d", len(all), maxN)
+	}
+	for n := 1; n <= maxN; n++ {
+		one, err := Solve(net, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := all[n-1]
+		if got.Population != n {
+			t.Fatalf("result %d has population %d", n-1, got.Population)
+		}
+		if got.Throughput != one.Throughput || got.ResponseTime != one.ResponseTime {
+			t.Fatalf("n=%d: range (%v, %v) != solve (%v, %v)",
+				n, got.Throughput, got.ResponseTime, one.Throughput, one.ResponseTime)
+		}
+		if got.Bottleneck != one.Bottleneck {
+			t.Fatalf("n=%d: bottleneck %d != %d", n, got.Bottleneck, one.Bottleneck)
+		}
+	}
+	if err := quickRangeErrors(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickRangeErrors checks SolveRange's error paths.
+func quickRangeErrors() error {
+	if _, err := SolveRange(Network{}, 5); err == nil {
+		return fmt.Errorf("SolveRange accepted an empty network")
+	}
+	net := Network{Stations: []Station{{Name: "a", Demand: 0.01, Servers: 1}}}
+	if _, err := SolveRange(net, 0); err == nil {
+		return fmt.Errorf("SolveRange accepted population 0")
+	}
+	return nil
 }

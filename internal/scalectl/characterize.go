@@ -11,6 +11,7 @@ import (
 	"repro/internal/httpkit"
 	"repro/internal/loadgen"
 	"repro/internal/placement"
+	"repro/internal/workload"
 )
 
 // SweepConfig parameterizes a characterization sweep. Zero fields select
@@ -40,6 +41,10 @@ type SweepConfig struct {
 	Settle time.Duration
 	// ThinkScale compresses user think times (0.01).
 	ThinkScale float64
+	// Profile is the user-behaviour model driven against the stack
+	// (workload.Browse() when nil). Cross-validation passes the same
+	// profile to the simulator so both worlds see an identical mix.
+	Profile *workload.Profile
 	// CatalogUsers is how many demo accounts exist (db default).
 	CatalogUsers int
 	// KneeGainFrac is the marginal-throughput fraction below which adding
@@ -123,7 +128,15 @@ type Report struct {
 	// ReferenceShares are the paper-derived demand shares the placement
 	// heuristics use (placement.DefaultShares).
 	ReferenceShares map[string]float64 `json:"referenceShares"`
-	Notes           []string           `json:"notes,omitempty"`
+	// MixCounts is how many requests of each type the sweep actually
+	// completed, summed over every cell — the measured request mix that
+	// calibration weighs per-request demands with. Absent in reports
+	// written before cross-validation existed.
+	MixCounts map[string]int64 `json:"mixCounts,omitempty"`
+	// KneeGainFrac records the marginal-gain threshold the knees were
+	// computed with, so re-derivations use the same definition.
+	KneeGainFrac float64  `json:"kneeGainFrac,omitempty"`
+	Notes        []string `json:"notes,omitempty"`
 }
 
 // WriteFile marshals the report as indented JSON.
@@ -133,6 +146,27 @@ func (r *Report) WriteFile(path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a characterization report back, rejecting unknown
+// fields so consumers notice schema drift instead of silently dropping
+// data.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("scalectl: decoding %s: %w", path, err)
+	}
+	if len(r.Services) == 0 {
+		return nil, fmt.Errorf("scalectl: %s has no service curves", path)
+	}
+	return &r, nil
 }
 
 // Characterize sweeps offered load × replica count for each service on a
@@ -184,16 +218,20 @@ type characterizer struct {
 	// service: their counters disappear with them, but their work belongs
 	// in the measured demand shares.
 	retiredBusy map[string]float64
+	// mixCounts accumulates completed requests by type across all cells.
+	mixCounts map[string]int64
 }
 
 func (c *characterizer) run(ctx context.Context) (*Report, error) {
 	c.retiredBusy = map[string]float64{}
+	c.mixCounts = map[string]int64{}
 	baseline := c.busyByInstance(ctx)
 
 	report := &Report{
 		LoadLevels:   c.cfg.Loads,
 		MaxReplicas:  c.cfg.MaxReplicas,
 		StepDuration: c.cfg.StepDuration.String(),
+		KneeGainFrac: c.cfg.KneeGainFrac,
 		Notes: []string{
 			"throughput and latency are end-to-end through webui while only the named service's replica count varies",
 			"registry is measured at one replica: it is the routing plane and cannot be replicated",
@@ -211,6 +249,7 @@ func (c *characterizer) run(ctx context.Context) (*Report, error) {
 
 	final := c.busyByInstance(ctx)
 	report.MeasuredShares = c.shares(baseline, final)
+	report.MixCounts = c.mixCounts
 	report.ReferenceShares = map[string]float64{}
 	for svc, share := range placement.DefaultShares() {
 		report.ReferenceShares[svc.String()] = share
@@ -246,6 +285,7 @@ func (c *characterizer) sweepService(ctx context.Context, svc string) (ServiceCu
 				WebUIURL:       c.cfg.WebUIURL,
 				PersistenceURL: c.cfg.PersistenceURL,
 				RegistryURL:    c.cfg.RegistryURL,
+				Profile:        c.cfg.Profile,
 				Users:          load,
 				Warmup:         c.cfg.Warmup,
 				Duration:       c.cfg.StepDuration,
@@ -255,6 +295,9 @@ func (c *characterizer) sweepService(ctx context.Context, svc string) (ServiceCu
 			})
 			if err != nil {
 				return curve, fmt.Errorf("scalectl: load run %s r=%d users=%d: %w", svc, r, load, err)
+			}
+			for req, snap := range res.PerRequest {
+				c.mixCounts[req.String()] += snap.Count
 			}
 			point := CurvePoint{
 				Replicas:   r,
@@ -272,7 +315,7 @@ func (c *characterizer) sweepService(ctx context.Context, svc string) (ServiceCu
 		peak = append(peak, throughputAt(curve.Points, r, c.cfg.Loads[len(c.cfg.Loads)-1]))
 	}
 
-	curve.Knee, curve.MaxGain = kneeOf(peak, c.cfg.KneeGainFrac)
+	curve.Knee, curve.MaxGain = KneeOf(peak, c.cfg.KneeGainFrac)
 	return curve, nil
 }
 
@@ -287,10 +330,12 @@ func throughputAt(points []CurvePoint, replicas, load int) float64 {
 	return 0
 }
 
-// kneeOf locates the scale-up knee in the highest-load throughput series
+// KneeOf locates the scale-up knee in the highest-load throughput series
 // (indexed by replicas-1): the last replica count whose addition still
-// gained at least gainFrac, and the overall best-vs-one gain.
-func kneeOf(peak []float64, gainFrac float64) (knee int, maxGain float64) {
+// gained at least gainFrac, and the overall best-vs-one gain. The
+// cross-validation harness applies the same definition to simulated and
+// analytic curves so knees from different worlds are comparable.
+func KneeOf(peak []float64, gainFrac float64) (knee int, maxGain float64) {
 	knee, maxGain = 1, 1
 	if len(peak) == 0 || peak[0] <= 0 {
 		return knee, maxGain

@@ -17,10 +17,22 @@ func TestKneeOf(t *testing.T) {
 		{"never pays", []float64{100, 105, 104}, 1, 1.05, 0.1},
 		{"zero baseline", []float64{0, 50}, 1, 1, 0.1},
 		{"dip then recovery below threshold", []float64{100, 90, 95}, 1, 1, 0.1},
+
+		// Edge cases the cross-validation harness leans on: these shapes
+		// appear when a service is simply not the bottleneck.
+		{"flat curve", []float64{100, 100, 100}, 1, 1, 0.1},
+		{"monotone decreasing", []float64{100, 80, 60}, 1, 1, 0.1},
+		{"single replica point", []float64{240}, 1, 1, 0.1},
+		// The knee test is >= gainFrac: a gain of exactly 10% still pays.
+		{"exact 10% boundary pays", []float64{100, 110}, 2, 1.1, 0.1},
+		{"just under 10% boundary does not", []float64{100, 109.999}, 1, 1.09999, 0.1},
+		// Later-replica boundary: 200→220 is exactly +10% at r=3.
+		{"exact boundary at third replica", []float64{100, 200, 220}, 3, 2.2, 0.1},
+		{"negative baseline treated as unmeasurable", []float64{-5, 50}, 1, 1, 0.1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			knee, gain := kneeOf(c.peak, c.gainFrac)
+			knee, gain := KneeOf(c.peak, c.gainFrac)
 			if knee != c.knee {
 				t.Errorf("knee = %d, want %d", knee, c.knee)
 			}

@@ -20,6 +20,7 @@ import (
 type fakeInstance struct {
 	mu   sync.Mutex
 	snap httpkit.MetricsSnapshot
+	down bool
 	srv  *httptest.Server
 }
 
@@ -34,6 +35,10 @@ func newFakeInstance(t *testing.T, service string) *fakeInstance {
 		}
 		f.mu.Lock()
 		defer f.mu.Unlock()
+		if f.down {
+			http.Error(w, "metrics unavailable", http.StatusServiceUnavailable)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(f.snap)
 	}))
@@ -46,6 +51,15 @@ func (f *fakeInstance) set(mutate func(*httpkit.MetricsSnapshot)) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	mutate(&f.snap)
+}
+
+// setDown toggles whether the replica serves /metrics.json at all,
+// modelling an instance that stops answering scrapes mid-tick while its
+// process stays registered.
+func (f *fakeInstance) setDown(down bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.down = down
 }
 
 // fakeTarget is a scriptable Target whose replicas are fakeInstances.

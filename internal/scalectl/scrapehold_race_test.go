@@ -1,0 +1,90 @@
+package scalectl
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestScrapeBlindHoldRaceHammer hammers the reconciler's scrape-blind
+// hold path: a single replica flaps its /metrics.json endpoint up and
+// down while the reconcile loop ticks at full speed and concurrent
+// readers pull Status and Gauges. The reconciler is configured at its
+// most trigger-happy (one stable tick fires a scale in either
+// direction), so any tick that fabricates a score from missing data
+// would scale; the invariant is that metrics disappearing never moves
+// the replica count. Run under -race this also exercises every lock
+// around serviceState, prev-sample maps, and the decision record.
+func TestScrapeBlindHoldRaceHammer(t *testing.T) {
+	target := newFakeTarget(t)
+	inst := target.add("image")
+
+	c, err := New(target, Config{
+		Services:        map[string]Bounds{"image": {Min: 1, Max: 3}},
+		Interval:        2 * time.Millisecond,
+		ScrapeTimeout:   250 * time.Millisecond,
+		UpStableTicks:   1,
+		DownStableTicks: 1,
+		DownCooldown:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := c.Start()
+	hammerCtx, cancelHammer := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		down := false
+		for hammerCtx.Err() == nil {
+			down = !down
+			inst.setDown(down)
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for hammerCtx.Err() == nil {
+				_ = c.Status()
+				_ = c.Gauges()
+				time.Sleep(200 * time.Microsecond)
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond)
+	cancelHammer()
+	wg.Wait()
+	stop()
+
+	target.mu.Lock()
+	starts, downs := target.starts["image"], target.downs["image"]
+	target.mu.Unlock()
+	if starts != 0 || downs != 0 {
+		t.Fatalf("reconciler flapped on scrape loss: %d starts, %d scale-downs (want 0, 0)", starts, downs)
+	}
+
+	// With the endpoint fully dark, a tick must record an explicit blind
+	// hold, not a scored decision.
+	inst.setDown(true)
+	c.Tick(context.Background())
+	status := c.Status()
+	if len(status.Services) != 1 {
+		t.Fatalf("status has %d services, want 1", len(status.Services))
+	}
+	st := status.Services[0]
+	if st.LastDecision.Action != ActionHold {
+		t.Fatalf("blind tick decided %q (%s), want hold", st.LastDecision.Action, st.LastDecision.Reason)
+	}
+	if !strings.Contains(st.LastDecision.Reason, "scrape failed") {
+		t.Fatalf("blind hold reason %q does not name the scrape failure", st.LastDecision.Reason)
+	}
+	if st.Desired != 1 || st.Actual != 1 {
+		t.Fatalf("blind hold moved replicas: desired %d actual %d, want 1/1", st.Desired, st.Actual)
+	}
+}
