@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"slices"
 	"sort"
 	"strconv"
 	"strings"
@@ -169,9 +170,14 @@ func printReport(r *crossval.Report) {
 		}
 		fmt.Printf("  [%s] %-22s %s\n", mark, c.Name, c.Detail)
 	}
-	if r.Verdict.Pass {
+	switch {
+	case r.Verdict.Pass && r.Mode == "calibrate-only":
+		fmt.Println("\nverdict: PASS — calibration residual within tolerance (sweep comparison skipped)")
+	case r.Verdict.Pass:
 		fmt.Println("\nverdict: PASS — simulated and measured scale-up shapes agree")
-	} else {
+	case r.Mode == "calibrate-only":
+		fmt.Println("\nverdict: FAIL — calibration residual exceeds tolerance")
+	default:
 		fmt.Println("\nverdict: FAIL — shape divergence between simulator and measurement")
 	}
 }
@@ -226,6 +232,10 @@ func parseLoads(spec string) ([]int, error) {
 		}
 		out = append(out, n)
 	}
+	// The harness anchors on the highest load as the saturated top; sort
+	// and dedupe here so the printed sweep plan matches what runs.
+	sort.Ints(out)
+	out = slices.Compact(out)
 	return out, nil
 }
 

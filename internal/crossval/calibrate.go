@@ -83,6 +83,8 @@ func Calibrate(real *scalectl.Report, cfg Config) (Calibration, map[workload.Req
 		if curve == nil {
 			return Calibration{}, nil, fmt.Errorf("crossval: anchor service %s missing from real report", anchorSvc)
 		}
+		// Loads are sorted ascending by withDefaults, so the last is the
+		// saturated top load every world anchors on.
 		maxLoad := cfg.Scenario.Loads[len(cfg.Scenario.Loads)-1]
 		x := 0.0
 		for _, p := range curve.Points {

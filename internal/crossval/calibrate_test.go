@@ -232,6 +232,9 @@ func TestEvaluateCalibrateOnly(t *testing.T) {
 	if len(rep.Services) != 0 {
 		t.Fatal("calibrate-only report carries sweep comparisons")
 	}
+	if rep.OrderingAgrees != nil {
+		t.Fatalf("calibrate-only report claims an ordering verdict (%v) that was never evaluated", *rep.OrderingAgrees)
+	}
 	if len(rep.Verdict.Checks) != 1 || rep.Verdict.Checks[0].Name != "calibration-residual" {
 		t.Fatalf("calibrate-only checks = %+v, want only the residual gate", rep.Verdict.Checks)
 	}

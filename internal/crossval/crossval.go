@@ -38,6 +38,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"slices"
+	"sort"
 	"time"
 
 	"repro/internal/httpkit"
@@ -194,6 +196,13 @@ func (c Config) withDefaults() Config {
 	if len(c.Scenario.Loads) == 0 {
 		c.Scenario.Loads = []int{16, 32}
 	}
+	// Every world anchors on "the last load" as the saturated top load
+	// (calibration's X at r=1, the sweeps' per-replica peaks), so the
+	// axis must be ascending and duplicate-free regardless of input
+	// order. Sort a copy: callers keep their slice.
+	loads := append([]int(nil), c.Scenario.Loads...)
+	sort.Ints(loads)
+	c.Scenario.Loads = slices.Compact(loads)
 	if c.Scenario.ThinkScale <= 0 {
 		c.Scenario.ThinkScale = 0.02
 	}
@@ -319,10 +328,11 @@ type Report struct {
 	Services []ServiceAgreement `json:"services,omitempty"`
 	// RealOrdering / SimOrdering rank services by max gain, most
 	// scaling-hungry first — the measured and simulated saturation
-	// orderings whose agreement the verdict gates.
+	// orderings whose agreement the verdict gates. OrderingAgrees is nil
+	// in calibrate-only mode, where the orderings are never evaluated.
 	RealOrdering   []string `json:"realOrdering,omitempty"`
 	SimOrdering    []string `json:"simOrdering,omitempty"`
-	OrderingAgrees bool     `json:"orderingAgrees"`
+	OrderingAgrees *bool    `json:"orderingAgrees,omitempty"`
 	Verdict        Verdict  `json:"verdict"`
 	Notes          []string `json:"notes,omitempty"`
 }
@@ -422,7 +432,6 @@ func Evaluate(real *scalectl.Report, cfg Config) (*Report, error) {
 
 	if cfg.CalibrateOnly {
 		rep.Mode = "calibrate-only"
-		rep.OrderingAgrees = true
 		rep.Verdict = verdictOf(checks)
 		return rep, nil
 	}
@@ -492,7 +501,7 @@ func Evaluate(real *scalectl.Report, cfg Config) (*Report, error) {
 	rep.RealOrdering = OrderingOf(realGains)
 	rep.SimOrdering = OrderingOf(simGains)
 	agrees, violations := OrderingAgrees(realGains, simGains, cfg.Tolerances.OrderingEpsilon)
-	rep.OrderingAgrees = agrees
+	rep.OrderingAgrees = &agrees
 	detail := fmt.Sprintf("real %v vs sim %v (ties within %.2f gain)",
 		rep.RealOrdering, rep.SimOrdering, cfg.Tolerances.OrderingEpsilon)
 	if len(violations) > 0 {

@@ -85,6 +85,9 @@ func TestCrossvalGoldenSchema(t *testing.T) {
 		t.Fatalf("orderings %v/%v don't cover the %d compared services",
 			r.RealOrdering, r.SimOrdering, len(r.Services))
 	}
+	if r.OrderingAgrees == nil {
+		t.Fatal("sweep-mode report omits the ordering verdict")
+	}
 }
 
 // TestLoadReportRejectsUnknownFields pins the strictness itself: a
