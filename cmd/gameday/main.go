@@ -1,0 +1,135 @@
+// Command gameday runs the chaos gameday harness: scripted fault
+// timelines (gray replica, slow backend, error storm, crash, registry
+// outage) against the real in-process stack under closed-loop load,
+// graded by steady-state SLOs and recovery-time objectives computed from
+// the load generator's per-second windows. The verdict is written to
+// RESILIENCE.json; the exit status is the gate (0 pass, 1 fail).
+//
+// Usage:
+//
+//	gameday [-quick] [-out RESILIENCE.json] [-summary summary.md]
+//	        [-scenarios slow-replica,replica-crash] [-defended-only]
+//	        [-users 24] [-seed 1] [-host 127.0.0.1]
+//
+// -quick compresses the phase plan for CI (~30s of measurement per
+// variant); drop it for measurement-grade timelines. -scenarios filters
+// by name; -defended-only skips the defenses-off baselines (and the
+// gates that need them).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/gameday"
+)
+
+func main() {
+	out := flag.String("out", "RESILIENCE.json", "verdict output path")
+	quick := flag.Bool("quick", false, "compressed phase plan for CI")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario names (default all); see -list")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	defendedOnly := flag.Bool("defended-only", false, "skip the defenses-off comparison runs")
+	users := flag.Int("users", 0, "closed-loop user population (default 16)")
+	seed := flag.Int64("seed", 1, "random seed for catalog and load")
+	host := flag.String("host", "127.0.0.1", "address to bind service listeners on")
+	summary := flag.String("summary", "", "also write a markdown scenario table to this path")
+	flag.Parse()
+
+	if *list {
+		for _, sc := range gameday.Scenarios() {
+			fmt.Printf("%-16s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
+
+	opts := gameday.Options{
+		Quick:        *quick,
+		Users:        *users,
+		Seed:         *seed,
+		Host:         *host,
+		DefendedOnly: *defendedOnly,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	if *scenarios != "" {
+		for _, n := range strings.Split(*scenarios, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				opts.Scenarios = append(opts.Scenarios, n)
+			}
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	report, err := gameday.Run(ctx, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if err := report.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	if *summary != "" {
+		if err := os.WriteFile(*summary, []byte(report.Markdown()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+
+	printReport(report)
+	fmt.Printf("\nwrote %s\n", *out)
+	if !report.Pass {
+		os.Exit(1)
+	}
+}
+
+func printReport(r *gameday.Report) {
+	fmt.Printf("\n%-16s %-11s %9s %7s %11s %11s %10s %9s %10s %9s\n",
+		"scenario", "variant", "requests", "errors", "idem-fail", "steady p99", "fault p99", "recovery", "hedge rate", "replaced")
+	row := func(name string, v *gameday.Variant) {
+		if v == nil {
+			return
+		}
+		kind := "undefended"
+		if v.Defended {
+			kind = "defended"
+		}
+		rec := "never"
+		if v.RecoverySeconds >= 0 {
+			rec = fmt.Sprintf("%.0fs", v.RecoverySeconds)
+		}
+		fmt.Printf("%-16s %-11s %9d %7d %11d %9.1fms %9.1fms %10s %9.2f%% %9d\n",
+			name, kind, v.Requests, v.Errors, v.IdempotentFailures,
+			v.SteadyP99Ms, v.FaultP99Ms, rec, 100*v.HedgeRate, v.Replacements)
+	}
+	for _, sc := range r.Scenarios {
+		row(sc.Name, &sc.Defended)
+		row(sc.Name, sc.Undefended)
+	}
+	fmt.Println("\ngates:")
+	for _, sc := range r.Scenarios {
+		for _, g := range sc.Gates {
+			mark := "PASS"
+			if !g.Pass {
+				mark = "FAIL"
+			}
+			fmt.Printf("  [%s] %-16s %-26s %s\n", mark, sc.Name, g.Name, g.Detail)
+		}
+	}
+	if r.Pass {
+		fmt.Println("\nverdict: PASS — every recovery gate held")
+	} else {
+		fmt.Println("\nverdict: FAIL — at least one recovery gate failed")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gameday:", err)
+	os.Exit(1)
+}

@@ -40,6 +40,9 @@ func main() {
 	thinkScale := flag.Float64("think-scale", 1.0, "think-time multiplier")
 	catalogUsers := flag.Int("catalog-users", 100, "demo accounts in the store")
 	seed := flag.Int64("seed", 1, "random seed")
+	timeline := flag.Bool("timeline", false, "record and print a per-second window breakdown of the measured run")
+	retryIdem := flag.Bool("retry-idempotent", false, "retry failed GETs up to twice, re-picking the webui replica")
+	ejectOutliers := flag.Bool("eject-outliers", false, "steer sessions away from webui replicas whose latency EWMA stands far above their peers (needs -registry)")
 	flag.Parse()
 
 	profile, ok := workload.Profiles()[*profileName]
@@ -52,15 +55,18 @@ func main() {
 	defer stop()
 
 	base := loadgen.Config{
-		WebUIURL:       *webui,
-		PersistenceURL: *persistenceURL,
-		RegistryURL:    *registryURL,
-		Profile:        profile,
-		Warmup:         *warmup,
-		Duration:       *duration,
-		ThinkScale:     *thinkScale,
-		CatalogUsers:   *catalogUsers,
-		Seed:           *seed,
+		WebUIURL:        *webui,
+		PersistenceURL:  *persistenceURL,
+		RegistryURL:     *registryURL,
+		Profile:         profile,
+		Warmup:          *warmup,
+		Duration:        *duration,
+		ThinkScale:      *thinkScale,
+		CatalogUsers:    *catalogUsers,
+		Seed:            *seed,
+		Timeline:        *timeline,
+		RetryIdempotent: *retryIdem,
+		EjectOutliers:   *ejectOutliers,
 	}
 
 	if *sweep != "" {
@@ -95,8 +101,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	fmt.Printf("throughput: %.1f req/s (%d requests, %d errors, %d shed, %d retried)\n",
-		res.Throughput, res.Requests, res.Errors, res.Shed, res.Retries)
+	fmt.Printf("throughput: %.1f req/s (%d requests, %d errors, %d shed, %d retried, %d idem-retried, %d idem-failed)\n",
+		res.Throughput, res.Requests, res.Errors, res.Shed, res.Retries,
+		res.IdempotentRetries, res.IdempotentFailures)
 	fmt.Printf("latency:    %v\n", res.Latency)
 	var types []workload.Request
 	for r := range res.PerRequest {
@@ -106,7 +113,21 @@ func main() {
 	for _, r := range types {
 		fmt.Printf("  %-10s %v\n", r, res.PerRequest[r])
 	}
+	printTimeline(res.Timeline)
 	printBreakdown(*registryURL)
+}
+
+// printTimeline prints the per-second window table recorded by -timeline.
+func printTimeline(windows []loadgen.Window) {
+	if len(windows) == 0 {
+		return
+	}
+	fmt.Printf("\n%6s %9s %7s %6s %9s %9s\n", "sec", "requests", "errors", "shed", "p50 ms", "p99 ms")
+	for _, w := range windows {
+		fmt.Printf("%6d %9d %7d %6d %9.2f %9.2f\n",
+			w.Second, w.Requests, w.Errors, w.Shed,
+			float64(w.P50Ns)/1e6, float64(w.P99Ns)/1e6)
+	}
 }
 
 // printBreakdown fetches the stack-wide per-service latency table via the

@@ -1,0 +1,256 @@
+package gameday
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func win(sec int, p99 time.Duration, errors int64) loadgen.Window {
+	return loadgen.Window{Second: sec, Requests: 10, Errors: errors, P99Ns: int64(p99)}
+}
+
+func TestRecoverySeconds(t *testing.T) {
+	slo := SLO{P99: 100 * time.Millisecond, ErrorRate: 0.01, RTO: 10 * time.Second}
+	bad := win(0, 500*time.Millisecond, 0)
+	good := win(0, 20*time.Millisecond, 0)
+	errw := win(0, 20*time.Millisecond, 3)
+	idle := loadgen.Window{}
+
+	cases := []struct {
+		name    string
+		windows []loadgen.Window
+		from    int
+		want    float64
+	}{
+		{"immediate", []loadgen.Window{good, good, good}, 0, 0},
+		{"after two bad", []loadgen.Window{bad, bad, good, good, good}, 0, 2},
+		{"errors break the streak", []loadgen.Window{good, good, errw, good, good, good}, 0, 3},
+		{"idle windows count", []loadgen.Window{bad, idle, idle, idle}, 0, 1},
+		{"never", []loadgen.Window{bad, good, good, bad, good}, 0, -1},
+		{"offset origin", []loadgen.Window{bad, bad, bad, good, good, good}, 2, 1},
+	}
+	for _, c := range cases {
+		if got := recoverySeconds(c.windows, c.from, slo); got != c.want {
+			t.Errorf("%s: recoverySeconds = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMedianWindowP99Skips(t *testing.T) {
+	ws := []loadgen.Window{
+		win(0, 10*time.Millisecond, 0),
+		{Second: 1, Requests: 5, Errors: 5}, // all failed: no p99 sample
+		win(2, 30*time.Millisecond, 0),
+		win(3, 400*time.Millisecond, 0),
+	}
+	// Median of {10, 30, 400} — the sampleless window must not drag it.
+	if got := medianWindowP99Ms(ws); got != 30 {
+		t.Fatalf("medianWindowP99Ms = %v, want 30", got)
+	}
+	if got := medianWindowP99Ms(nil); got != 0 {
+		t.Fatalf("empty span p99 = %v, want 0", got)
+	}
+}
+
+// TestEvaluateGatesComparison: the comparison gates demand the defense
+// actually defend — halved fault p99, zero failed GETs, hedge budget.
+func TestEvaluateGatesComparison(t *testing.T) {
+	slo := DefaultSLO()
+	sc := Scenario{Name: "slow-replica", CompareUndefended: true}
+	def := &Variant{
+		Defended: true, Requests: 1000, Errors: 2, ErrorRate: 0.002,
+		SteadyP99Ms: 40, FaultP99Ms: 60, RecoverySeconds: 1, HedgeRate: 0.01,
+	}
+	undef := &Variant{Requests: 1000, FaultP99Ms: 420, IdempotentFailures: 12}
+	gates := evaluateGates(sc, def, undef, slo)
+	byName := map[string]Gate{}
+	for _, g := range gates {
+		byName[g.Name] = g
+	}
+	for _, name := range []string{"steady-slo", "error-budget", "recovery-rto",
+		"defended-p99", "zero-idempotent-failures", "hedge-budget"} {
+		g, ok := byName[name]
+		if !ok {
+			t.Fatalf("gate %s missing", name)
+		}
+		if !g.Pass {
+			t.Errorf("gate %s failed on a healthy defended run: %s", name, g.Detail)
+		}
+	}
+
+	// Flip each failure mode and confirm the matching gate trips.
+	worse := *def
+	worse.FaultP99Ms = 300 // > 0.5×420
+	if g := gateByName(t, evaluateGates(sc, &worse, undef, slo), "defended-p99"); g.Pass {
+		t.Error("defended-p99 passed with fault p99 above half the baseline")
+	}
+	worse = *def
+	worse.IdempotentFailures = 1
+	if g := gateByName(t, evaluateGates(sc, &worse, undef, slo), "zero-idempotent-failures"); g.Pass {
+		t.Error("zero-idempotent-failures passed with a failed GET")
+	}
+	worse = *def
+	worse.HedgeRate = 0.08
+	if g := gateByName(t, evaluateGates(sc, &worse, undef, slo), "hedge-budget"); g.Pass {
+		t.Error("hedge-budget passed above 5%")
+	}
+	worse = *def
+	worse.RecoverySeconds = -1
+	if g := gateByName(t, evaluateGates(sc, &worse, undef, slo), "recovery-rto"); g.Pass {
+		t.Error("recovery-rto passed for a run that never recovered")
+	}
+
+	// Without a baseline (defended-only run) the comparison gates are
+	// absent, not vacuously passed.
+	solo := evaluateGates(sc, def, nil, slo)
+	for _, g := range solo {
+		if g.Name == "defended-p99" || g.Name == "hedge-budget" {
+			t.Errorf("comparison gate %s present without an undefended baseline", g.Name)
+		}
+	}
+}
+
+func gateByName(t *testing.T, gates []Gate, name string) Gate {
+	t.Helper()
+	for _, g := range gates {
+		if g.Name == name {
+			return g
+		}
+	}
+	t.Fatalf("gate %s missing", name)
+	return Gate{}
+}
+
+// TestReportRoundTripAndStrictLoader: the RESILIENCE.json schema
+// round-trips, the loader rejects unknown fields (schema drift must be
+// loud), and Gate() re-derives the verdict from the per-scenario gates.
+func TestReportRoundTripAndStrictLoader(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "RESILIENCE.json")
+	r := &Report{
+		GeneratedAt: time.Now().UTC(),
+		Mode:        "quick",
+		SLOP99Ms:    350, SLOError: 0.01, RTOSeconds: 10,
+		Scenarios: []ScenarioResult{{
+			Name:     "slow-replica",
+			Defended: Variant{Defended: true, Requests: 100, Windows: []loadgen.Window{win(0, time.Millisecond, 0)}},
+			Gates:    []Gate{{Name: "recovery-rto", Detail: "recovered in 1s", Pass: true}},
+			Pass:     true,
+		}},
+		Pass: true,
+	}
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != "quick" || len(got.Scenarios) != 1 || !got.Pass {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	if err := got.Gate(); err != nil {
+		t.Fatalf("Gate() failed a passing report: %v", err)
+	}
+
+	got.Scenarios[0].Gates[0].Pass = false
+	if err := got.Gate(); err == nil || !strings.Contains(err.Error(), "recovery-rto") {
+		t.Fatalf("Gate() missed the failed gate: %v", err)
+	}
+
+	drifted := filepath.Join(dir, "drift.json")
+	if err := os.WriteFile(drifted, []byte(`{"mode":"quick","unknownField":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(drifted); err == nil {
+		t.Fatal("strict loader accepted an unknown field")
+	}
+
+	if err := (&Report{Mode: "quick"}).Gate(); err == nil {
+		t.Fatal("Gate() passed an empty report")
+	}
+}
+
+func TestSelectScenarios(t *testing.T) {
+	all, err := selectScenarios(nil)
+	if err != nil || len(all) != len(Scenarios()) {
+		t.Fatalf("default selection = %d scenarios, err %v", len(all), err)
+	}
+	picked, err := selectScenarios([]string{"replica-crash", "slow-replica"})
+	if err != nil || len(picked) != 2 || picked[0].Name != "replica-crash" {
+		t.Fatalf("named selection = %+v, err %v", picked, err)
+	}
+	if _, err := selectScenarios([]string{"nope"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestGamedaySlowReplicaAcceptance runs the flagship scenario end to end
+// against a real stack with tiny phases, asserting the harness mechanics
+// (window bookkeeping, fault placement, scrape, report assembly) rather
+// than the performance gates — those belong to the CI gameday job where
+// the full quick durations give the defenses room to act.
+func TestGamedaySlowReplicaAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-stack gameday run")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	report, err := Run(ctx, Options{
+		Quick:        true,
+		Scenarios:    []string{"slow-replica"},
+		DefendedOnly: true,
+		Users:        12,
+		Seed:         1,
+		Durations:    Durations{Warmup: time.Second, Steady: 3 * time.Second, Fault: 5 * time.Second, Recovery: 6 * time.Second},
+		Log:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Scenarios) != 1 {
+		t.Fatalf("got %d scenarios, want 1", len(report.Scenarios))
+	}
+	sc := report.Scenarios[0]
+	v := sc.Defended
+	if v.Requests == 0 {
+		t.Fatal("defended run measured no requests")
+	}
+	total := 3 + 5 + 6
+	if len(v.Windows) < total-2 || len(v.Windows) > total+2 {
+		t.Fatalf("got %d windows for a %ds run", len(v.Windows), total)
+	}
+	if v.FaultSecond < 2 || v.FaultSecond > 4 {
+		t.Fatalf("fault filed at second %d, want ≈3", v.FaultSecond)
+	}
+	if v.ClearSecond != v.FaultSecond+5 {
+		t.Fatalf("clear filed at second %d, want fault+5=%d", v.ClearSecond, v.FaultSecond+5)
+	}
+	if v.SteadyP99Ms <= 0 {
+		t.Fatal("steady windows carried no p99")
+	}
+	if sc.Undefended != nil {
+		t.Fatal("DefendedOnly run produced an undefended variant")
+	}
+	if len(sc.Gates) == 0 {
+		t.Fatal("no gates evaluated")
+	}
+	// The report must round-trip through the strict loader — this is the
+	// exact artifact CI gates on.
+	path := filepath.Join(t.TempDir(), "RESILIENCE.json")
+	if err := report.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err != nil {
+		t.Fatal(err)
+	}
+	if report.Markdown() == "" {
+		t.Fatal("empty markdown summary")
+	}
+}

@@ -1,0 +1,199 @@
+package gameday
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// SLO is the service-level objective a defended run is held to.
+type SLO struct {
+	// P99 is the per-window latency objective.
+	P99 time.Duration
+	// ErrorRate is the whole-run error budget (errors/requests).
+	ErrorRate float64
+	// RTO is the recovery-time objective: after the fault clears (or, for
+	// crashes, after the crash), the first of RecoveryWindows consecutive
+	// within-SLO seconds must arrive within this long.
+	RTO time.Duration
+}
+
+// RecoveryWindows is how many consecutive within-SLO seconds count as
+// "recovered" — one good second after a fault is noise, three are a trend.
+const RecoveryWindows = 3
+
+// DefaultSLO matches the quick gameday scenarios: an all-loopback stack
+// answers in tens of milliseconds, so 350ms p99 is a generous ceiling
+// that still catches a 400ms gray replica leaking into the tail.
+func DefaultSLO() SLO {
+	return SLO{P99: 350 * time.Millisecond, ErrorRate: 0.01, RTO: 10 * time.Second}
+}
+
+// Variant is one measured run of a scenario — the stack with the
+// gray-failure defenses on, or the baseline with them off.
+type Variant struct {
+	Defended bool `json:"defended"`
+	Users    int  `json:"users"`
+
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+	// IdempotentRetries / IdempotentFailures count the load generator's
+	// GET rescues and the GETs that stayed failed after them. Failures
+	// are counted in undefended runs too (retries just never fire), so
+	// the two variants are on the same scale.
+	IdempotentRetries  int64   `json:"idempotentRetries"`
+	IdempotentFailures int64   `json:"idempotentFailures"`
+	ErrorRate          float64 `json:"errorRate"`
+
+	// SteadyP99Ms / FaultP99Ms are medians of the per-second window p99s
+	// before injection and during the fault (after a short detection
+	// grace) — medians so a single probe window can't swing the verdict.
+	SteadyP99Ms float64 `json:"steadyP99Ms"`
+	FaultP99Ms  float64 `json:"faultP99Ms"`
+	// RecoverySeconds is how long after the recovery clock started (fault
+	// cleared, or crash happened) the first of RecoveryWindows consecutive
+	// within-SLO seconds arrived; -1 when the run never recovered.
+	RecoverySeconds float64 `json:"recoverySeconds"`
+
+	// Hedges / HedgeRate: inter-service hedges fired across the stack,
+	// as a fraction of balanced outbound calls.
+	Hedges    int64   `json:"hedges"`
+	HedgeRate float64 `json:"hedgeRate"`
+	// Replacements is how many replicas the reconciler swapped out.
+	Replacements int64 `json:"replacements"`
+	// EjectedReplicas lists "dest addr" pairs some caller had ejected at
+	// scrape time.
+	EjectedReplicas []string `json:"ejectedReplicas,omitempty"`
+
+	// FaultSecond / ClearSecond locate the fault in the windows below.
+	FaultSecond int `json:"faultSecond"`
+	ClearSecond int `json:"clearSecond"`
+
+	Windows []loadgen.Window `json:"windows"`
+}
+
+// Gate is one pass/fail check over a scenario's variants.
+type Gate struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail"`
+	Pass   bool   `json:"pass"`
+}
+
+// ScenarioResult is one scenario's measured outcome.
+type ScenarioResult struct {
+	Name        string   `json:"name"`
+	Description string   `json:"description"`
+	Defended    Variant  `json:"defended"`
+	Undefended  *Variant `json:"undefended,omitempty"`
+	Gates       []Gate   `json:"gates"`
+	Pass        bool     `json:"pass"`
+}
+
+// Report is the RESILIENCE.json schema: what the gameday ran, what it
+// measured, and whether the recovery gates held.
+type Report struct {
+	GeneratedAt time.Time        `json:"generatedAt"`
+	Mode        string           `json:"mode"` // "quick" or "full"
+	SLOP99Ms    float64          `json:"sloP99Ms"`
+	SLOError    float64          `json:"sloErrorRate"`
+	RTOSeconds  float64          `json:"rtoSeconds"`
+	Scenarios   []ScenarioResult `json:"scenarios"`
+	Pass        bool             `json:"pass"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a RESILIENCE.json strictly: unknown fields are a
+// schema drift error, not silently dropped — the CI gate must never pass
+// because it quietly ignored the field that failed.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("gameday: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Gate re-derives the verdict from the per-scenario gates, for callers
+// holding a loaded report. An empty report fails: no scenario ran.
+func (r *Report) Gate() error {
+	if len(r.Scenarios) == 0 {
+		return fmt.Errorf("gameday: report contains no scenarios")
+	}
+	var failed []string
+	for _, sc := range r.Scenarios {
+		for _, g := range sc.Gates {
+			if !g.Pass {
+				failed = append(failed, fmt.Sprintf("%s/%s: %s", sc.Name, g.Name, g.Detail))
+			}
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("gameday: %d gate(s) failed:\n  %s", len(failed), strings.Join(failed, "\n  "))
+	}
+	return nil
+}
+
+// Markdown renders the scenario table for CI job summaries.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	verdict := "✅ PASS"
+	if !r.Pass {
+		verdict = "❌ FAIL"
+	}
+	fmt.Fprintf(&b, "## Gameday resilience gates (%s): %s\n\n", r.Mode, verdict)
+	fmt.Fprintf(&b, "SLO: p99 ≤ %.0fms per window, error budget %.1f%%, RTO %.0fs (%d consecutive good seconds).\n\n",
+		r.SLOP99Ms, 100*r.SLOError, r.RTOSeconds, RecoveryWindows)
+	b.WriteString("| scenario | variant | requests | errors | idem failed | steady p99 | fault p99 | recovery | hedge rate | replaced |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|\n")
+	row := func(name string, v *Variant) {
+		if v == nil {
+			return
+		}
+		kind := "undefended"
+		if v.Defended {
+			kind = "defended"
+		}
+		rec := "never"
+		if v.RecoverySeconds >= 0 {
+			rec = fmt.Sprintf("%.0fs", v.RecoverySeconds)
+		}
+		fmt.Fprintf(&b, "| %s | %s | %d | %d | %d | %.1fms | %.1fms | %s | %.2f%% | %d |\n",
+			name, kind, v.Requests, v.Errors, v.IdempotentFailures,
+			v.SteadyP99Ms, v.FaultP99Ms, rec, 100*v.HedgeRate, v.Replacements)
+	}
+	for _, sc := range r.Scenarios {
+		row(sc.Name, &sc.Defended)
+		row(sc.Name, sc.Undefended)
+	}
+	b.WriteString("\n| scenario | gate | result | detail |\n|---|---|---|---|\n")
+	for _, sc := range r.Scenarios {
+		for _, g := range sc.Gates {
+			mark := "✅"
+			if !g.Pass {
+				mark = "❌"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", sc.Name, g.Name, mark, g.Detail)
+		}
+	}
+	return b.String()
+}

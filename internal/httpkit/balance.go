@@ -47,6 +47,9 @@ const DefaultBalancerCacheTTL = time.Second
 type BalancerConfig struct {
 	// CacheTTL bounds replica-list reuse (DefaultBalancerCacheTTL).
 	CacheTTL time.Duration
+	// Outlier tunes passive outlier ejection (zero value = defaults on;
+	// set Outlier.Disabled to turn ejection off).
+	Outlier OutlierConfig
 }
 
 // Balancer resolves logical service names to live replicas and picks one
@@ -59,6 +62,7 @@ type BalancerConfig struct {
 type Balancer struct {
 	resolver Resolver
 	ttl      time.Duration
+	outlier  OutlierConfig
 
 	mu       sync.Mutex
 	services map[string]*balancedService
@@ -68,23 +72,49 @@ type Balancer struct {
 // counters persist across refreshes so /metrics replica counters behave
 // like Prometheus counters (monotonic, surviving churn).
 type balancedService struct {
-	mu       sync.Mutex
-	addrs    []string
-	fetched  time.Time
-	stale    bool
-	replicas map[string]*replicaState
+	mu         sync.Mutex
+	addrs      []string
+	fetched    time.Time
+	stale      bool
+	refreshing bool
+	replicas   map[string]*replicaState
+
+	// lastSweep rate-limits the outlier ejection sweep (UnixNano).
+	lastSweep atomic.Int64
 }
 
-// replicaState tracks one replica's routed traffic.
+// replicaState tracks one replica's routed traffic and health. The
+// atomic fields sit on the pick/acquire hot path; the EWMA state behind
+// mu is touched once per response plus during sweeps.
 type replicaState struct {
 	inflight atomic.Int64
 	requests atomic.Int64
+	hedges   atomic.Int64
+	ejected  atomic.Bool
+
+	mu           sync.Mutex
+	samples      int64   // responses since (re-)admission
+	ewmaLat      float64 // ns
+	ewmaErr      float64 // 0..1
+	ejectedUntil time.Time
+	ejections    int64 // cumulative, for metrics
+	streak       int64 // consecutive ejections, drives backoff
 }
 
 // ReplicaCounts is one replica's routed-traffic summary for metrics.
 type ReplicaCounts struct {
 	Requests int64 `json:"requests"`
 	Inflight int64 `json:"inflight"`
+	// Hedges counts hedge attempts routed to this replica.
+	Hedges int64 `json:"hedges,omitempty"`
+	// Ejected reports whether the replica is currently ejected by
+	// outlier detection; Ejections counts cumulative ejections.
+	Ejected   bool  `json:"ejected,omitempty"`
+	Ejections int64 `json:"ejections,omitempty"`
+	// EwmaLatencyMs and EwmaErrorRate are the health EWMAs ejection
+	// judges on.
+	EwmaLatencyMs float64 `json:"ewmaLatencyMs,omitempty"`
+	EwmaErrorRate float64 `json:"ewmaErrorRate,omitempty"`
 }
 
 // NewBalancer returns a balancer resolving through r.
@@ -92,7 +122,12 @@ func NewBalancer(r Resolver, cfg BalancerConfig) *Balancer {
 	if cfg.CacheTTL <= 0 {
 		cfg.CacheTTL = DefaultBalancerCacheTTL
 	}
-	return &Balancer{resolver: r, ttl: cfg.CacheTTL, services: map[string]*balancedService{}}
+	return &Balancer{
+		resolver: r,
+		ttl:      cfg.CacheTTL,
+		outlier:  cfg.Outlier.normalized(),
+		services: map[string]*balancedService{},
+	}
 }
 
 // service returns (allocating) the routing state for a logical name.
@@ -107,19 +142,30 @@ func (b *Balancer) service(name string) *balancedService {
 	return s
 }
 
-// candidates returns the live replica addresses for a service, consulting
-// the resolver when the cache is stale or expired. The per-service lock is
-// held across the resolver call, so concurrent callers coalesce into one
-// refresh instead of stampeding the registry. A failed refresh falls back
-// to the last known list when one exists — stale routing beats none while
-// the registry itself is unreachable.
+// candidates returns the live replica addresses for a service. Within
+// the TTL the cached list is served lock-cheap. A merely *expired* list
+// is served stale while a single background goroutine refreshes it — a
+// slow or blackholed registry must never stall the request path for its
+// timeout once routing is established. Only an explicitly invalidated
+// list (connection failure, all-breakers-refused — evidence the list is
+// rotten) or a first resolution blocks on the resolver; the per-service
+// lock is held across that call so concurrent callers coalesce into one
+// refresh instead of stampeding the registry. A failed synchronous
+// refresh falls back to the last known list when one exists — stale
+// routing beats none while the registry itself is unreachable.
 func (b *Balancer) candidates(ctx context.Context, name string) ([]string, error) {
 	s := b.service(name)
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.stale && len(s.addrs) > 0 && time.Since(s.fetched) < b.ttl {
-		return append([]string(nil), s.addrs...), nil
+	if !s.stale && len(s.addrs) > 0 {
+		addrs := append([]string(nil), s.addrs...)
+		if time.Since(s.fetched) >= b.ttl && !s.refreshing {
+			s.refreshing = true
+			go b.refreshAsync(name, s)
+		}
+		s.mu.Unlock()
+		return addrs, nil
 	}
+	defer s.mu.Unlock()
 	addrs, err := b.resolver.Lookup(withoutTrace(ctx), name)
 	if err != nil {
 		if len(s.addrs) > 0 {
@@ -127,6 +173,32 @@ func (b *Balancer) candidates(ctx context.Context, name string) ([]string, error
 		}
 		return nil, err
 	}
+	s.adoptLocked(addrs)
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("httpkit: no live replicas of %s", name)
+	}
+	return append([]string(nil), addrs...), nil
+}
+
+// refreshAsync re-resolves a service off the request path. On failure
+// the stale list keeps serving and fetched is bumped anyway, so a down
+// registry is probed at most once per TTL rather than once per call.
+func (b *Balancer) refreshAsync(name string, s *balancedService) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	addrs, err := b.resolver.Lookup(ctx, name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.refreshing = false
+	if err != nil || len(addrs) == 0 {
+		s.fetched = time.Now()
+		return
+	}
+	s.adoptLocked(addrs)
+}
+
+// adoptLocked installs a freshly resolved replica list (s.mu held).
+func (s *balancedService) adoptLocked(addrs []string) {
 	s.addrs = append([]string(nil), addrs...)
 	s.fetched = time.Now()
 	s.stale = false
@@ -135,10 +207,6 @@ func (b *Balancer) candidates(ctx context.Context, name string) ([]string, error
 			s.replicas[addr] = &replicaState{}
 		}
 	}
-	if len(addrs) == 0 {
-		return nil, fmt.Errorf("httpkit: no live replicas of %s", name)
-	}
-	return append([]string(nil), addrs...), nil
 }
 
 // Invalidate marks a service's cached replica list stale so the next call
@@ -176,7 +244,9 @@ func (b *Balancer) Drop(name, addr string) {
 // in-flight counts, preferring addresses not in avoid (replicas that
 // already failed this logical call); when every candidate is in avoid the
 // full set is used — a retry against a previously-failed replica still
-// beats refusing the call.
+// beats refusing the call. Ejected outliers are skipped the same way:
+// preferred out, but never to the point of refusing when nothing else is
+// admissible.
 func (b *Balancer) pick(name string, candidates []string, avoid map[string]bool) string {
 	pool := candidates
 	if len(avoid) > 0 {
@@ -190,6 +260,7 @@ func (b *Balancer) pick(name string, candidates []string, avoid map[string]bool)
 			pool = fresh
 		}
 	}
+	pool = b.skipEjected(name, pool)
 	switch len(pool) {
 	case 0:
 		return ""
@@ -213,6 +284,51 @@ func (b *Balancer) pick(name string, candidates []string, avoid map[string]bool)
 		return pool[j]
 	}
 	return pool[i]
+}
+
+// skipEjected filters currently-ejected replicas out of a pick pool,
+// unless that would empty it (the sweep's floor makes that rare, but a
+// pool shrunk by avoid-filtering can consist solely of ejected replicas).
+func (b *Balancer) skipEjected(name string, pool []string) []string {
+	if len(pool) < 2 {
+		return pool
+	}
+	s := b.service(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	anyEjected := false
+	for _, a := range pool {
+		if r := s.replicas[a]; r != nil && r.ejected.Load() {
+			anyEjected = true
+			break
+		}
+	}
+	if !anyEjected {
+		return pool
+	}
+	fresh := make([]string, 0, len(pool))
+	for _, a := range pool {
+		if r := s.replicas[a]; r == nil || !r.ejected.Load() {
+			fresh = append(fresh, a)
+		}
+	}
+	if len(fresh) == 0 {
+		return pool
+	}
+	return fresh
+}
+
+// markHedge counts a hedge attempt routed to a replica.
+func (b *Balancer) markHedge(name, addr string) {
+	s := b.service(name)
+	s.mu.Lock()
+	r := s.replicas[addr]
+	if r == nil {
+		r = &replicaState{}
+		s.replicas[addr] = r
+	}
+	s.mu.Unlock()
+	r.hedges.Add(1)
 }
 
 // acquire counts a routed request against a replica and returns the
@@ -250,7 +366,18 @@ func (b *Balancer) Snapshot() map[string]map[string]ReplicaCounts {
 		s.mu.Lock()
 		m := make(map[string]ReplicaCounts, len(s.replicas))
 		for addr, r := range s.replicas {
-			m[addr] = ReplicaCounts{Requests: r.requests.Load(), Inflight: r.inflight.Load()}
+			rc := ReplicaCounts{
+				Requests: r.requests.Load(),
+				Inflight: r.inflight.Load(),
+				Hedges:   r.hedges.Load(),
+				Ejected:  r.ejected.Load(),
+			}
+			r.mu.Lock()
+			rc.Ejections = r.ejections
+			rc.EwmaLatencyMs = r.ewmaLat / 1e6
+			rc.EwmaErrorRate = r.ewmaErr
+			r.mu.Unlock()
+			m[addr] = rc
 		}
 		s.mu.Unlock()
 		if len(m) > 0 {

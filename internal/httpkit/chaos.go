@@ -22,6 +22,23 @@ type ChaosConfig struct {
 	// BlackholeRate is the probability of swallowing the request whole:
 	// no response bytes until the client's context or timeout gives up.
 	BlackholeRate float64 `json:"blackholeRate"`
+	// Until bounds the fault in time: past it the config behaves as if it
+	// had been cleared, and the server lazily uninstalls it. Zero means
+	// the fault persists until explicitly cleared. Time-bounded faults
+	// let gameday scenarios and tests inject a fault window without
+	// racing a manual clear — leaked chaos can't poison later phases.
+	Until time.Time `json:"until,omitempty"`
+}
+
+// For returns a copy of the config that expires d from now.
+func (c ChaosConfig) For(d time.Duration) ChaosConfig {
+	c.Until = time.Now().Add(d)
+	return c
+}
+
+// expired reports whether a time bound has lapsed.
+func (c ChaosConfig) expired() bool {
+	return !c.Until.IsZero() && time.Now().After(c.Until)
 }
 
 // enabled reports whether the config injects any fault at all.
@@ -40,12 +57,25 @@ func (s *Server) SetChaos(cfg ChaosConfig) {
 	s.chaos.Store(&cfg)
 }
 
-// Chaos returns the active fault-injection config (zero when disabled).
+// Chaos returns the active fault-injection config (zero when disabled or
+// past its time bound).
 func (s *Server) Chaos() ChaosConfig {
-	if cfg := s.chaos.Load(); cfg != nil {
+	if cfg := s.activeChaos(); cfg != nil {
 		return *cfg
 	}
 	return ChaosConfig{}
+}
+
+// activeChaos loads the installed config, lazily uninstalling one whose
+// time bound has lapsed. CompareAndSwap keeps a concurrent SetChaos from
+// being clobbered by the expiry of the config it replaced.
+func (s *Server) activeChaos() *ChaosConfig {
+	cfg := s.chaos.Load()
+	if cfg != nil && cfg.expired() {
+		s.chaos.CompareAndSwap(cfg, nil)
+		return nil
+	}
+	return cfg
 }
 
 // ChaosInjected counts faults injected since process start.
@@ -56,7 +86,7 @@ func (s *Server) ChaosInjected() int64 { return s.chaosInjected.Load() }
 // like real handler behaviour.
 func (s *Server) injectChaos(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		cfg := s.chaos.Load()
+		cfg := s.activeChaos()
 		if cfg == nil || skipObservation(r.URL.Path) {
 			next.ServeHTTP(w, r)
 			return

@@ -345,6 +345,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.srv.Shutdown(ctx)
 }
 
+// Kill abruptly closes the server — listener and every live connection —
+// the way a crashing process would: in-flight requests die mid-stream
+// and nothing is drained. Contrast Shutdown, the graceful path.
+func (s *Server) Kill() error {
+	s.ready.Store(false)
+	return s.srv.Close()
+}
+
 // Client is a pooled JSON client for service-to-service calls. Unless
 // configured otherwise it retries idempotent calls per
 // DefaultRetryPolicy and circuit-breaks per destination host per
@@ -354,9 +362,11 @@ type Client struct {
 	retry    RetryPolicy
 	breakers *breakerGroup // nil → breakers disabled
 	balancer *Balancer     // nil → svc:// URLs are rejected
+	hedger   *hedger       // nil → hedging disabled
 
 	retries       atomic.Int64
 	shortCircuits atomic.Int64
+	hedges        atomic.Int64
 }
 
 // ClientOption customizes NewClient.
@@ -390,6 +400,13 @@ func WithBalancer(b *Balancer) ClientOption {
 	return func(c *Client) { c.balancer = b }
 }
 
+// WithHedge enables budgeted request hedging on balanced idempotent
+// calls per the given policy (zero value = defaults). Requires a
+// balancer — hedging a fixed destination would just double its load.
+func WithHedge(p HedgePolicy) ClientOption {
+	return func(c *Client) { c.hedger = newHedger(p) }
+}
+
 // NewClient returns a client with sane pooling for loopback traffic and
 // the default resilience policies (override via options).
 func NewClient(timeout time.Duration, opts ...ClientOption) *Client {
@@ -420,11 +437,19 @@ func (c *Client) Retries() int64 { return c.retries.Load() }
 // ShortCircuits counts calls refused by an open breaker.
 func (c *Client) ShortCircuits() int64 { return c.shortCircuits.Load() }
 
+// Hedges counts hedge attempts actually launched.
+func (c *Client) Hedges() int64 { return c.hedges.Load() }
+
 // ClientResilience is one client's cumulative retry/breaker summary plus
 // its balancer's per-replica routing counts.
 type ClientResilience struct {
-	Retries       int64                      `json:"retries"`
-	ShortCircuits int64                      `json:"shortCircuits"`
+	Retries       int64 `json:"retries"`
+	ShortCircuits int64 `json:"shortCircuits"`
+	// Hedges counts launched hedge attempts; HedgeEligible the calls
+	// they are budgeted against (Hedges/HedgeEligible ≤ the policy's
+	// MaxFraction).
+	Hedges        int64                      `json:"hedges,omitempty"`
+	HedgeEligible int64                      `json:"hedgeEligible,omitempty"`
 	Breakers      map[string]BreakerSnapshot `json:"breakers,omitempty"`
 	// Replicas maps destination service → replica address → routed traffic.
 	Replicas map[string]map[string]ReplicaCounts `json:"replicas,omitempty"`
@@ -432,7 +457,14 @@ type ClientResilience struct {
 
 // ResilienceSnapshot summarizes the client's resilience activity.
 func (c *Client) ResilienceSnapshot() ClientResilience {
-	out := ClientResilience{Retries: c.retries.Load(), ShortCircuits: c.shortCircuits.Load()}
+	out := ClientResilience{
+		Retries:       c.retries.Load(),
+		ShortCircuits: c.shortCircuits.Load(),
+		Hedges:        c.hedges.Load(),
+	}
+	if c.hedger != nil {
+		out.HedgeEligible = c.hedger.eligible.Load()
+	}
 	if c.breakers != nil {
 		out.Breakers = c.breakers.snapshots()
 	}
@@ -528,7 +560,10 @@ func injectTrace(req *http.Request) {
 // client's Balancer, so a retry after one replica fails lands on a
 // different replica, and an open breaker on one replica fails over to the
 // rest instead of failing fast. Only when every live replica's breaker
-// refuses does the call short-circuit with ErrCircuitOpen.
+// refuses does the call short-circuit with ErrCircuitOpen. When hedging
+// is enabled (WithHedge), an idempotent balanced call whose first attempt
+// outlives the adaptive hedge delay fires one extra attempt at a sibling
+// replica; the first acceptable response wins and the loser is cancelled.
 func (c *Client) exec(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, error) {
 	pol := c.retry
 	if override, ok := callRetryFrom(ctx); ok {
@@ -540,14 +575,15 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 		attempts = pol.MaxAttempts
 	}
 
-	service, rest, balanced := splitBalancedURL(url)
-	if balanced && c.balancer == nil {
-		return nil, fmt.Errorf("httpkit: balanced URL %s on a client with no balancer", url)
+	if service, rest, balanced := splitBalancedURL(url); balanced {
+		if c.balancer == nil {
+			return nil, fmt.Errorf("httpkit: balanced URL %s on a client with no balancer", url)
+		}
+		return c.execBalanced(ctx, method, service, rest, body, contentType, pol, attempts)
 	}
 
-	var br *Breaker // non-balanced: the fixed destination's breaker, resolved once
+	var br *Breaker // the fixed destination's breaker, resolved once
 	var lastErr error
-	var failed map[string]bool // balanced: replicas that already failed this call
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
@@ -557,38 +593,15 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 				return nil, fmt.Errorf("httpkit: retry budget exhausted after %d attempts: %w", attempt, lastErr)
 			}
 		}
-		callURL := url
-		abr := br // the breaker guarding this attempt's destination
-		var addr string
-		var release func()
-		if balanced {
-			var err error
-			addr, abr, err = c.pickReplica(ctx, service, failed)
-			if err != nil {
-				if errors.Is(err, ErrCircuitOpen) {
-					// Every live replica is known-bad; further attempts
-					// would burn backoff budget against closed gates.
-					return nil, err
-				}
-				lastErr = err
-				continue
-			}
-			callURL = "http://" + addr + rest
-			release = c.balancer.acquire(service, addr)
-		}
-		req, err := c.newRequest(ctx, method, callURL, body, contentType)
+		req, err := c.newRequest(ctx, method, url, body, contentType)
 		if err != nil {
-			if release != nil {
-				release()
-			}
 			return nil, err
 		}
-		if !balanced && c.breakers != nil {
+		if c.breakers != nil {
 			if br == nil {
 				br = c.breakers.get(req.URL.Host)
 			}
-			abr = br
-			if !abr.Allow() {
+			if !br.Allow() {
 				c.shortCircuits.Add(1)
 				// An open breaker means the destination is known-bad;
 				// spending the remaining attempts would just burn the
@@ -597,9 +610,6 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 			}
 		}
 		resp, err := c.http.Do(req)
-		if release != nil {
-			release()
-		}
 		if err != nil {
 			if ctx.Err() != nil {
 				// The caller gave up, not the destination: a cancelled
@@ -608,29 +618,20 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 				// would otherwise open breakers against healthy hosts).
 				// The half-open probe slot Allow may have reserved still
 				// has to be returned, or the breaker wedges open.
-				if abr != nil {
-					abr.Release()
+				if br != nil {
+					br.Release()
 				}
 				return nil, err
 			}
-			if abr != nil {
-				abr.Record(false)
-			}
-			if balanced {
-				failed = markFailed(failed, addr)
-				// A dead connection often means the replica is gone;
-				// re-resolve before the cache TTL lapses.
-				c.balancer.Invalidate(service)
+			if br != nil {
+				br.Record(false)
 			}
 			lastErr = err
 			continue
 		}
 		if retryableStatus(resp.StatusCode) {
-			if abr != nil {
-				abr.Record(false)
-			}
-			if balanced {
-				failed = markFailed(failed, addr)
+			if br != nil {
+				br.Record(false)
 			}
 			if attempt+1 < attempts {
 				lastErr = decodeError(resp)
@@ -639,12 +640,311 @@ func (c *Client) exec(ctx context.Context, method, url string, body []byte, cont
 			}
 			return resp, nil
 		}
-		if abr != nil {
-			abr.Record(true)
+		if br != nil {
+			br.Record(true)
 		}
 		return resp, nil
 	}
 	return nil, lastErr
+}
+
+// execBalanced runs the retry loop for a svc:// call. Each attempt is an
+// arbitration over one primary launch plus at most one hedge; replicas
+// that failed earlier attempts are avoided on later picks.
+func (c *Client) execBalanced(ctx context.Context, method, service, rest string, body []byte, contentType string, pol RetryPolicy, attempts int) (*http.Response, error) {
+	// Hedge only calls that are safe to issue twice — the same
+	// idempotency bar retries use.
+	mayHedge := c.hedger != nil &&
+		(method == http.MethodGet || method == http.MethodHead || pol.RetryNonIdempotent)
+	var lastErr error
+	var failed map[string]bool // replicas that already failed this call
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			if !backoff(ctx, pol, attempt) {
+				return nil, fmt.Errorf("httpkit: retry budget exhausted after %d attempts: %w", attempt, lastErr)
+			}
+		}
+		res := c.balancedAttempt(ctx, method, service, rest, body, contentType, failed, mayHedge && attempt == 0)
+		for _, a := range res.failedAddrs {
+			failed = markFailed(failed, a)
+		}
+		if res.err != nil {
+			if res.fatal || errors.Is(res.err, ErrCircuitOpen) || ctx.Err() != nil {
+				// Building the request cannot succeed on retry; an open
+				// breaker on every replica means the service is
+				// known-bad; a dead caller context ends the call. None
+				// of these earn another attempt.
+				return nil, res.err
+			}
+			lastErr = res.err
+			continue
+		}
+		if retryableStatus(res.resp.StatusCode) && attempt+1 < attempts {
+			lastErr = decodeError(res.resp)
+			res.resp.Body.Close()
+			continue
+		}
+		return res.resp, nil
+	}
+	return nil, lastErr
+}
+
+// attemptResult is the decisive outcome of one logical balanced attempt
+// (primary launch plus optional hedge).
+type attemptResult struct {
+	resp        *http.Response // any HTTP answer, including retryable statuses
+	err         error
+	fatal       bool     // request construction failed; retrying cannot help
+	failedAddrs []string // replicas that failed during this attempt
+}
+
+// attemptState identifies one in-flight physical attempt.
+type attemptState struct {
+	addr   string
+	br     *Breaker
+	cancel context.CancelFunc
+}
+
+// attemptOutcome is what a physical attempt's goroutine reports back.
+// All breaker/balancer bookkeeping for the attempt has already happened
+// by the time it is sent, so arbitration only selects and cleans up.
+type attemptOutcome struct {
+	st   *attemptState
+	resp *http.Response
+	err  error
+	kind int
+}
+
+const (
+	outcomeOK        = iota // decisive answer (2xx/3xx/4xx)
+	outcomeBadStatus        // retryable status (5xx, 429); resp carried
+	outcomeTransport        // connection-level failure
+	outcomeCancelled        // context ended first (caller or arbitration)
+)
+
+// balancedAttempt launches the primary attempt, optionally arms a hedge
+// timer, and arbitrates: the first acceptable response wins, the loser
+// is cancelled and drained in the background.
+func (c *Client) balancedAttempt(ctx context.Context, method, service, rest string, body []byte, contentType string, failed map[string]bool, mayHedge bool) attemptResult {
+	primaryAddr, br, err := c.pickReplica(ctx, service, failed)
+	if err != nil {
+		return attemptResult{err: err}
+	}
+	ch := make(chan attemptOutcome, 2)
+	pst, err := c.launchAttempt(ctx, method, service, primaryAddr, br, rest, body, contentType, ch)
+	if err != nil {
+		return attemptResult{err: err, fatal: true}
+	}
+	var timerC <-chan time.Time
+	if mayHedge {
+		if d, ok := c.hedger.armDelay(service); ok {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			timerC = t.C
+		}
+	}
+	hst := (*attemptState)(nil)
+	outstanding := 1
+	var firstFail *attemptOutcome
+	var failedAddrs []string
+	for {
+		select {
+		case out := <-ch:
+			outstanding--
+			other := pst
+			if out.st == pst {
+				other = hst
+			}
+			switch out.kind {
+			case outcomeOK:
+				if outstanding > 0 {
+					abandonLoser(other, ch)
+				}
+				closeFailure(firstFail)
+				// The winner's context must outlive exec — the caller
+				// still reads the body — so it is released on Close.
+				out.resp.Body = &cancelOnCloseBody{ReadCloser: out.resp.Body, cancel: out.st.cancel}
+				return attemptResult{resp: out.resp, failedAddrs: failedAddrs}
+			case outcomeCancelled:
+				// Arbitration never cancels before a winner, so this is
+				// the caller's own context ending.
+				out.st.cancel()
+				if outstanding > 0 {
+					abandonLoser(other, ch)
+				}
+				closeFailure(firstFail)
+				return attemptResult{err: out.err, failedAddrs: failedAddrs}
+			default: // outcomeBadStatus, outcomeTransport
+				failedAddrs = append(failedAddrs, out.st.addr)
+				if out.resp == nil {
+					out.st.cancel()
+				}
+				if outstanding > 0 {
+					held := out
+					firstFail = &held
+					continue
+				}
+				return decisiveFailure(firstFail, &out, failedAddrs)
+			}
+		case <-timerC:
+			timerC = nil
+			if h := c.tryHedge(ctx, method, service, rest, body, contentType, failed, primaryAddr, ch); h != nil {
+				hst = h
+				outstanding++
+			}
+		}
+	}
+}
+
+// launchAttempt fires one physical attempt in a goroutine that owns all
+// of its bookkeeping: replica in-flight accounting, breaker feedback,
+// outlier observation, and cache invalidation. The caller's pickReplica
+// has already reserved the breaker admission (br may be nil).
+func (c *Client) launchAttempt(ctx context.Context, method, service, addr string, br *Breaker, rest string, body []byte, contentType string, ch chan<- attemptOutcome) (*attemptState, error) {
+	actx, cancel := context.WithCancel(ctx)
+	req, err := c.newRequest(actx, method, "http://"+addr+rest, body, contentType)
+	if err != nil {
+		cancel()
+		if br != nil {
+			br.Release()
+		}
+		return nil, err
+	}
+	st := &attemptState{addr: addr, br: br, cancel: cancel}
+	release := c.balancer.acquire(service, addr)
+	go func() {
+		start := time.Now()
+		resp, derr := c.http.Do(req)
+		release()
+		elapsed := time.Since(start)
+		out := attemptOutcome{st: st, resp: resp, err: derr}
+		switch {
+		case derr != nil && (ctx.Err() != nil || actx.Err() != nil):
+			// Cancelled — by the caller or by losing the hedge race.
+			// Says nothing decisive about replica health, so the
+			// breaker slot is released, not recorded; the
+			// elapsed-at-cancel still feeds the outlier EWMA as a
+			// censored latency sample (a replica that is routinely
+			// slower than the hedge delay keeps looking slow).
+			out.kind = outcomeCancelled
+			if br != nil {
+				br.Release()
+			}
+			c.balancer.Observe(service, addr, elapsed, false)
+		case derr != nil:
+			out.kind = outcomeTransport
+			if br != nil {
+				br.Record(false)
+			}
+			c.balancer.Observe(service, addr, elapsed, true)
+			// A dead connection often means the replica is gone;
+			// re-resolve before the cache TTL lapses.
+			c.balancer.Invalidate(service)
+		case retryableStatus(resp.StatusCode):
+			out.kind = outcomeBadStatus
+			if br != nil {
+				br.Record(false)
+			}
+			c.balancer.Observe(service, addr, elapsed, true)
+		default:
+			out.kind = outcomeOK
+			if br != nil {
+				br.Record(true)
+			}
+			c.balancer.Observe(service, addr, elapsed, false)
+			if c.hedger != nil {
+				c.hedger.observeLatency(service, elapsed)
+			}
+		}
+		ch <- out
+	}()
+	return st, nil
+}
+
+// tryHedge spends hedge budget and fires the second attempt at a
+// replica other than the primary. Returns nil (budget refunded) when
+// the budget is exhausted or no distinct replica is available.
+func (c *Client) tryHedge(ctx context.Context, method, service, rest string, body []byte, contentType string, failed map[string]bool, primaryAddr string, ch chan<- attemptOutcome) *attemptState {
+	if !c.hedger.spend() {
+		return nil
+	}
+	avoid := map[string]bool{primaryAddr: true}
+	for a := range failed {
+		avoid[a] = true
+	}
+	addr, br, err := c.pickReplica(ctx, service, avoid)
+	if err != nil || addr == primaryAddr {
+		if err == nil && br != nil {
+			br.Release()
+		}
+		c.hedger.refund()
+		return nil
+	}
+	st, err := c.launchAttempt(ctx, method, service, addr, br, rest, body, contentType, ch)
+	if err != nil {
+		c.hedger.refund()
+		return nil
+	}
+	c.hedges.Add(1)
+	c.balancer.markHedge(service, addr)
+	return st
+}
+
+// abandonLoser cancels the losing attempt and drains its eventual
+// outcome in the background so neither the goroutine nor its response
+// body leaks. The loser's own goroutine has already done (or will do)
+// its breaker/balancer bookkeeping.
+func abandonLoser(st *attemptState, ch <-chan attemptOutcome) {
+	st.cancel()
+	go func() {
+		o := <-ch
+		if o.resp != nil {
+			o.resp.Body.Close()
+		}
+		o.st.cancel()
+	}()
+}
+
+// closeFailure releases a held failure outcome's response and context.
+func closeFailure(o *attemptOutcome) {
+	if o == nil {
+		return
+	}
+	if o.resp != nil {
+		o.resp.Body.Close()
+	}
+	o.st.cancel()
+}
+
+// decisiveFailure picks which of (up to) two failures to surface: one
+// carrying an HTTP response beats a bare transport error, so the caller
+// gets a decodable envelope when any replica produced one.
+func decisiveFailure(a, b *attemptOutcome, failedAddrs []string) attemptResult {
+	win, lose := b, a
+	if a != nil && a.resp != nil && b.resp == nil {
+		win, lose = a, b
+	}
+	closeFailure(lose)
+	if win.resp != nil {
+		win.resp.Body = &cancelOnCloseBody{ReadCloser: win.resp.Body, cancel: win.st.cancel}
+		return attemptResult{resp: win.resp, failedAddrs: failedAddrs}
+	}
+	return attemptResult{err: win.err, failedAddrs: failedAddrs}
+}
+
+// cancelOnCloseBody ties an attempt's context lifetime to its response
+// body: the context is released when the caller finishes reading, not
+// when exec returns.
+type cancelOnCloseBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelOnCloseBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
 }
 
 // markFailed records a replica that failed the current logical call so

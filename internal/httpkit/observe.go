@@ -140,13 +140,29 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		defer func() {
 			p := recover()
 			status := sw.status
+			abandoned := r.Context().Err() != nil
 			if p != nil {
 				status = http.StatusInternalServerError
 			} else if status == 0 {
-				status = http.StatusOK
+				if abandoned {
+					// The client went away before a response was
+					// written — a cancelled hedge loser, a blackholed
+					// request, a closed connection.
+					status = 499
+				} else {
+					status = http.StatusOK
+				}
 			}
 			elapsed := time.Since(start)
-			s.stats.hist(route).Record(elapsed.Nanoseconds())
+			// One logical request, one latency sample: abandoned
+			// requests (hedge losers, blackholes — nobody received the
+			// response) and error answers (a retried 500 would sample
+			// the same logical request on two servers; sheds are
+			// already excluded upstream for the same reason) stay out
+			// of the latency histograms. Spans record everything.
+			if !abandoned && status < http.StatusInternalServerError {
+				s.stats.hist(route).Record(elapsed.Nanoseconds())
+			}
 			s.spans.add(Span{
 				TraceID: tc.ID, Service: s.name, Route: route, Depth: tc.Depth,
 				Start: start, Duration: elapsed, Status: status,
@@ -215,6 +231,8 @@ type ResilienceSnapshot struct {
 	ChaosInjected int64                      `json:"chaosInjected,omitempty"`
 	Retries       int64                      `json:"retries"`
 	ShortCircuits int64                      `json:"shortCircuits"`
+	Hedges        int64                      `json:"hedges,omitempty"`
+	HedgeEligible int64                      `json:"hedgeEligible,omitempty"`
 	Breakers      map[string]BreakerSnapshot `json:"breakers,omitempty"`
 	// Replicas maps destination service → replica address → traffic this
 	// service's outbound clients routed there.
@@ -233,6 +251,8 @@ func (s *Server) resilienceSnapshot() ResilienceSnapshot {
 		cr := c.ResilienceSnapshot()
 		out.Retries += cr.Retries
 		out.ShortCircuits += cr.ShortCircuits
+		out.Hedges += cr.Hedges
+		out.HedgeEligible += cr.HedgeEligible
 		for host, bs := range cr.Breakers {
 			if out.Breakers == nil {
 				out.Breakers = map[string]BreakerSnapshot{}
@@ -251,10 +271,16 @@ func (s *Server) resilienceSnapshot() ResilienceSnapshot {
 			}
 			for addr, rc := range replicas {
 				prev := out.Replicas[svc][addr]
-				out.Replicas[svc][addr] = ReplicaCounts{
-					Requests: prev.Requests + rc.Requests,
-					Inflight: prev.Inflight + rc.Inflight,
+				merged := ReplicaCounts{
+					Requests:      prev.Requests + rc.Requests,
+					Inflight:      prev.Inflight + rc.Inflight,
+					Hedges:        prev.Hedges + rc.Hedges,
+					Ejections:     prev.Ejections + rc.Ejections,
+					Ejected:       prev.Ejected || rc.Ejected,
+					EwmaLatencyMs: max(prev.EwmaLatencyMs, rc.EwmaLatencyMs),
+					EwmaErrorRate: max(prev.EwmaErrorRate, rc.EwmaErrorRate),
 				}
+				out.Replicas[svc][addr] = merged
 			}
 		}
 	}
@@ -360,6 +386,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP teastore_client_short_circuits_total Outbound calls refused by an open breaker.\n")
 	fmt.Fprintf(w, "# TYPE teastore_client_short_circuits_total counter\n")
 	fmt.Fprintf(w, "teastore_client_short_circuits_total{service=%q} %d\n", s.name, res.ShortCircuits)
+	fmt.Fprintf(w, "# HELP teastore_client_hedges_total Outbound hedge attempts launched.\n")
+	fmt.Fprintf(w, "# TYPE teastore_client_hedges_total counter\n")
+	fmt.Fprintf(w, "teastore_client_hedges_total{service=%q} %d\n", s.name, res.Hedges)
 	if len(res.Breakers) > 0 {
 		hosts := make([]string, 0, len(res.Breakers))
 		for host := range res.Breakers {
@@ -396,6 +425,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			for _, addr := range addrs {
 				fmt.Fprintf(w, "teastore_replica_requests_total{service=%q,dest_service=%q,replica=%q} %d\n",
 					s.name, dest, addr, res.Replicas[dest][addr].Requests)
+			}
+		}
+		fmt.Fprintf(w, "# HELP teastore_replica_ejected Whether the client-side balancer currently ejects a replica as an outlier.\n")
+		fmt.Fprintf(w, "# TYPE teastore_replica_ejected gauge\n")
+		for _, dest := range dests {
+			addrs := make([]string, 0, len(res.Replicas[dest]))
+			for addr := range res.Replicas[dest] {
+				addrs = append(addrs, addr)
+			}
+			sort.Strings(addrs)
+			for _, addr := range addrs {
+				v := 0
+				if res.Replicas[dest][addr].Ejected {
+					v = 1
+				}
+				fmt.Fprintf(w, "teastore_replica_ejected{service=%q,dest_service=%q,replica=%q} %d\n",
+					s.name, dest, addr, v)
 			}
 		}
 	}

@@ -22,7 +22,7 @@ import (
 func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, error) {
 	t := metrics.Table{
 		Title:   "Per-service latency breakdown",
-		Headers: []string{"service", "instance", "requests", "share", "p50 ms", "p95 ms", "p99 ms", "retries", "shed", "opens", "autoscale"},
+		Headers: []string{"service", "instance", "requests", "share", "p50 ms", "p95 ms", "p99 ms", "retries", "hedges", "shed", "opens", "ejected", "autoscale"},
 	}
 	hc := httpkit.NewClient(5 * time.Second)
 	var names []string
@@ -34,25 +34,54 @@ func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, err
 	}
 	sort.Strings(names)
 	autoscale := fetchAutoscale(ctx, hc, registryURL, names)
-	ms := func(v int64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
+
+	// Collect every instance's snapshot before emitting any row: whether a
+	// replica is ejected is recorded by its *callers*, so a row's ejected
+	// column needs the whole stack's snapshots in hand first.
+	type instance struct {
+		addr string
+		snap httpkit.MetricsSnapshot
+	}
+	byService := map[string][]instance{}
 	for _, name := range names {
 		var addrs []string
 		if err := hc.GetJSON(ctx, registryURL+"/services/"+name, &addrs); err != nil {
 			return t, fmt.Errorf("loadgen: resolving %s: %w", name, err)
 		}
 		sort.Strings(addrs)
-		snaps := make([]httpkit.MetricsSnapshot, 0, len(addrs))
-		var total int64
 		for _, addr := range addrs {
 			var snap httpkit.MetricsSnapshot
 			if err := hc.GetJSON(ctx, "http://"+addr+"/metrics.json", &snap); err != nil {
 				return t, fmt.Errorf("loadgen: metrics from %s@%s: %w", name, addr, err)
 			}
-			snaps = append(snaps, snap)
-			total += snap.Requests
+			byService[name] = append(byService[name], instance{addr: addr, snap: snap})
 		}
-		for i, addr := range addrs {
-			snap := snaps[i]
+	}
+	ejected := map[string]map[string]bool{}
+	for _, instances := range byService {
+		for _, in := range instances {
+			for dest, replicas := range in.snap.Resilience.Replicas {
+				for addr, rc := range replicas {
+					if rc.Ejected {
+						if ejected[dest] == nil {
+							ejected[dest] = map[string]bool{}
+						}
+						ejected[dest][addr] = true
+					}
+				}
+			}
+		}
+	}
+
+	ms := func(v int64) string { return fmt.Sprintf("%.3f", float64(v)/1e6) }
+	for _, name := range names {
+		instances := byService[name]
+		var total int64
+		for _, in := range instances {
+			total += in.snap.Requests
+		}
+		for _, in := range instances {
+			snap := in.snap
 			var opens int64
 			for _, bs := range snap.Resilience.Breakers {
 				opens += bs.Opens
@@ -61,15 +90,21 @@ func FetchBreakdown(ctx context.Context, registryURL string) (metrics.Table, err
 			if total > 0 {
 				share = fmt.Sprintf("%.1f%%", 100*float64(snap.Requests)/float64(total))
 			}
+			ej := "-"
+			if ejected[name][in.addr] {
+				ej = "yes"
+			}
 			asc := autoscale[name]
 			if asc == "" {
 				asc = "-"
 			}
-			t.AddRow(name, addr, strconv.FormatInt(snap.Requests, 10), share,
+			t.AddRow(name, in.addr, strconv.FormatInt(snap.Requests, 10), share,
 				ms(snap.Overall.P50), ms(snap.Overall.P95), ms(snap.Overall.P99),
 				strconv.FormatInt(snap.Resilience.Retries, 10),
+				strconv.FormatInt(snap.Resilience.Hedges, 10),
 				strconv.FormatInt(snap.Resilience.Shed, 10),
 				strconv.FormatInt(opens, 10),
+				ej,
 				asc)
 		}
 	}

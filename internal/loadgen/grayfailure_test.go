@@ -1,0 +1,198 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// idemWorker builds a measuring worker with idempotent retries on.
+func idemWorker(t *testing.T, base string, pool *webuiPool) *worker {
+	t.Helper()
+	var measuring atomic.Bool
+	measuring.Store(true)
+	var errCount atomic.Int64
+	w, err := newWorker(Config{WebUIURL: base, ThinkScale: 0.01, CatalogUsers: 1, RetryIdempotent: true},
+		catalog{categoryIDs: []int64{1}, productIDs: []int64{1}}, pool, nil, 0, &measuring, &errCount)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestWorkerRetriesFailedGET: a 500 on a GET is re-issued (bounded) when
+// RetryIdempotent is on, and the eventual success counts no error.
+func TestWorkerRetriesFailedGET(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	w := idemWorker(t, srv.URL, nil)
+	if err := w.get(context.Background(), "/"); err != nil {
+		t.Fatalf("retried GET still reported error: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d calls, want 2", calls.Load())
+	}
+	if w.idemRetried != 1 {
+		t.Fatalf("idemRetried = %d, want 1", w.idemRetried)
+	}
+}
+
+// TestWorkerRetryRepicksReplica: the retry lands on a different replica
+// when a pool is available — rescuing the request from a failing replica
+// instead of banging on it.
+func TestWorkerRetryRepicksReplica(t *testing.T) {
+	var badCalls, goodCalls atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badCalls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		goodCalls.Add(1)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer good.Close()
+	// A registry stub listing only the good replica, so every re-pick
+	// deterministically escapes the bad one.
+	registry := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode([]string{strings.TrimPrefix(good.URL, "http://")})
+	}))
+	defer registry.Close()
+
+	pool := newWebuiPool(registry.URL, bad.URL, false)
+	w := idemWorker(t, bad.URL, pool)
+	// Prime the pool's listing (first refresh is async).
+	rng := rand.New(rand.NewSource(1))
+	deadline := time.Now().Add(2 * time.Second)
+	for pool.pick(context.Background(), rng) != good.URL {
+		if time.Now().After(deadline) {
+			t.Fatal("pool never resolved the registry listing")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := w.get(context.Background(), "/"); err != nil {
+		t.Fatalf("re-picked GET still reported error: %v", err)
+	}
+	if badCalls.Load() != 1 || goodCalls.Load() != 1 {
+		t.Fatalf("bad/good calls = %d/%d, want 1/1", badCalls.Load(), goodCalls.Load())
+	}
+}
+
+// TestWorkerNeverRetriesPOST: non-idempotent requests get exactly one
+// attempt no matter what — a replayed checkout is a double order.
+func TestWorkerNeverRetriesPOST(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	w := idemWorker(t, srv.URL, nil)
+	if err := w.postForm(context.Background(), "/cart/checkout", nil); err == nil {
+		t.Fatal("failed POST reported success")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d POST attempts, want exactly 1", calls.Load())
+	}
+	if w.idemRetried != 0 {
+		t.Fatalf("idemRetried = %d for a POST, want 0", w.idemRetried)
+	}
+}
+
+// TestTimelineBucketsBySecond: records land in their completion-time
+// windows with per-window percentiles, errors, and sheds.
+func TestTimelineBucketsBySecond(t *testing.T) {
+	tl := &timeline{}
+	start := time.Now()
+	tl.begin(start)
+
+	tl.record(start.Add(100*time.Millisecond), int64(10*time.Millisecond), false)
+	tl.record(start.Add(200*time.Millisecond), int64(20*time.Millisecond), false)
+	tl.record(start.Add(300*time.Millisecond), 0, true)
+	tl.recordShed(start.Add(400 * time.Millisecond))
+	tl.record(start.Add(2500*time.Millisecond), int64(80*time.Millisecond), false)
+	tl.record(start.Add(-time.Second), int64(time.Millisecond), false) // pre-start: dropped
+
+	ws := tl.windows()
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3", len(ws))
+	}
+	w0 := ws[0]
+	if w0.Requests != 3 || w0.Errors != 1 || w0.Shed != 1 {
+		t.Fatalf("window 0 = %+v, want 3 requests, 1 error, 1 shed", w0)
+	}
+	if w0.P99() < 10*time.Millisecond || w0.P99() > 40*time.Millisecond {
+		t.Fatalf("window 0 p99 = %v, want ≈20ms", w0.P99())
+	}
+	if ws[1].Requests != 0 {
+		t.Fatalf("quiet window 1 = %+v, want empty", ws[1])
+	}
+	if ws[2].Requests != 1 || ws[2].P99() < 80*time.Millisecond {
+		t.Fatalf("window 2 = %+v, want 1 request at ≈80ms", ws[2])
+	}
+}
+
+// TestPoolEjectsSlowReplicaAndReadmits: the session pool steers picks
+// away from a replica whose EWMA stands far above its peers, keeps at
+// least one URL eligible, and re-admits after probation.
+func TestPoolEjectsSlowReplicaAndReadmits(t *testing.T) {
+	pool := newWebuiPool("http://unused.invalid", "http://fallback", true)
+	pool.urls = []string{"http://fast-a", "http://fast-b", "http://slow"}
+	pool.fetched = time.Now().Add(time.Hour) // keep the refresh loop out of this test
+
+	for i := 0; i < 20; i++ {
+		pool.observe("http://fast-a", 5*time.Millisecond, false)
+		pool.observe("http://fast-b", 5*time.Millisecond, false)
+		pool.observe("http://slow", 100*time.Millisecond, false)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		if got := pool.pick(context.Background(), rng); got == "http://slow" {
+			t.Fatalf("pick %d returned the ejected slow replica", i)
+		}
+	}
+
+	// Probation lapses: the replica is pickable again with fresh stats.
+	pool.mu.Lock()
+	pool.replicas["http://slow"].ejectedUntil = time.Now().Add(-time.Millisecond)
+	pool.mu.Unlock()
+	seen := false
+	for i := 0; i < 200 && !seen; i++ {
+		seen = pool.pick(context.Background(), rng) == "http://slow"
+	}
+	if !seen {
+		t.Fatal("slow replica never re-admitted after probation")
+	}
+
+	// Pool-wide slowness ejects nobody: every replica stays eligible.
+	pool2 := newWebuiPool("http://unused.invalid", "http://fallback", true)
+	pool2.urls = []string{"http://a", "http://b"}
+	pool2.fetched = time.Now().Add(time.Hour)
+	for i := 0; i < 20; i++ {
+		pool2.observe("http://a", 100*time.Millisecond, false)
+		pool2.observe("http://b", 100*time.Millisecond, false)
+	}
+	got := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		got[pool2.pick(context.Background(), rng)] = true
+	}
+	if !got["http://a"] || !got["http://b"] {
+		t.Fatalf("uniformly slow pool lost replicas from rotation: %v", got)
+	}
+}

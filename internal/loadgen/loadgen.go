@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/cookiejar"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,6 +53,18 @@ type Config struct {
 	// CatalogUsers is how many demo accounts exist (db.GenerateSpec.Users).
 	CatalogUsers int
 	Seed         int64
+	// Timeline records a per-second window breakdown of the measured run
+	// (Result.Timeline) — what the gameday harness gates recovery time on.
+	Timeline bool
+	// RetryIdempotent re-issues failed GETs (transport errors and 5xx) up
+	// to twice, re-picking the webui replica when a registry pool is
+	// available — the client-side defense that turns a gray replica's
+	// failures into latency instead of errors. POSTs are never retried.
+	RetryIdempotent bool
+	// EjectOutliers makes the webui session pool avoid replicas whose
+	// response-time EWMA stands far above their peers', re-admitting them
+	// after a probation. Needs RegistryURL.
+	EjectOutliers bool
 }
 
 // Result is a load run's measurements.
@@ -70,6 +83,18 @@ type Result struct {
 	Shed int64
 	// Retries counts re-issues after honouring a Retry-After backoff.
 	Retries int64
+	// IdempotentRetries counts GET re-issues after failures
+	// (Config.RetryIdempotent); IdempotentFailures counts GETs that still
+	// failed after every retry — the gameday zero-failure gate. Failures
+	// are counted whether or not retries are enabled, so defended and
+	// undefended runs report on the same scale.
+	IdempotentRetries  int64
+	IdempotentFailures int64
+	// MeasureStart anchors Timeline in wall-clock time.
+	MeasureStart time.Time
+	// Timeline is the per-second view of the measured run
+	// (Config.Timeline), in completion-time order.
+	Timeline []Window
 }
 
 // catalog is the discovered store shape.
@@ -108,7 +133,11 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	var pool *webuiPool
 	if cfg.RegistryURL != "" {
-		pool = newWebuiPool(cfg.RegistryURL, cfg.WebUIURL)
+		pool = newWebuiPool(cfg.RegistryURL, cfg.WebUIURL, cfg.EjectOutliers)
+	}
+	var tl *timeline
+	if cfg.Timeline {
+		tl = &timeline{}
 	}
 
 	var measuring atomic.Bool
@@ -120,7 +149,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	defer cancel()
 
 	for i := range workers {
-		w, err := newWorker(cfg, cat, pool, int64(i), &measuring, &errCount)
+		w, err := newWorker(cfg, cat, pool, tl, int64(i), &measuring, &errCount)
 		if err != nil {
 			return Result{}, err
 		}
@@ -140,8 +169,11 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		wg.Wait()
 		return Result{}, ctx.Err()
 	}
-	measuring.Store(true)
 	start := time.Now()
+	if tl != nil {
+		tl.begin(start)
+	}
+	measuring.Store(true)
 	select {
 	case <-time.After(cfg.Duration):
 	case <-ctx.Done():
@@ -167,7 +199,11 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	for _, w := range workers {
 		res.Shed += w.shed
 		res.Retries += w.retried
+		res.IdempotentRetries += w.idemRetried
+		res.IdempotentFailures += w.idemFailed
 	}
+	res.MeasureStart = start
+	res.Timeline = tl.windows()
 	res.Throughput = float64(all.Count()) / elapsed.Seconds()
 	for r := range byReq {
 		if byReq[r].Count() > 0 {
@@ -208,47 +244,219 @@ func discover(ctx context.Context, persistenceURL string) (catalog, error) {
 // spread across replicas added at runtime. The listing is cached briefly
 // and shared by every worker; a failed or empty refresh falls back to the
 // configured WebUIURL so a registry outage degrades to single-URL load
-// rather than stopping the run.
+// rather than stopping the run. Refreshes run in the background — an
+// expired cache serves the stale list instead of making every worker
+// queue behind one registry round-trip (or, during a registry outage, a
+// 2s timeout).
+//
+// With ejection on, the pool also tracks a response-time EWMA per
+// replica and steers new sessions away from replicas standing far above
+// their peers' median, re-admitting them after a probation — the
+// open-loop client's analogue of the in-stack balancer's outlier
+// ejection.
 type webuiPool struct {
 	registryURL string
 	fallback    string
 	client      *httpkit.Client
 	ttl         time.Duration
+	eject       bool
 
-	mu      sync.Mutex
-	urls    []string
-	fetched time.Time
+	mu         sync.Mutex
+	urls       []string
+	fetched    time.Time
+	refreshing bool
+	replicas   map[string]*poolReplica
 }
 
-func newWebuiPool(registryURL, fallback string) *webuiPool {
+// poolReplica is one webui replica's health view inside the pool.
+type poolReplica struct {
+	samples      int64
+	ewma         float64
+	ejectedUntil time.Time
+}
+
+const (
+	// poolMinSamples gates judging a replica on fresh evidence.
+	poolMinSamples = 10
+	// poolLatencyFactor is the peer-median multiple at which a replica is
+	// avoided.
+	poolLatencyFactor = 3.0
+	// poolMinExcess is the absolute EWMA excess over the peer median an
+	// ejection additionally requires — a fast pool's noise (2ms vs 7ms)
+	// clears any ratio, so an outlier must also stand out in wall time.
+	poolMinExcess = float64(50 * time.Millisecond)
+	// poolProbation is how long an avoided replica sits out before fresh
+	// traffic may re-admit it.
+	poolProbation = 5 * time.Second
+	// poolFailurePenalty is the latency a failed request is accounted as,
+	// so a replica answering errors quickly still looks unhealthy.
+	poolFailurePenalty = float64(time.Second)
+)
+
+func newWebuiPool(registryURL, fallback string, eject bool) *webuiPool {
 	return &webuiPool{
 		registryURL: registryURL,
 		fallback:    fallback,
 		client:      httpkit.NewClient(2*time.Second, httpkit.WithoutRetries(), httpkit.WithoutBreakers()),
 		ttl:         time.Second,
+		eject:       eject,
+		replicas:    map[string]*poolReplica{},
 	}
 }
 
 // pick returns the webui base URL for one session — a uniformly random
-// live replica. Cookie jars are keyed by domain, so a user whose next
-// session lands on a different replica keeps their login.
+// live (and, with ejection on, currently-admissible) replica. Cookie
+// jars are keyed by domain, so a user whose next session lands on a
+// different replica keeps their login.
 func (p *webuiPool) pick(ctx context.Context, rng *rand.Rand) string {
+	now := time.Now()
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if time.Since(p.fetched) >= p.ttl {
-		var addrs []string
-		if err := p.client.GetJSON(ctx, p.registryURL+"/services/webui", &addrs); err == nil {
-			p.urls = p.urls[:0]
-			for _, a := range addrs {
-				p.urls = append(p.urls, "http://"+a)
+	if now.Sub(p.fetched) >= p.ttl && !p.refreshing {
+		p.refreshing = true
+		go p.refresh()
+	}
+	urls := p.eligible(now)
+	var out string
+	if len(urls) == 0 {
+		out = p.fallback
+	} else {
+		out = urls[rng.Intn(len(urls))]
+	}
+	p.mu.Unlock()
+	return out
+}
+
+// refresh re-resolves the replica listing once, in the background.
+func (p *webuiPool) refresh() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	var addrs []string
+	err := p.client.GetJSON(ctx, p.registryURL+"/services/webui", &addrs)
+	p.mu.Lock()
+	if err == nil {
+		p.urls = p.urls[:0]
+		for _, a := range addrs {
+			p.urls = append(p.urls, "http://"+a)
+		}
+	}
+	p.fetched = time.Now()
+	p.refreshing = false
+	p.mu.Unlock()
+}
+
+// observe feeds one request's outcome into the replica's EWMA. Failures
+// are charged a latency penalty so fast errors count against a replica
+// as much as slow answers.
+func (p *webuiPool) observe(base string, lat time.Duration, failed bool) {
+	if p == nil || !p.eject {
+		return
+	}
+	v := float64(lat)
+	if failed && v < poolFailurePenalty {
+		v = poolFailurePenalty
+	}
+	p.mu.Lock()
+	r := p.replicas[base]
+	if r == nil {
+		r = &poolReplica{}
+		p.replicas[base] = r
+	}
+	r.samples++
+	a := 0.1
+	if warm := 1 / float64(r.samples); warm > a {
+		a = warm
+	}
+	r.ewma += (v - r.ewma) * a
+	p.mu.Unlock()
+}
+
+// eligible returns the replicas sessions may land on: with ejection on,
+// replicas whose EWMA stands above poolLatencyFactor× the leave-one-out
+// median of their peers sit out a probation (their stats reset, so
+// re-admission demands fresh evidence). The whole pool is never ejected.
+// Caller holds p.mu.
+func (p *webuiPool) eligible(now time.Time) []string {
+	if !p.eject || len(p.urls) < 2 {
+		return p.urls
+	}
+	var judged []string
+	for _, u := range p.urls {
+		if r := p.replicas[u]; r != nil && now.After(r.ejectedUntil) && r.samples >= poolMinSamples {
+			judged = append(judged, u)
+		}
+	}
+	if len(judged) >= 2 {
+		for _, u := range judged {
+			peers := make([]float64, 0, len(judged)-1)
+			for _, o := range judged {
+				if o != u {
+					peers = append(peers, p.replicas[o].ewma)
+				}
+			}
+			base := poolMedian(peers)
+			r := p.replicas[u]
+			if base > 0 && r.ewma > poolLatencyFactor*base && r.ewma-base > poolMinExcess {
+				r.ejectedUntil = now.Add(poolProbation)
+				r.samples, r.ewma = 0, 0
 			}
 		}
-		p.fetched = time.Now()
 	}
+	kept := make([]string, 0, len(p.urls))
+	for _, u := range p.urls {
+		if r := p.replicas[u]; r == nil || !now.Before(r.ejectedUntil) {
+			kept = append(kept, u)
+		}
+	}
+	if len(kept) == 0 {
+		return p.urls
+	}
+	return kept
+}
+
+// admissible reports whether sessions may keep using base: false once
+// the replica has been ejected or dropped from the live listing, so a
+// worker mid-session re-picks instead of riding a sick replica until its
+// session ends — under a gray failure the sick replica's slow responses
+// stretch exactly those sessions the longest. Safe mid-session: cookie
+// jars key by host and the replicas differ only by port, so the login
+// survives the move.
+func (p *webuiPool) admissible(base string) bool {
+	if p == nil {
+		return true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if len(p.urls) == 0 {
-		return p.fallback
+		return true // nothing to re-pick onto
 	}
-	return p.urls[rng.Intn(len(p.urls))]
+	listed := false
+	for _, u := range p.urls {
+		if u == base {
+			listed = true
+			break
+		}
+	}
+	if !listed {
+		return false
+	}
+	if !p.eject {
+		return true
+	}
+	r := p.replicas[base]
+	return r == nil || !time.Now().Before(r.ejectedUntil)
+}
+
+// poolMedian of a small unsorted slice (sorts its argument).
+func poolMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
 }
 
 // worker is one closed-loop user.
@@ -256,6 +464,7 @@ type worker struct {
 	cfg       Config
 	cat       catalog
 	pool      *webuiPool
+	tl        *timeline
 	base      string
 	rng       *rand.Rand
 	http      *http.Client
@@ -264,23 +473,25 @@ type worker struct {
 
 	all   metrics.Histogram
 	byReq [workload.NumRequests]metrics.Histogram
-	// shed and retried are written by this worker's goroutine only and
-	// read after the run's WaitGroup barrier.
-	shed    int64
-	retried int64
+	// shed, retried, idemRetried, and idemFailed are written by this
+	// worker's goroutine only and read after the run's WaitGroup barrier.
+	shed        int64
+	retried     int64
+	idemRetried int64
+	idemFailed  int64
 
 	lastProduct int64
 	userIdx     int
 }
 
-func newWorker(cfg Config, cat catalog, pool *webuiPool, id int64, measuring *atomic.Bool, errCount *atomic.Int64) (*worker, error) {
+func newWorker(cfg Config, cat catalog, pool *webuiPool, tl *timeline, id int64, measuring *atomic.Bool, errCount *atomic.Int64) (*worker, error) {
 	jar, err := cookiejar.New(nil)
 	if err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + id))
 	return &worker{
-		cfg: cfg, cat: cat, pool: pool, base: cfg.WebUIURL, rng: rng,
+		cfg: cfg, cat: cat, pool: pool, tl: tl, base: cfg.WebUIURL, rng: rng,
 		http:      &http.Client{Jar: jar, Timeout: 30 * time.Second},
 		measuring: measuring, errCount: errCount,
 		userIdx: int(id) % cfg.CatalogUsers,
@@ -306,16 +517,25 @@ func (w *worker) run(ctx context.Context) {
 			if ctx.Err() != nil {
 				return
 			}
+			if w.pool != nil && !w.pool.admissible(w.base) {
+				w.base = w.pool.pick(ctx, w.rng)
+			}
 			start := time.Now()
 			err := w.issue(ctx, req)
-			lat := time.Since(start).Nanoseconds()
+			done := time.Now()
+			lat := done.Sub(start)
+			w.pool.observe(w.base, lat, err != nil)
 			if w.measuring.Load() {
 				if err != nil {
 					w.errCount.Add(1)
+					if isIdempotent(req) {
+						w.idemFailed++
+					}
 				} else {
-					w.all.Record(lat)
-					w.byReq[req].Record(lat)
+					w.all.Record(lat.Nanoseconds())
+					w.byReq[req].Record(lat.Nanoseconds())
 				}
+				w.tl.record(done, lat.Nanoseconds(), err != nil)
 			}
 			if !w.sleep(ctx, w.think()) {
 				return
@@ -416,11 +636,16 @@ func (w *worker) postForm(ctx context.Context, path string, form url.Values) err
 // before the shed counts as a failure.
 const maxShedRetries = 2
 
+// maxIdempotentRetries bounds GET re-issues after real failures
+// (Config.RetryIdempotent).
+const maxIdempotentRetries = 2
+
 // maxRetryAfter caps the honoured backoff so a hostile or buggy header
 // cannot park a worker for minutes.
 const maxRetryAfter = 5 * time.Second
 
 func (w *worker) do(req *http.Request) error {
+	idemTries := 0
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 && req.GetBody != nil {
 			body, err := req.GetBody()
@@ -431,6 +656,9 @@ func (w *worker) do(req *http.Request) error {
 		}
 		resp, err := w.http.Do(req)
 		if err != nil {
+			if w.retryIdempotent(req, &idemTries) {
+				continue
+			}
 			return err
 		}
 		_, _ = io.Copy(io.Discard, resp.Body)
@@ -446,6 +674,7 @@ func (w *worker) do(req *http.Request) error {
 			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After")); ok && attempt < maxShedRetries {
 				if w.measuring.Load() {
 					w.shed++
+					w.tl.recordShed(time.Now())
 				}
 				if !w.sleep(req.Context(), d) {
 					return req.Context().Err()
@@ -459,10 +688,52 @@ func (w *worker) do(req *http.Request) error {
 		// 401 on login-after-expiry etc. counts as an application response,
 		// not a load error; 5xx and transport failures are errors.
 		if resp.StatusCode >= 500 {
+			if w.retryIdempotent(req, &idemTries) {
+				continue
+			}
 			return fmt.Errorf("loadgen: %s %s → %d", req.Method, req.URL.Path, resp.StatusCode)
 		}
 		return nil
 	}
+}
+
+// retryIdempotent decides whether a failed request gets another go:
+// GETs only (a replayed POST could double an order), bounded tries,
+// and — when a registry pool is available — re-picked onto a different
+// base URL, because the point of the retry is landing somewhere
+// healthier than where the failure came from.
+func (w *worker) retryIdempotent(req *http.Request, tries *int) bool {
+	if !w.cfg.RetryIdempotent || req.Method != http.MethodGet {
+		return false
+	}
+	if *tries >= maxIdempotentRetries || req.Context().Err() != nil {
+		return false
+	}
+	*tries++
+	if w.measuring.Load() {
+		w.idemRetried++
+	}
+	if !w.sleep(req.Context(), time.Duration(*tries)*5*time.Millisecond) {
+		return false
+	}
+	if w.pool != nil {
+		if u, err := url.Parse(w.pool.pick(req.Context(), w.rng)); err == nil && u.Host != "" {
+			req.URL.Scheme = u.Scheme
+			req.URL.Host = u.Host
+			req.Host = ""
+		}
+	}
+	return true
+}
+
+// isIdempotent reports whether a workload request maps to a safe GET —
+// the ones a defended run must never fail.
+func isIdempotent(r workload.Request) bool {
+	switch r {
+	case workload.ReqLogin, workload.ReqAddToCart, workload.ReqCheckout:
+		return false
+	}
+	return true
 }
 
 // parseRetryAfter reads a delay-seconds Retry-After value (fractional

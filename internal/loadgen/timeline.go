@@ -1,0 +1,124 @@
+package loadgen
+
+// Windowed per-second load timeline: the gameday harness needs to see
+// *when* latency degraded and recovered, not just the run's aggregate —
+// a fault injected mid-run and cleared before the end is invisible in
+// whole-run percentiles but obvious in the per-second windows.
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Window is one second of the measured run. Latency percentiles cover
+// successful requests only; Requests counts every completed operation
+// including failures, so error bursts don't masquerade as quiet seconds.
+type Window struct {
+	// Second is the window's offset from Result.MeasureStart.
+	Second   int   `json:"second"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Shed     int64 `json:"shed"`
+	// P50Ns and P99Ns are the window's latency percentiles in
+	// nanoseconds (0 when the window saw no successful request).
+	P50Ns int64 `json:"p50Ns"`
+	P99Ns int64 `json:"p99Ns"`
+}
+
+// P99 returns the window's p99 as a duration.
+func (w Window) P99() time.Duration { return time.Duration(w.P99Ns) }
+
+// P50 returns the window's p50 as a duration.
+func (w Window) P50() time.Duration { return time.Duration(w.P50Ns) }
+
+// timeline accumulates per-second histograms across all workers. One
+// mutex is plenty: a load run completes a few thousand requests per
+// second at most, far below contention territory.
+type timeline struct {
+	mu    sync.Mutex
+	start time.Time
+	slots []*timeslot
+}
+
+type timeslot struct {
+	hist   metrics.Histogram
+	errors int64
+	shed   int64
+}
+
+// begin anchors the timeline at the measurement start; records arriving
+// before begin are dropped.
+func (t *timeline) begin(at time.Time) {
+	t.mu.Lock()
+	t.start = at
+	t.slots = t.slots[:0]
+	t.mu.Unlock()
+}
+
+// slot returns (growing the run as needed) the window containing at.
+// Caller holds t.mu.
+func (t *timeline) slot(at time.Time) *timeslot {
+	if t.start.IsZero() {
+		return nil
+	}
+	idx := int(at.Sub(t.start) / time.Second)
+	if idx < 0 {
+		return nil
+	}
+	for len(t.slots) <= idx {
+		t.slots = append(t.slots, &timeslot{})
+	}
+	return t.slots[idx]
+}
+
+// record files one completed request into the window of its completion
+// time. Failed requests count but contribute no latency sample.
+func (t *timeline) record(at time.Time, latNs int64, failed bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if s := t.slot(at); s != nil {
+		if failed {
+			s.errors++
+		} else {
+			s.hist.Record(latNs)
+		}
+	}
+	t.mu.Unlock()
+}
+
+// recordShed files one load-shed (503 + Retry-After) into at's window.
+func (t *timeline) recordShed(at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if s := t.slot(at); s != nil {
+		s.shed++
+	}
+	t.mu.Unlock()
+}
+
+// windows snapshots the timeline as one Window per elapsed second.
+func (t *timeline) windows() []Window {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Window, len(t.slots))
+	for i, s := range t.slots {
+		out[i] = Window{
+			Second:   i,
+			Requests: s.hist.Count() + s.errors,
+			Errors:   s.errors,
+			Shed:     s.shed,
+			P50Ns:    s.hist.Percentile(50),
+			P99Ns:    s.hist.Percentile(99),
+		}
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package scalectl
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/httpkit"
+	"repro/internal/metrics"
+)
+
+// drainableTarget extends the fake with drain-by-URL so the reconciler's
+// replacement path can run against it.
+type drainableTarget struct {
+	*fakeTarget
+
+	drainMu sync.Mutex
+	drains  []string
+}
+
+func newDrainableTarget(t *testing.T) *drainableTarget {
+	return &drainableTarget{fakeTarget: newFakeTarget(t)}
+}
+
+func (d *drainableTarget) DrainReplica(ctx context.Context, service, url string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	list := d.replicas[service]
+	for i, inst := range list {
+		if inst.srv.URL == url {
+			d.replicas[service] = append(append([]*fakeInstance{}, list[:i]...), list[i+1:]...)
+			d.drainMu.Lock()
+			d.drains = append(d.drains, url)
+			d.drainMu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("fake: no %s replica at %s", service, url)
+}
+
+func (d *drainableTarget) drained() []string {
+	d.drainMu.Lock()
+	defer d.drainMu.Unlock()
+	return append([]string{}, d.drains...)
+}
+
+// flagEjected scripts reporter's metrics to claim its balancer currently
+// ejects addr when talking to dest — the caller-side outlier verdict the
+// reconciler trusts.
+func flagEjected(reporter *fakeInstance, dest, addr string) {
+	reporter.set(func(s *httpkit.MetricsSnapshot) {
+		if s.Resilience.Replicas == nil {
+			s.Resilience.Replicas = map[string]map[string]httpkit.ReplicaCounts{}
+		}
+		if s.Resilience.Replicas[dest] == nil {
+			s.Resilience.Replicas[dest] = map[string]httpkit.ReplicaCounts{}
+		}
+		s.Resilience.Replicas[dest][addr] = httpkit.ReplicaCounts{Requests: 1, Ejected: true}
+	})
+}
+
+// advance scripts one scrape window of traffic: reqDelta requests all
+// landing in the latency bucket at low.
+func advance(inst *fakeInstance, reqDelta int64, low time.Duration) {
+	inst.set(func(s *httpkit.MetricsSnapshot) {
+		s.Requests += reqDelta
+		for i := range s.OverallBuckets {
+			if s.OverallBuckets[i].Low == int64(low) {
+				s.OverallBuckets[i].Count += reqDelta
+				return
+			}
+		}
+		s.OverallBuckets = append(s.OverallBuckets, metrics.Bucket{Low: int64(low), Count: reqDelta})
+	})
+}
+
+func healthConfig(services map[string]Bounds) Config {
+	return Config{
+		Services:          services,
+		ReplaceAfterTicks: 3,
+		ReplaceCooldown:   250 * time.Millisecond,
+		// Keep the saturation logic out of the way: these tests exercise
+		// only the health path.
+		DownStableTicks: 1 << 20,
+		UpStableTicks:   1 << 20,
+	}
+}
+
+// TestReplaceCallerEjectedOncePerCooldown pins the anti-flap contract:
+// a replica that stays caller-ejected for ReplaceAfterTicks ticks is
+// replaced exactly once, and no second replacement fires until the
+// cooldown lapses — no matter how loudly the health signal keeps firing.
+func TestReplaceCallerEjectedOncePerCooldown(t *testing.T) {
+	target := newDrainableTarget(t)
+	r0 := target.add("webui")
+	r1 := target.add("webui")
+	target.add("webui")
+
+	c, err := New(target, healthConfig(map[string]Bounds{"webui": {Min: 2, Max: 4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	c.Tick(ctx) // prime the per-replica windows
+	flagEjected(r1, "webui", hostOf(r0.srv.URL))
+
+	for i := 0; i < 3; i++ {
+		c.Tick(ctx)
+	}
+	if got := target.drained(); len(got) != 1 || got[0] != r0.srv.URL {
+		t.Fatalf("want exactly [%s] drained after %d unhealthy ticks, got %v", r0.srv.URL, 3, got)
+	}
+	target.mu.Lock()
+	starts := target.starts["webui"]
+	fresh := target.replicas["webui"][len(target.replicas["webui"])-1]
+	target.mu.Unlock()
+	if starts != 1 {
+		t.Fatalf("want 1 replacement start, got %d", starts)
+	}
+	st := c.Status()
+	if st.Services[0].Replacements != 1 {
+		t.Fatalf("status replacements = %d, want 1", st.Services[0].Replacements)
+	}
+	if st.Services[0].LastDecision.Action != ActionReplace {
+		t.Fatalf("last decision = %+v, want %s", st.Services[0].LastDecision, ActionReplace)
+	}
+
+	// Keep the alarm ringing — now about the freshly started replica —
+	// and verify the cooldown holds the line.
+	flagEjected(r1, "webui", hostOf(fresh.srv.URL))
+	for i := 0; i < 5; i++ {
+		c.Tick(ctx)
+	}
+	if got := target.drained(); len(got) != 1 {
+		t.Fatalf("cooldown violated: %d replacements before it lapsed (%v)", len(got), got)
+	}
+
+	// After the cooldown, the still-unhealthy replica is replaced.
+	time.Sleep(300 * time.Millisecond)
+	c.Tick(ctx)
+	if got := target.drained(); len(got) != 2 || got[1] != fresh.srv.URL {
+		t.Fatalf("want second replacement of %s after cooldown, got %v", fresh.srv.URL, got)
+	}
+}
+
+// TestReplaceWindowedP99Outlier drives replacement purely from the
+// control plane's own windowed per-replica p99 — no caller ejection —
+// so a gray replica is replaced even when its callers keep tolerating it.
+func TestReplaceWindowedP99Outlier(t *testing.T) {
+	target := newDrainableTarget(t)
+	fast1 := target.add("webui")
+	fast2 := target.add("webui")
+	slow := target.add("webui")
+
+	c, err := New(target, healthConfig(map[string]Bounds{"webui": {Min: 2, Max: 4}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	tickWindow := func() {
+		advance(fast1, 100, 5*time.Millisecond)
+		advance(fast2, 100, 5*time.Millisecond)
+		advance(slow, 100, 400*time.Millisecond)
+		c.Tick(ctx)
+	}
+	tickWindow() // prime: first scrape has no window to judge
+	for i := 0; i < 3; i++ {
+		tickWindow()
+	}
+	if got := target.drained(); len(got) != 1 || got[0] != slow.srv.URL {
+		t.Fatalf("want the slow replica %s replaced, got %v", slow.srv.URL, got)
+	}
+	st := c.Status()
+	if !strings.Contains(st.Services[0].LastDecision.Reason, "p99") {
+		t.Fatalf("replace reason should cite the p99 outlier, got %q", st.Services[0].LastDecision.Reason)
+	}
+}
+
+// TestReplacementNeedsDrainerAndEnable pins the two off-switches: a
+// target without DrainReplica is never scaled by the health path, and
+// ReplaceAfterTicks < 0 disables replacement outright — while the
+// unhealthy view stays visible in /status either way.
+func TestReplacementNeedsDrainerAndEnable(t *testing.T) {
+	t.Run("non-drainer target", func(t *testing.T) {
+		target := newFakeTarget(t) // no DrainReplica
+		r0 := target.add("webui")
+		r1 := target.add("webui")
+		c, err := New(target, healthConfig(map[string]Bounds{"webui": {Min: 2, Max: 4}}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		c.Tick(ctx)
+		flagEjected(r1, "webui", hostOf(r0.srv.URL))
+		for i := 0; i < 5; i++ {
+			c.Tick(ctx)
+		}
+		target.mu.Lock()
+		starts := target.starts["webui"]
+		target.mu.Unlock()
+		if starts != 0 {
+			t.Fatalf("non-drainer target got %d replacement starts, want 0", starts)
+		}
+		st := c.Status()
+		if got := st.Services[0].Unhealthy; len(got) != 1 || got[0] != r0.srv.URL {
+			t.Fatalf("unhealthy = %v, want [%s]", got, r0.srv.URL)
+		}
+	})
+
+	t.Run("disabled", func(t *testing.T) {
+		target := newDrainableTarget(t)
+		r0 := target.add("webui")
+		r1 := target.add("webui")
+		cfg := healthConfig(map[string]Bounds{"webui": {Min: 2, Max: 4}})
+		cfg.ReplaceAfterTicks = -1
+		c, err := New(target, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+		c.Tick(ctx)
+		flagEjected(r1, "webui", hostOf(r0.srv.URL))
+		for i := 0; i < 5; i++ {
+			c.Tick(ctx)
+		}
+		if got := target.drained(); len(got) != 0 {
+			t.Fatalf("replacement disabled but %v drained", got)
+		}
+		st := c.Status()
+		if got := st.Services[0].Unhealthy; len(got) != 1 || got[0] != r0.srv.URL {
+			t.Fatalf("unhealthy = %v, want [%s]", got, r0.srv.URL)
+		}
+	})
+}
+
+// TestReplicaHealthGauges pins the exported health metrics: one
+// teastore_replica_health series per live replica and the replacement
+// counter.
+func TestReplicaHealthGauges(t *testing.T) {
+	target := newDrainableTarget(t)
+	r0 := target.add("webui")
+	r1 := target.add("webui")
+	c, err := New(target, healthConfig(map[string]Bounds{"webui": {Min: 2, Max: 2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	c.Tick(ctx)
+	flagEjected(r1, "webui", hostOf(r0.srv.URL))
+	c.Tick(ctx)
+
+	gauges := c.Gauges()
+	health := map[string]float64{}
+	replacements := -1.0
+	for _, g := range gauges {
+		switch g.Name {
+		case "teastore_replica_health":
+			health[g.Labels["replica"]] = g.Value
+		case "teastore_replacements_total":
+			replacements = g.Value
+		}
+	}
+	if got := health[hostOf(r0.srv.URL)]; got != 0 {
+		t.Fatalf("flagged replica health gauge = %v, want 0", got)
+	}
+	if got := health[hostOf(r1.srv.URL)]; got != 1 {
+		t.Fatalf("healthy replica health gauge = %v, want 1", got)
+	}
+	if replacements != 0 {
+		t.Fatalf("teastore_replacements_total = %v, want 0", replacements)
+	}
+}

@@ -86,6 +86,20 @@ type Config struct {
 	// absorb the load before being taken away.
 	DownCooldown time.Duration
 
+	// ReplaceAfterTicks is how many consecutive unhealthy ticks — the
+	// replica caller-ejected as an outlier or its windowed p99 standing
+	// OutlierP99Factor above its peers' median — trigger a replacement
+	// (default 4). Negative disables replacement entirely. Replacement
+	// needs the Target to also implement ReplicaDrainer.
+	ReplaceAfterTicks int
+	// ReplaceCooldown is the minimum time between replacements per
+	// service (default 15s) — one swap, then watch whether the pool
+	// recovered before swapping again.
+	ReplaceCooldown time.Duration
+	// OutlierP99Factor is the windowed-p99 multiple of the peer median at
+	// which a replica counts as unhealthy (default 3).
+	OutlierP99Factor float64
+
 	// InflightHigh is the per-replica mean in-flight count treated as
 	// fully saturated (32).
 	InflightHigh float64
@@ -127,6 +141,15 @@ func (c Config) withDefaults() Config {
 	if c.DownCooldown <= 0 {
 		c.DownCooldown = 30 * time.Second
 	}
+	if c.ReplaceAfterTicks == 0 {
+		c.ReplaceAfterTicks = 4
+	}
+	if c.ReplaceCooldown <= 0 {
+		c.ReplaceCooldown = 15 * time.Second
+	}
+	if c.OutlierP99Factor <= 0 {
+		c.OutlierP99Factor = 3
+	}
 	if c.InflightHigh <= 0 {
 		c.InflightHigh = 32
 	}
@@ -150,6 +173,7 @@ type Decision struct {
 const (
 	ActionScaleUp   = "scale-up"
 	ActionScaleDown = "scale-down"
+	ActionReplace   = "replace"
 	ActionHold      = "hold"
 )
 
@@ -163,6 +187,8 @@ type ServiceStatus struct {
 	Score        float64  `json:"score"`
 	UpEvents     int64    `json:"upEvents"`
 	DownEvents   int64    `json:"downEvents"`
+	Replacements int64    `json:"replacements,omitempty"`
+	Unhealthy    []string `json:"unhealthy,omitempty"`
 	LastDecision Decision `json:"lastDecision"`
 }
 
@@ -192,6 +218,11 @@ type serviceState struct {
 	upEvents   int64
 	downEvents int64
 	prev       map[string]sample // replica URL → previous scrape
+
+	health          map[string]bool // replica URL → healthy last tick
+	unhealthyStreak map[string]int  // replica URL → consecutive unhealthy ticks
+	lastReplace     time.Time
+	replacements    int64
 }
 
 // Controller runs the reconcile loop over a Target.
@@ -223,7 +254,11 @@ func New(target Target, cfg Config) (*Controller, error) {
 	}
 	c := &Controller{target: target, cfg: cfg, client: client, state: map[string]*serviceState{}}
 	for name := range cfg.Services {
-		c.state[name] = &serviceState{prev: map[string]sample{}}
+		c.state[name] = &serviceState{
+			prev:            map[string]sample{},
+			health:          map[string]bool{},
+			unhealthyStreak: map[string]int{},
+		}
 	}
 	return c, nil
 }
@@ -263,6 +298,7 @@ func (c *Controller) Tick(ctx context.Context) {
 	scrapeCtx, cancel := context.WithTimeout(ctx, c.cfg.ScrapeTimeout)
 	snaps, openDest := c.scrapeAll(scrapeCtx)
 	cancel()
+	ejected := ejectedByCallers(snaps)
 
 	names := make([]string, 0, len(c.cfg.Services))
 	for name := range c.cfg.Services {
@@ -270,7 +306,7 @@ func (c *Controller) Tick(ctx context.Context) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		c.reconcileService(ctx, name, c.cfg.Services[name], snaps[name], openDest)
+		c.reconcileService(ctx, name, c.cfg.Services[name], snaps[name], openDest, ejected[name])
 	}
 	c.mu.Lock()
 	c.ticks++
@@ -308,13 +344,16 @@ func (c *Controller) scrapeAll(ctx context.Context) (map[string][]instanceSnap, 
 
 // reconcileService scores one service and applies at most one replica
 // step, honouring bounds, hysteresis, and the scale-down cooldown.
-func (c *Controller) reconcileService(ctx context.Context, name string, b Bounds, snaps []instanceSnap, openDest map[string]bool) {
+// Health-driven replacement is checked first: a persistently gray
+// replica is a correctness problem, not a capacity one, so it beats the
+// saturation logic to the punch.
+func (c *Controller) reconcileService(ctx context.Context, name string, b Bounds, snaps []instanceSnap, openDest, ejected map[string]bool) {
 	c.mu.Lock()
 	st := c.state[name]
 	c.mu.Unlock()
 
 	actual := len(snaps)
-	score, scraped, signals := c.score(st, name, snaps, openDest)
+	score, scraped, signals, windows := c.score(st, name, snaps, openDest)
 
 	c.mu.Lock()
 	st.actual = actual
@@ -322,6 +361,7 @@ func (c *Controller) reconcileService(ctx context.Context, name string, b Bounds
 	c.mu.Unlock()
 
 	now := time.Now()
+	replaceURL, replaceWhy := c.checkHealth(st, windows, ejected, now)
 	switch {
 	case actual == 0:
 		c.record(st, ActionHold, "no live replicas visible", now, clamp(actual, b))
@@ -333,6 +373,11 @@ func (c *Controller) reconcileService(ctx context.Context, name string, b Bounds
 		// No replica answered: the score is blind, so hold rather than
 		// flap on missing data.
 		c.record(st, ActionHold, "metrics scrape failed for every replica", now, clamp(actual, b))
+	case replaceURL != "" && actual >= 2:
+		// Replacing needs a peer pool: with one replica there is no
+		// baseline to call it unhealthy against, and caller ejection
+		// keeps at least one replica admissible anyway.
+		c.replaceReplica(ctx, st, name, replaceURL, replaceWhy, now, b)
 	default:
 		c.mu.Lock()
 		switch {
@@ -365,8 +410,9 @@ func (c *Controller) reconcileService(ctx context.Context, name string, b Bounds
 // score computes the saturation score: the max of the four normalized
 // signals, so any single saturated dimension is enough to scale. scraped
 // is false when no replica answered. The returned signals string makes
-// decisions explainable in /status and the breakdown tables.
-func (c *Controller) score(st *serviceState, name string, snaps []instanceSnap, openDest map[string]bool) (score float64, scraped bool, signals string) {
+// decisions explainable in /status and the breakdown tables, and the
+// per-replica windows feed the health judgement.
+func (c *Controller) score(st *serviceState, name string, snaps []instanceSnap, openDest map[string]bool) (score float64, scraped bool, signals string, windows []replicaWindow) {
 	var inflight int64
 	var dReq, dShed int64
 	var p99w time.Duration
@@ -397,6 +443,11 @@ func (c *Controller) score(st *serviceState, name string, snaps []instanceSnap, 
 			dShed += max64(0, cur.shed-old.shed)
 			windowPrev = append(windowPrev, old.buckets)
 			windowCur = append(windowCur, cur.buckets)
+			windows = append(windows, replicaWindow{
+				url:  is.url,
+				dReq: max64(0, cur.requests-old.requests),
+				p99:  windowedP99([]map[int64]int64{old.buckets}, []map[int64]int64{cur.buckets}),
+			})
 		}
 		prev[is.url] = cur
 	}
@@ -404,7 +455,7 @@ func (c *Controller) score(st *serviceState, name string, snaps []instanceSnap, 
 	st.prev = prev
 	c.mu.Unlock()
 	if n == 0 {
-		return 0, false, "no data"
+		return 0, false, "no data", nil
 	}
 
 	inflightAvg := float64(inflight) / float64(n)
@@ -424,7 +475,7 @@ func (c *Controller) score(st *serviceState, name string, snaps []instanceSnap, 
 	}
 	signals = fmt.Sprintf("inflight %.1f/replica, shed %.1f%%, p99 %.0fms, breakers open=%v",
 		inflightAvg, 100*shedFrac, float64(p99w)/1e6, breakerOpen)
-	return score, true, signals
+	return score, true, signals, windows
 }
 
 // scaleUp asks the target for one more replica and records the outcome.
@@ -478,6 +529,7 @@ func (c *Controller) Status() Status {
 			Service: name, Min: b.Min, Max: b.Max,
 			Desired: st.desired, Actual: st.actual, Score: st.score,
 			UpEvents: st.upEvents, DownEvents: st.downEvents,
+			Replacements: st.replacements, Unhealthy: unhealthyList(st),
 			LastDecision: st.last,
 		})
 	}
@@ -489,15 +541,37 @@ func (c *Controller) Status() Status {
 // saturation scores — install on an httpkit.Server via SetExtraMetrics.
 func (c *Controller) Gauges() []httpkit.Gauge {
 	status := c.Status()
-	out := make([]httpkit.Gauge, 0, 3*len(status.Services))
+	out := make([]httpkit.Gauge, 0, 4*len(status.Services))
 	for _, s := range status.Services {
 		labels := map[string]string{"service": s.Service}
 		out = append(out,
 			httpkit.Gauge{Name: "teastore_replicas_desired", Help: "Replica count the reconciler is driving toward.", Labels: labels, Value: float64(s.Desired)},
 			httpkit.Gauge{Name: "teastore_replicas_actual", Help: "Live replica count observed by the reconciler.", Labels: labels, Value: float64(s.Actual)},
 			httpkit.Gauge{Name: "teastore_saturation_score", Help: "Per-service saturation score (1.0 = at the scale-up threshold).", Labels: labels, Value: s.Score},
+			httpkit.Gauge{Name: "teastore_replacements_total", Help: "Unhealthy replicas replaced by the reconciler.", Labels: labels, Value: float64(s.Replacements)},
 		)
 	}
+	c.mu.Lock()
+	for name, st := range c.state {
+		urls := make([]string, 0, len(st.health))
+		for url := range st.health {
+			urls = append(urls, url)
+		}
+		sort.Strings(urls)
+		for _, url := range urls {
+			v := 1.0
+			if !st.health[url] {
+				v = 0
+			}
+			out = append(out, httpkit.Gauge{
+				Name:   "teastore_replica_health",
+				Help:   "Reconciler's per-replica health verdict (1 healthy, 0 unhealthy).",
+				Labels: map[string]string{"service": name, "replica": hostOf(url)},
+				Value:  v,
+			})
+		}
+	}
+	c.mu.Unlock()
 	return out
 }
 

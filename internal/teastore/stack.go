@@ -37,6 +37,16 @@ type ResilienceConfig struct {
 	MaxInflight int
 	// ClientTimeout bounds each inter-service call attempt (0 → 10s).
 	ClientTimeout time.Duration
+	// Hedge tunes budgeted hedging of idempotent inter-service calls
+	// (zero fields → httpkit.DefaultHedgePolicy). Hedging is on by
+	// default; set DisableHedge to turn it off.
+	Hedge httpkit.HedgePolicy
+	// DisableHedge turns request hedging off entirely.
+	DisableHedge bool
+	// Outlier tunes the client-side balancers' passive outlier ejection
+	// (zero fields → httpkit defaults); set Outlier.Disabled to keep
+	// gray replicas in rotation.
+	Outlier httpkit.OutlierConfig
 }
 
 // DefaultMaxInflight is the per-service admission bound: generous enough
@@ -238,14 +248,22 @@ func Start(cfg Config) (*Stack, error) {
 	// into the routing caches instead of waiting out the TTL.
 	resolver := registry.NewClient(st.RegistryURL, httpkit.NewClient(2*time.Second))
 	newClient := func() *httpkit.Client {
-		b := httpkit.NewBalancer(resolver, httpkit.BalancerConfig{CacheTTL: cfg.BalancerCacheTTL})
+		b := httpkit.NewBalancer(resolver, httpkit.BalancerConfig{
+			CacheTTL: cfg.BalancerCacheTTL,
+			Outlier:  cfg.Resilience.Outlier,
+		})
 		st.mu.Lock()
 		st.balancers = append(st.balancers, b)
 		st.mu.Unlock()
-		return httpkit.NewClient(cfg.Resilience.clientTimeout(),
+		opts := []httpkit.ClientOption{
 			httpkit.WithRetry(cfg.Resilience.Retry),
 			httpkit.WithBreaker(cfg.Resilience.Breaker),
-			httpkit.WithBalancer(b))
+			httpkit.WithBalancer(b),
+		}
+		if !cfg.Resilience.DisableHedge {
+			opts = append(opts, httpkit.WithHedge(cfg.Resilience.Hedge))
+		}
+		return httpkit.NewClient(cfg.Resilience.clientTimeout(), opts...)
 	}
 
 	if err := st.Store.Generate(cfg.Catalog, auth.HashPassword); err != nil {
@@ -617,6 +635,52 @@ func (s *Stack) ScaleDown(ctx context.Context, service string) error {
 		return fmt.Errorf("teastore: refusing to stop the last %s replica", service)
 	}
 	return s.drainAndStop(ctx, replicas[len(replicas)-1])
+}
+
+// DrainReplica gracefully removes the specific replica serving at url
+// (base URL or host:port) — the replacement primitive the autoscale
+// reconciler drives as a scalectl.ReplicaDrainer: unlike ScaleDown it
+// retires a *chosen* sick replica, not the newest one. It refuses to
+// drain the last replica of a service.
+func (s *Stack) DrainReplica(ctx context.Context, service, url string) error {
+	replicas := s.serversOf(service)
+	if len(replicas) == 0 {
+		return fmt.Errorf("teastore: no service %q", service)
+	}
+	var victim *httpkit.Server
+	for _, srv := range replicas {
+		if srv.URL() == url || srv.Addr() == url {
+			victim = srv
+			break
+		}
+	}
+	if victim == nil {
+		return fmt.Errorf("teastore: no %s replica at %s", service, url)
+	}
+	if len(replicas) == 1 {
+		return fmt.Errorf("teastore: refusing to drain the last %s replica", service)
+	}
+	return s.drainAndStop(ctx, victim)
+}
+
+// Stack is the reconciler's replacement-capable target.
+var _ scalectl.ReplicaDrainer = (*Stack)(nil)
+
+// KillReplica abruptly closes one replica the way a crashing process
+// would: no deregistration — the registry lease lingers until it
+// expires, exactly as a real crash leaves it — and no drain, so
+// in-flight requests die mid-stream and callers keep picking the dead
+// address until their caches turn over or their breakers trip. The
+// stack stops tracking the corpse (the process is gone), which is what
+// lets the reconciler notice the capacity dip and restore its min bound.
+func (s *Stack) KillReplica(service string, index int) error {
+	srv, err := s.replica(service, index)
+	if err != nil {
+		return err
+	}
+	killErr := srv.Kill()
+	s.untrack(srv)
+	return killErr
 }
 
 // drainAndStop removes one replica without failing its in-flight work:
