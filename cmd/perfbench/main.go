@@ -4,9 +4,15 @@
 // full stack. It writes the machine-readable report (BENCH_PR4.json)
 // and, given a checked-in baseline, enforces the regression gate.
 //
+// With -write it instead runs the sharded-persistence write-mix sweep
+// (closed-loop browse:checkout ≈ 70:30 at 1/2/4 shards), writes
+// BENCH_PR8.json, and -write-gate enforces the scaling and correctness
+// gate (4-vs-1-shard checkout speedup, tail bound, stored == acked).
+//
 // Usage:
 //
 //	go run ./cmd/perfbench -quick -out bench_new.json -baseline BENCH_PR4.json -gate
+//	go run ./cmd/perfbench -quick -write -write-out bench_write.json -write-gate
 package main
 
 import (
@@ -23,13 +29,22 @@ func main() {
 	out := flag.String("out", "BENCH_PR4.json", "where to write the report")
 	baselinePath := flag.String("baseline", "", "checked-in report to gate against")
 	gate := flag.Bool("gate", false, "exit non-zero if a tracked metric regresses >15% vs -baseline")
+	write := flag.Bool("write", false, "run the sharded-persistence write-mix sweep instead of the micro harness")
+	writeOut := flag.String("write-out", "BENCH_PR8.json", "where -write writes its report")
+	writeGate := flag.Bool("write-gate", false, "exit non-zero if the -write run misses the scaling floor or write correctness")
 	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *write {
+		runWriteMix(*quick, *writeOut, *writeGate, logf)
+		return
+	}
 
 	rep, err := perfbench.Run(perfbench.Options{
 		Quick: *quick,
-		Log: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		},
+		Log:   logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "perfbench:", err)
@@ -72,6 +87,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "  -", v)
 	}
 	if *gate {
+		os.Exit(2)
+	}
+}
+
+// runWriteMix executes the write-mix sweep, writes its report, and
+// optionally enforces the gate.
+func runWriteMix(quick bool, out string, gate bool, logf func(string, ...any)) {
+	rep, err := perfbench.RunWriteMix(perfbench.Options{Quick: quick, Log: logf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Print(perfbench.WriteSummary(rep))
+	fmt.Println("report:", out)
+
+	violations := perfbench.GateWrite(rep)
+	if len(violations) == 0 {
+		fmt.Println("write gate: PASS (scaling floor met, every acked checkout stored exactly once)")
+		return
+	}
+	fmt.Fprintln(os.Stderr, "write gate: FAIL")
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "  -", v)
+	}
+	if gate {
 		os.Exit(2)
 	}
 }

@@ -44,6 +44,9 @@ func main() {
 	autoscaleInterval := flag.Duration("autoscale-interval", 2*time.Second, "reconciler tick interval for -autoscale")
 	autoscaleCooldown := flag.Duration("autoscale-cooldown", 30*time.Second, "minimum idle time before -autoscale drains a replica")
 	capsSpec := flag.String("caps", "", "per-replica inflight caps, e.g. webui=8,image=4 — models per-instance capacity limits")
+	shards := flag.Int("persistence-shards", 0, "partition the order plane into N shard-sibling stores (0/1 = unsharded); boots at least one persistence replica per shard")
+	commitBatch := flag.Int("commit-batch", 0, "max orders per group-commit flush (0 = db default)")
+	commitCost := flag.Duration("commit-cost", 0, "simulated durability cost per group-commit flush (0 = free)")
 	flag.Parse()
 
 	replicas, err := parseCounts("-replicas", *replicasSpec)
@@ -76,6 +79,8 @@ func main() {
 		Replicas:           replicas,
 		ServiceMaxInflight: caps,
 		Autoscale:          autoscaleCfg,
+		PersistenceShards:  *shards,
+		Commit:             db.CommitConfig{MaxBatch: *commitBatch, FlushCost: *commitCost},
 		Catalog: db.GenerateSpec{
 			Categories:          *categories,
 			ProductsPerCategory: *products,

@@ -149,41 +149,89 @@ type userOrderShard struct {
 	byUser map[int64][]*Order // append order = placement order
 }
 
+// catalogState is the catalog side of a store: the copy-on-write
+// snapshot, its writer mutex, and the primary-key allocator. Shard
+// siblings (NewShardSibling) share one catalogState — in the sharded
+// deployment the catalog is replicated reference data every shard can
+// serve — while each sibling owns a private order plane and commit
+// pipeline. The shared allocator keeps IDs unique across siblings.
+type catalogState struct {
+	catalog atomic.Pointer[catalogSnapshot]
+	// mu serializes catalog writers: each clones the current
+	// generation, mutates the clone, and publishes it.
+	mu sync.Mutex
+
+	nextID atomic.Int64
+}
+
 // Store is the in-memory database. All methods are safe for concurrent
 // use. Catalog reads (categories, products, users) are lock-free against
 // an immutable snapshot; catalog writes copy-on-write under a writer
-// mutex; order state is lock-striped.
+// mutex; order state is lock-striped. Order writes flow through a
+// WAL-style group-commit pipeline (wal.go): PlaceOrder appends to a
+// per-store log and returns, a committer goroutine batches appends into
+// the indexes, and every order read passes a flush-on-read barrier so
+// the store stays read-your-writes.
 type Store struct {
-	catalog atomic.Pointer[catalogSnapshot]
-	// catMu serializes catalog writers: each clones the current
-	// generation, mutates the clone, and publishes it.
-	catMu sync.Mutex
-
-	nextID atomic.Int64
+	cat *catalogState
 
 	orders     [orderShardCount]orderShard
 	userOrders [orderShardCount]userOrderShard
+
+	// committed is the ID-ordered log of applied orders — the incremental
+	// scan path (OrdersSince/AllOrders) reads it instead of walking and
+	// sorting the ID-index stripes. IDs are allocated inside the WAL
+	// append critical section, so append order equals ID order and the
+	// log stays sorted without ever sorting.
+	committed struct {
+		mu     sync.Mutex
+		orders []*Order
+	}
+
+	idem [idemShardCount]idemShard
+
+	wal *orderWAL
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store {
-	s := &Store{}
-	s.catalog.Store(emptyCatalog())
-	s.nextID.Store(1)
+// NewStore returns an empty store with the default commit pipeline.
+func NewStore() *Store { return NewStoreCommit(CommitConfig{}) }
+
+// NewStoreCommit returns an empty store whose order plane commits with
+// the given group-commit tuning.
+func NewStoreCommit(cfg CommitConfig) *Store {
+	cat := &catalogState{}
+	cat.catalog.Store(emptyCatalog())
+	cat.nextID.Store(1)
+	return newStoreWith(cat, cfg)
+}
+
+func newStoreWith(cat *catalogState, cfg CommitConfig) *Store {
+	s := &Store{cat: cat}
 	for i := range s.orders {
 		s.orders[i].orders = map[int64]*Order{}
 	}
 	for i := range s.userOrders {
 		s.userOrders[i].byUser = map[int64][]*Order{}
 	}
+	for i := range s.idem {
+		s.idem[i].m = map[string]*idemEntry{}
+	}
+	s.wal = newOrderWAL(s, cfg.withDefaults())
 	return s
 }
 
+// NewShardSibling returns a store that shares this store's catalog and
+// primary-key allocator but owns an independent order plane: its own
+// index stripes, committed log, idempotency table, and group-commit
+// pipeline. Siblings are the shards of a partitioned persistence plane
+// running in one process.
+func (s *Store) NewShardSibling() *Store { return newStoreWith(s.cat, s.wal.cfg) }
+
 // snap returns the current catalog generation.
-func (s *Store) snap() *catalogSnapshot { return s.catalog.Load() }
+func (s *Store) snap() *catalogSnapshot { return s.cat.catalog.Load() }
 
 // allocID hands out the next primary key.
-func (s *Store) allocID() int64 { return s.nextID.Add(1) - 1 }
+func (s *Store) allocID() int64 { return s.cat.nextID.Add(1) - 1 }
 
 // shardFor masks an ID onto a stripe.
 func shardFor(id int64) int { return int(uint64(id) & (orderShardCount - 1)) }
@@ -191,13 +239,13 @@ func shardFor(id int64) int { return int(uint64(id) & (orderShardCount - 1)) }
 // mutateCatalog runs one copy-on-write catalog transaction: fn mutates a
 // private clone which is published only if fn succeeds.
 func (s *Store) mutateCatalog(fn func(*catalogSnapshot) error) error {
-	s.catMu.Lock()
-	defer s.catMu.Unlock()
-	next := s.catalog.Load().clone()
+	s.cat.mu.Lock()
+	defer s.cat.mu.Unlock()
+	next := s.cat.catalog.Load().clone()
 	if err := fn(next); err != nil {
 		return err
 	}
-	s.catalog.Store(next)
+	s.cat.catalog.Store(next)
 	return nil
 }
 
@@ -364,12 +412,13 @@ func (s *Store) NumUsers() int {
 	return len(s.snap().users)
 }
 
-// PlaceOrder atomically validates and inserts an order: the user and every
-// product must exist, quantities must be positive, and the stored total is
-// recomputed server-side from current prices. Validation reads the
-// catalog snapshot (products and users are never deleted, so a snapshot
-// check cannot go stale); the insert touches only this order's shard.
-func (s *Store) PlaceOrder(userID int64, items []OrderItem, at time.Time) (Order, error) {
+// buildOrder validates a checkout and prices it against the current
+// catalog snapshot: the user and every product must exist, quantities
+// must be positive, and the stored total is recomputed server-side from
+// current prices. Products and users are never deleted, so a snapshot
+// check cannot go stale. The returned order has no ID yet — the WAL
+// append assigns it.
+func (s *Store) buildOrder(userID int64, items []OrderItem, at time.Time) (Order, error) {
 	if len(items) == 0 {
 		return Order{}, fmt.Errorf("%w: order needs items", ErrInvalid)
 	}
@@ -390,23 +439,21 @@ func (s *Store) PlaceOrder(userID int64, items []OrderItem, at time.Time) (Order
 		order.Items = append(order.Items, line)
 		order.TotalCents += line.PriceCents * int64(line.Quantity)
 	}
-	order.ID = s.allocID()
-	stored := order
-
-	osh := &s.orders[shardFor(order.ID)]
-	osh.mu.Lock()
-	osh.orders[order.ID] = &stored
-	osh.mu.Unlock()
-
-	ush := &s.userOrders[shardFor(userID)]
-	ush.mu.Lock()
-	ush.byUser[userID] = append(ush.byUser[userID], &stored)
-	ush.mu.Unlock()
 	return order, nil
+}
+
+// PlaceOrder validates and places an order. Validation is synchronous;
+// the index insert is an append to the group-commit pipeline, so the
+// ack returns before the order is visible to scans — every order read
+// passes a barrier first, so callers still read their own writes.
+func (s *Store) PlaceOrder(userID int64, items []OrderItem, at time.Time) (Order, error) {
+	o, _, err := s.PlaceOrderIdempotent("", userID, items, at)
+	return o, err
 }
 
 // Order fetches one order.
 func (s *Store) Order(id int64) (Order, error) {
+	s.wal.barrier()
 	sh := &s.orders[shardFor(id)]
 	sh.mu.Lock()
 	o, ok := sh.orders[id]
@@ -422,6 +469,7 @@ func (s *Store) OrdersByUser(userID int64) ([]Order, error) {
 	if _, ok := s.snap().users[userID]; !ok {
 		return nil, fmt.Errorf("%w: user %d", ErrNotFound, userID)
 	}
+	s.wal.barrier()
 	sh := &s.userOrders[shardFor(userID)]
 	sh.mu.Lock()
 	mine := sh.byUser[userID]
@@ -433,41 +481,66 @@ func (s *Store) OrdersByUser(userID int64) ([]Order, error) {
 	return out, nil
 }
 
-// AllOrders lists every order ordered by ID — the recommender's training
-// feed.
+// AllOrders lists every order ordered by ID — the full training feed.
+// Prefer OrdersSince for incremental consumers: this copies the whole
+// log.
 func (s *Store) AllOrders() []Order {
-	var out []Order
-	for i := range s.orders {
-		sh := &s.orders[i]
-		sh.mu.Lock()
-		for _, o := range sh.orders {
-			out = append(out, *o)
-		}
-		sh.mu.Unlock()
+	return s.OrdersSince(0, s.NumOrders())
+}
+
+// OrdersSince returns up to limit orders with ID > sinceID, in ID order —
+// the incremental scan the recommender pages through. limit ≤ 0 selects
+// a default page of 256. The scan is a binary search plus a bounded copy
+// of the committed log, not a walk-and-sort of the whole order plane.
+func (s *Store) OrdersSince(sinceID int64, limit int) []Order {
+	if limit <= 0 {
+		limit = 256
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	s.wal.barrier()
+	s.committed.mu.Lock()
+	defer s.committed.mu.Unlock()
+	log := s.committed.orders
+	i := sort.Search(len(log), func(i int) bool { return log[i].ID > sinceID })
+	end := i + limit
+	if end > len(log) || end < 0 { // end < 0 guards limit overflow
+		end = len(log)
+	}
+	out := make([]Order, end-i)
+	for j := i; j < end; j++ {
+		out[j-i] = *log[j]
+	}
 	return out
 }
 
-// NumOrders returns the order count.
+// NumOrders returns the committed order count.
 func (s *Store) NumOrders() int {
-	n := 0
-	for i := range s.orders {
-		sh := &s.orders[i]
-		sh.mu.Lock()
-		n += len(sh.orders)
-		sh.mu.Unlock()
-	}
+	s.wal.barrier()
+	s.committed.mu.Lock()
+	n := len(s.committed.orders)
+	s.committed.mu.Unlock()
 	return n
 }
+
+// Flush blocks until every order appended before the call is applied to
+// the indexes — the read barrier, exposed for callers that need a
+// durability point without reading.
+func (s *Store) Flush() { s.wal.barrier() }
+
+// Close drains and stops the group-commit goroutine. Orders placed after
+// Close commit synchronously; reads remain valid. Safe to call more than
+// once.
+func (s *Store) Close() { s.wal.close() }
 
 // Reset drops everything (test and regeneration support). Reset is not
 // atomic against concurrent writers the way a single global lock was:
 // run it only while no writes are in flight (boot, tests, regeneration).
+// On a shard sibling, Reset clears the shared catalog and ID allocator
+// but only its own order plane; reset every sibling before regenerating.
 func (s *Store) Reset() {
-	s.catMu.Lock()
-	s.catalog.Store(emptyCatalog())
-	s.catMu.Unlock()
+	s.wal.barrier()
+	s.cat.mu.Lock()
+	s.cat.catalog.Store(emptyCatalog())
+	s.cat.mu.Unlock()
 	for i := range s.orders {
 		sh := &s.orders[i]
 		sh.mu.Lock()
@@ -480,5 +553,14 @@ func (s *Store) Reset() {
 		sh.byUser = map[int64][]*Order{}
 		sh.mu.Unlock()
 	}
-	s.nextID.Store(1)
+	for i := range s.idem {
+		sh := &s.idem[i]
+		sh.mu.Lock()
+		sh.m = map[string]*idemEntry{}
+		sh.mu.Unlock()
+	}
+	s.committed.mu.Lock()
+	s.committed.orders = nil
+	s.committed.mu.Unlock()
+	s.cat.nextID.Store(1)
 }

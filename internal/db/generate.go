@@ -59,6 +59,26 @@ type Hasher func(password, salt string) string
 // Generate populates the store with a deterministic catalog, users, and
 // seed orders. The store is reset first.
 func (s *Store) Generate(spec GenerateSpec, hash Hasher) error {
+	return s.generate(spec, hash, nil)
+}
+
+// GenerateCluster populates a sharded persistence plane: all stores must
+// be shard siblings (shared catalog). Every sibling is reset, the
+// catalog and users are generated once through stores[0], and each seed
+// order is placed on the store the owner function routes its user to —
+// the same deterministic order stream as Generate, partitioned the same
+// way live checkouts are.
+func GenerateCluster(stores []*Store, spec GenerateSpec, hash Hasher, owner func(userID int64) *Store) error {
+	if len(stores) == 0 {
+		return fmt.Errorf("%w: empty cluster", ErrInvalid)
+	}
+	for _, st := range stores[1:] {
+		st.Reset()
+	}
+	return stores[0].generate(spec, hash, owner)
+}
+
+func (s *Store) generate(spec GenerateSpec, hash Hasher, owner func(userID int64) *Store) error {
 	if spec.Categories <= 0 || spec.ProductsPerCategory <= 0 {
 		return fmt.Errorf("%w: need positive categories and products", ErrInvalid)
 	}
@@ -129,7 +149,13 @@ func (s *Store) Generate(spec GenerateSpec, hash Hasher) error {
 				seen[pid] = true
 				items = append(items, OrderItem{ProductID: pid, Quantity: 1 + rng.Intn(3)})
 			}
-			if _, err := s.PlaceOrder(user, items, base.Add(time.Duration(i)*time.Hour)); err != nil {
+			target := s
+			if owner != nil {
+				if t := owner(user); t != nil {
+					target = t
+				}
+			}
+			if _, err := target.PlaceOrder(user, items, base.Add(time.Duration(i)*time.Hour)); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,304 @@
+package db
+
+import (
+	"sync"
+	"time"
+)
+
+// This file is the order plane's WAL-style group-commit pipeline.
+//
+// PlaceOrder validates synchronously, appends the order to a per-store
+// pending log, and returns — the ack is decoupled from index
+// maintenance. A single committer goroutine per store takes batches off
+// the log, pays one (simulated) durability flush per batch, and applies
+// each order to both secondary indexes under a single commit point: it
+// holds the order-ID stripe lock AND the per-user stripe lock across
+// both insertions, so no reader can ever observe an order in one index
+// and not the other (the pre-WAL PlaceOrder published them under
+// separate locks with a window in between). Only the committer — and
+// post-Close inline appends, which are serialized under the WAL mutex —
+// ever holds two stripe locks, so the double acquisition cannot
+// deadlock.
+//
+// Reads stay read-your-writes through a flush-on-read barrier: every
+// order read first waits until the commit sequence catches up with the
+// append sequence observed at entry. The pipeline is bounded: once
+// MaxPending appends are in flight, further appends block until the
+// committer frees space, which is what turns FlushCost (the stand-in
+// for MariaDB's per-group fsync) into a measurable per-shard commit
+// bandwidth of roughly MaxBatch/FlushCost orders per second.
+
+// CommitConfig tunes the group-commit pipeline.
+type CommitConfig struct {
+	// MaxBatch caps how many appended orders one flush applies (group
+	// size). Default 64.
+	MaxBatch int
+	// MaxPending bounds the un-applied backlog; appends block once it is
+	// reached (backpressure instead of unbounded queueing). Default 4096,
+	// never below MaxBatch.
+	MaxPending int
+	// FlushCost is the simulated durability cost charged once per group
+	// flush, standing in for the database fsync the original TeaStore
+	// pays on MariaDB. Zero (the default) means commits are applied as
+	// fast as the CPU allows; benchmarks set it to make per-shard commit
+	// bandwidth finite so shard scaling is measurable.
+	FlushCost time.Duration
+}
+
+const (
+	defaultMaxBatch   = 64
+	defaultMaxPending = 4096
+)
+
+func (c CommitConfig) withDefaults() CommitConfig {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = defaultMaxBatch
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = defaultMaxPending
+	}
+	if c.MaxPending < c.MaxBatch {
+		c.MaxPending = c.MaxBatch
+	}
+	if c.FlushCost < 0 {
+		c.FlushCost = 0
+	}
+	return c
+}
+
+// idemShardCount stripes the idempotency table.
+const idemShardCount = 16
+
+// idemEntry is one reserved idempotency key. order is written before
+// ready closes; replayers wait on ready and then read order.
+type idemEntry struct {
+	ready chan struct{}
+	order *Order
+}
+
+type idemShard struct {
+	mu sync.Mutex
+	m  map[string]*idemEntry
+}
+
+// idemIndex stripes a key (FNV-1a, local so db stays dependency-free).
+func idemIndex(key string) int {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return int(h % idemShardCount)
+}
+
+// orderWAL is the append log plus its committer.
+type orderWAL struct {
+	store *Store
+	cfg   CommitConfig
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []*Order
+	appended int64 // total orders ever appended
+	applied  int64 // total orders ever applied to the indexes
+	closed   bool
+
+	kick     chan struct{} // committer wake-up, buffered 1
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+func newOrderWAL(s *Store, cfg CommitConfig) *orderWAL {
+	w := &orderWAL{
+		store: s,
+		cfg:   cfg,
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	w.cond = sync.NewCond(&w.mu)
+	go w.run()
+	return w
+}
+
+// append assigns the order's ID and enqueues it for commit, blocking
+// while the backlog is full. The ID is allocated inside the WAL critical
+// section so append order equals ID order per store — what keeps the
+// committed log sorted and OrdersSince paging sound. After close,
+// appends commit synchronously (serialized under the WAL mutex).
+func (w *orderWAL) append(o *Order) {
+	w.mu.Lock()
+	for len(w.pending) >= w.cfg.MaxPending && !w.closed {
+		w.cond.Wait()
+	}
+	if w.closed {
+		o.ID = w.store.allocID()
+		w.store.applyOrder(o)
+		w.appended++
+		w.applied++
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		return
+	}
+	o.ID = w.store.allocID()
+	w.pending = append(w.pending, o)
+	w.appended++
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+}
+
+// barrier blocks until every order appended before the call is applied —
+// the flush-on-read guarantee.
+func (w *orderWAL) barrier() {
+	w.mu.Lock()
+	target := w.appended
+	if w.applied >= target {
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Unlock()
+	select {
+	case w.kick <- struct{}{}:
+	default:
+	}
+	w.mu.Lock()
+	for w.applied < target {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+func (w *orderWAL) run() {
+	for {
+		select {
+		case <-w.kick:
+			w.drain()
+		case <-w.stop:
+			// closed was set (under mu) before stop fired, so any append
+			// that saw closed==false has already landed in pending — this
+			// final drain cannot miss it.
+			w.drain()
+			close(w.done)
+			return
+		}
+	}
+}
+
+// drain applies pending orders in batches until the log is empty.
+func (w *orderWAL) drain() {
+	for {
+		w.mu.Lock()
+		n := len(w.pending)
+		if n == 0 {
+			w.mu.Unlock()
+			return
+		}
+		if n > w.cfg.MaxBatch {
+			n = w.cfg.MaxBatch
+		}
+		batch := make([]*Order, n)
+		copy(batch, w.pending)
+		rest := copy(w.pending, w.pending[n:])
+		for i := rest; i < len(w.pending); i++ {
+			w.pending[i] = nil
+		}
+		w.pending = w.pending[:rest]
+		w.cond.Broadcast() // space freed: wake blocked appends
+		w.mu.Unlock()
+
+		if w.cfg.FlushCost > 0 {
+			time.Sleep(w.cfg.FlushCost) // one durability flush per group
+		}
+		for _, o := range batch {
+			w.store.applyOrder(o)
+		}
+
+		w.mu.Lock()
+		w.applied += int64(len(batch))
+		w.cond.Broadcast() // commit advanced: wake barriers
+		w.mu.Unlock()
+	}
+}
+
+// close drains the log and stops the committer. Idempotent.
+func (w *orderWAL) close() {
+	w.stopOnce.Do(func() {
+		w.mu.Lock()
+		w.closed = true
+		w.cond.Broadcast()
+		w.mu.Unlock()
+		close(w.stop)
+	})
+	<-w.done
+}
+
+// applyOrder is the single commit point: both index insertions and the
+// committed-log append happen before any lock is released in a way a
+// reader could interleave with. See the file comment for the lock
+// ordering argument.
+func (s *Store) applyOrder(o *Order) {
+	osh := &s.orders[shardFor(o.ID)]
+	ush := &s.userOrders[shardFor(o.UserID)]
+	osh.mu.Lock()
+	ush.mu.Lock()
+	osh.orders[o.ID] = o
+	ush.byUser[o.UserID] = append(ush.byUser[o.UserID], o)
+	ush.mu.Unlock()
+	osh.mu.Unlock()
+	s.committed.mu.Lock()
+	s.committed.orders = append(s.committed.orders, o)
+	s.committed.mu.Unlock()
+}
+
+// PlaceOrderIdempotent is PlaceOrder with an optional client-supplied
+// idempotency key. An empty key places unconditionally. A non-empty key
+// is deduped at this store: the first placement wins and is recorded
+// under the key; any replay — concurrent or later — waits for the
+// original to be acked and returns it with replayed=true. Keys are
+// scoped by the caller (the persistence service prefixes them with the
+// user ID), and a replay with a different payload still returns the
+// original order: the key identifies the logical checkout.
+func (s *Store) PlaceOrderIdempotent(key string, userID int64, items []OrderItem, at time.Time) (Order, bool, error) {
+	order, err := s.buildOrder(userID, items, at)
+	if err != nil {
+		return Order{}, false, err
+	}
+	if key == "" {
+		stored := order
+		s.wal.append(&stored)
+		return stored, false, nil
+	}
+	sh := &s.idem[idemIndex(key)]
+	sh.mu.Lock()
+	if e, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		<-e.ready
+		return *e.order, true, nil
+	}
+	e := &idemEntry{ready: make(chan struct{})}
+	sh.m[key] = e
+	sh.mu.Unlock()
+	stored := order
+	s.wal.append(&stored)
+	e.order = &stored
+	close(e.ready)
+	return stored, false, nil
+}
+
+// CommitStats reports the pipeline's counters (observability and tests).
+type CommitStats struct {
+	Appended int64 `json:"appended"`
+	Applied  int64 `json:"applied"`
+	Pending  int   `json:"pending"`
+}
+
+// CommitStats snapshots the group-commit pipeline state.
+func (s *Store) CommitStats() CommitStats {
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return CommitStats{Appended: s.wal.appended, Applied: s.wal.applied, Pending: len(s.wal.pending)}
+}

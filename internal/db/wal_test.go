@@ -1,0 +1,309 @@
+package db
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// walSeeded builds a store with a commit pipeline slow enough that the
+// async window between append and apply is observable.
+func walSeeded(t *testing.T, cfg CommitConfig) *Store {
+	t.Helper()
+	s := NewStoreCommit(cfg)
+	t.Cleanup(s.Close)
+	if err := s.Generate(GenerateSpec{
+		Categories: 2, ProductsPerCategory: 5, Users: 8, SeedOrders: 0, Seed: 1,
+	}, testHash); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func walItems(s *Store) ([]OrderItem, int64) {
+	cats := s.Categories()
+	page, _, _ := s.ProductsByCategory(cats[0].ID, 0, 1)
+	u, err := s.UserByEmail(EmailFor(0))
+	if err != nil {
+		panic(err)
+	}
+	return []OrderItem{{ProductID: page[0].ID, Quantity: 1}}, u.ID
+}
+
+// TestReadYourWrites: an order read immediately after the ack must see
+// the order even though the commit pipeline applies asynchronously.
+func TestReadYourWrites(t *testing.T) {
+	s := walSeeded(t, CommitConfig{MaxBatch: 2, FlushCost: 10 * time.Millisecond})
+	items, user := walItems(s)
+	for i := 0; i < 5; i++ {
+		placed, err := s.PlaceOrder(user, items, time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Order(placed.ID); err != nil {
+			t.Fatalf("order %d invisible right after ack: %v", placed.ID, err)
+		}
+		byUser, err := s.OrdersByUser(user)
+		if err != nil || len(byUser) != i+1 {
+			t.Fatalf("OrdersByUser after %d orders = %d, %v", i+1, len(byUser), err)
+		}
+	}
+}
+
+// TestIdempotentReplay: replaying a key returns the original order and
+// grows NumOrders by exactly one — the POST /orders regression this PR
+// fixes (a retried checkout used to double-place).
+func TestIdempotentReplay(t *testing.T) {
+	s := walSeeded(t, CommitConfig{})
+	items, user := walItems(s)
+	before := s.NumOrders()
+	first, replayed, err := s.PlaceOrderIdempotent("k1", user, items, time.Now())
+	if err != nil || replayed {
+		t.Fatalf("first placement: %v replayed=%v", err, replayed)
+	}
+	for i := 0; i < 3; i++ {
+		again, replayed, err := s.PlaceOrderIdempotent("k1", user, items, time.Now())
+		if err != nil || !replayed {
+			t.Fatalf("replay %d: %v replayed=%v", i, err, replayed)
+		}
+		if again.ID != first.ID {
+			t.Fatalf("replay returned order %d, want original %d", again.ID, first.ID)
+		}
+	}
+	if got := s.NumOrders(); got != before+1 {
+		t.Fatalf("NumOrders = %d after replays, want %d", got, before+1)
+	}
+}
+
+// TestIdempotentConcurrentSameKey: N racing placements of one key yield
+// one order; every caller gets the same ID.
+func TestIdempotentConcurrentSameKey(t *testing.T) {
+	s := walSeeded(t, CommitConfig{MaxBatch: 2, FlushCost: time.Millisecond})
+	items, user := walItems(s)
+	before := s.NumOrders()
+	const racers = 16
+	ids := make([]int64, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o, _, err := s.PlaceOrderIdempotent("race-key", user, items, time.Now())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = o.ID
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < racers; i++ {
+		if ids[i] != ids[0] {
+			t.Fatalf("racer %d got order %d, racer 0 got %d", i, ids[i], ids[0])
+		}
+	}
+	if got := s.NumOrders(); got != before+1 {
+		t.Fatalf("NumOrders = %d after %d racers, want %d", got, racers, before+1)
+	}
+}
+
+// TestBackpressureCompletes: far more appends than MaxPending all land —
+// the bounded backlog blocks, never drops.
+func TestBackpressureCompletes(t *testing.T) {
+	s := walSeeded(t, CommitConfig{MaxBatch: 4, MaxPending: 8, FlushCost: 200 * time.Microsecond})
+	items, user := walItems(s)
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				key := fmt.Sprintf("bp-%d-%d", w, i)
+				if _, _, err := s.PlaceOrderIdempotent(key, user, items, time.Now()); err != nil {
+					t.Errorf("append %s: %v", key, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.NumOrders(); got != writers*each {
+		t.Fatalf("NumOrders = %d, want %d", got, writers*each)
+	}
+	stats := s.CommitStats()
+	if stats.Appended != int64(writers*each) || stats.Applied != stats.Appended || stats.Pending != 0 {
+		t.Fatalf("commit stats after quiesce = %+v", stats)
+	}
+}
+
+// TestOrdersSincePaging: cursor paging walks the whole committed log in
+// ID order with no gaps or repeats, and malformed cursors behave sanely.
+func TestOrdersSincePaging(t *testing.T) {
+	s := walSeeded(t, CommitConfig{})
+	items, user := walItems(s)
+	const total = 57
+	for i := 0; i < total; i++ {
+		if _, err := s.PlaceOrder(user, items, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var walked []Order
+	since := int64(0)
+	for {
+		page := s.OrdersSince(since, 10)
+		if len(page) == 0 {
+			break
+		}
+		walked = append(walked, page...)
+		since = page[len(page)-1].ID
+	}
+	full := s.AllOrders()
+	if len(walked) != total || len(full) != total {
+		t.Fatalf("walked %d, full %d, want %d", len(walked), len(full), total)
+	}
+	for i := range full {
+		if walked[i].ID != full[i].ID {
+			t.Fatalf("page walk diverges at %d: %d vs %d", i, walked[i].ID, full[i].ID)
+		}
+		if i > 0 && full[i].ID <= full[i-1].ID {
+			t.Fatalf("feed not strictly ID-ordered at %d", i)
+		}
+	}
+	if got := s.OrdersSince(full[total-1].ID, 10); len(got) != 0 {
+		t.Fatalf("page past the end returned %d orders", len(got))
+	}
+	if got := s.OrdersSince(0, 0); len(got) == 0 {
+		t.Fatal("limit<=0 should fall back to a default page, not empty")
+	}
+}
+
+// TestShardSiblings: siblings share the catalog (same products, same
+// users, one ID space) but keep fully independent order planes.
+func TestShardSiblings(t *testing.T) {
+	a := walSeeded(t, CommitConfig{MaxBatch: 2, FlushCost: time.Millisecond})
+	b := a.NewShardSibling()
+	t.Cleanup(b.Close)
+
+	if len(a.Categories()) != len(b.Categories()) || a.NumProducts() != b.NumProducts() {
+		t.Fatal("siblings do not share the catalog")
+	}
+	items, user := walItems(a)
+
+	oa, err := a.PlaceOrder(user, items, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := b.PlaceOrder(user, items, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oa.ID == ob.ID {
+		t.Fatalf("siblings allocated the same order ID %d", oa.ID)
+	}
+	if _, err := a.Order(ob.ID); err == nil {
+		t.Fatal("sibling a sees b's order: order planes not independent")
+	}
+	if _, err := b.Order(oa.ID); err == nil {
+		t.Fatal("sibling b sees a's order: order planes not independent")
+	}
+	if a.NumOrders() != 1 || b.NumOrders() != 1 {
+		t.Fatalf("NumOrders = %d/%d, want 1/1", a.NumOrders(), b.NumOrders())
+	}
+
+	// New products appear in both (one writer plane).
+	np, err := a.AddProduct(Product{CategoryID: a.Categories()[0].ID, Name: "x", Description: "d", PriceCents: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Product(np.ID); err != nil {
+		t.Fatalf("product added via a invisible in b: %v", err)
+	}
+}
+
+// TestIndexAgreementUnderRace hammers the PlaceOrder two-index gap this
+// PR closes: pre-WAL, the order-ID index and the per-user index were
+// published under separate locks with a window in between, so a reader
+// could see an order in one and not the other. Readers race placements
+// and assert the two indexes always agree.
+func TestIndexAgreementUnderRace(t *testing.T) {
+	s := walSeeded(t, CommitConfig{MaxBatch: 3, FlushCost: 100 * time.Microsecond})
+	items, user := walItems(s)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Every order visible by user must be visible by ID: the
+				// single commit point publishes both under the same locks.
+				byUser, err := s.OrdersByUser(user)
+				if err != nil {
+					t.Errorf("OrdersByUser: %v", err)
+					return
+				}
+				for _, o := range byUser {
+					if _, err := s.Order(o.ID); err != nil {
+						t.Errorf("order %d in user index but not ID index: %v", o.ID, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	const writerN, perWriter = 4, 50
+	for w := 0; w < writerN; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := s.PlaceOrder(user, items, time.Now()); err != nil {
+					t.Errorf("PlaceOrder: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if got := s.NumOrders(); got != writerN*perWriter {
+		t.Fatalf("NumOrders = %d, want %d", got, writerN*perWriter)
+	}
+}
+
+// TestCloseDrainsPending: Close applies every acked append before
+// returning, and post-close placements still commit (synchronously).
+func TestCloseDrainsPending(t *testing.T) {
+	s := NewStoreCommit(CommitConfig{MaxBatch: 2, FlushCost: 2 * time.Millisecond})
+	if err := s.Generate(GenerateSpec{Categories: 1, ProductsPerCategory: 2, Users: 2, Seed: 1}, testHash); err != nil {
+		t.Fatal(err)
+	}
+	items, user := walItems(s)
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := s.PlaceOrder(user, items, time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	stats := s.CommitStats()
+	if stats.Applied != n || stats.Pending != 0 {
+		t.Fatalf("after Close: %+v, want %d applied, 0 pending", stats, n)
+	}
+	if _, err := s.PlaceOrder(user, items, time.Now()); err != nil {
+		t.Fatalf("post-Close placement failed: %v", err)
+	}
+	if got := s.NumOrders(); got != n+1 {
+		t.Fatalf("NumOrders = %d, want %d", got, n+1)
+	}
+	s.Close() // idempotent
+}

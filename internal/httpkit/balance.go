@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/shardmap"
 )
 
 // BalancedScheme marks a base URL as a logical service name rather than a
@@ -34,6 +36,50 @@ type ResolverFunc func(ctx context.Context, service string) ([]string, error)
 // Lookup implements Resolver.
 func (f ResolverFunc) Lookup(ctx context.Context, service string) ([]string, error) {
 	return f(ctx, service)
+}
+
+// ShardAddr is one replica address with its shard label (-1 = unsharded).
+type ShardAddr struct {
+	Addr  string
+	Shard int
+}
+
+// ShardResolver is the optional shard-aware resolution surface: a
+// resolver that also reports which keyspace partition each replica owns.
+// When the balancer's resolver implements it (registry.Client does), the
+// balancer builds a consistent-hash ring from the advertised shard IDs
+// and calls carrying a shard key (WithShardKey) are routed to the owning
+// shard's replicas.
+type ShardResolver interface {
+	LookupShards(ctx context.Context, service string) ([]ShardAddr, error)
+}
+
+// shardKeyCtx carries a call's shard routing key.
+type shardKeyCtx struct{}
+
+// WithShardKey returns a context that routes balanced calls by key: the
+// balancer hashes the key onto the target service's shard ring and picks
+// among the owner shard's replicas. Reads (GET/HEAD) fall back through
+// sibling shards when no owner replica is pickable; writes stay pinned
+// to the owner — landing a write on the wrong shard would split an
+// order's history — and fail fast instead, which surfaces as a
+// retryable error while the shard map converges. Services that publish
+// no shard map ignore the key entirely.
+//
+// This is the programmatic form of "svc://persistence?key=...": the key
+// rides the context so it composes with retries and hedging without URL
+// rewriting on every attempt.
+func WithShardKey(ctx context.Context, key string) context.Context {
+	if key == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, shardKeyCtx{}, key)
+}
+
+// ShardKeyFrom extracts the shard routing key, if any.
+func ShardKeyFrom(ctx context.Context) (string, bool) {
+	key, ok := ctx.Value(shardKeyCtx{}).(string)
+	return key, ok && key != ""
 }
 
 // DefaultBalancerCacheTTL bounds how long a resolved replica list is
@@ -79,6 +125,13 @@ type balancedService struct {
 	refreshing bool
 	replicas   map[string]*replicaState
 
+	// shards maps addr → owned shard for sharded services; ring is the
+	// consistent-hash map rebuilt from the advertised shard IDs on every
+	// adopt. Both are replaced wholesale, never mutated in place, so they
+	// may be read outside the lock once loaded.
+	shards map[string]int
+	ring   *shardmap.Ring
+
 	// lastSweep rate-limits the outlier ejection sweep (UnixNano).
 	lastSweep atomic.Int64
 }
@@ -115,6 +168,9 @@ type ReplicaCounts struct {
 	// judges on.
 	EwmaLatencyMs float64 `json:"ewmaLatencyMs,omitempty"`
 	EwmaErrorRate float64 `json:"ewmaErrorRate,omitempty"`
+	// Shard is the keyspace partition this replica owns (sharded
+	// services only).
+	Shard *int `json:"shard,omitempty"`
 }
 
 // NewBalancer returns a balancer resolving through r.
@@ -166,18 +222,44 @@ func (b *Balancer) candidates(ctx context.Context, name string) ([]string, error
 		return addrs, nil
 	}
 	defer s.mu.Unlock()
-	addrs, err := b.resolver.Lookup(withoutTrace(ctx), name)
+	addrs, shards, err := b.resolve(withoutTrace(ctx), name)
 	if err != nil {
 		if len(s.addrs) > 0 {
 			return append([]string(nil), s.addrs...), nil
 		}
 		return nil, err
 	}
-	s.adoptLocked(addrs)
+	s.adoptLocked(addrs, shards)
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("httpkit: no live replicas of %s", name)
 	}
 	return append([]string(nil), addrs...), nil
+}
+
+// resolve consults the resolver, preferring the shard-aware surface when
+// the resolver offers one. The shard map is nil for unsharded services.
+func (b *Balancer) resolve(ctx context.Context, name string) ([]string, map[string]int, error) {
+	sr, ok := b.resolver.(ShardResolver)
+	if !ok {
+		addrs, err := b.resolver.Lookup(ctx, name)
+		return addrs, nil, err
+	}
+	insts, err := sr.LookupShards(ctx, name)
+	if err != nil {
+		return nil, nil, err
+	}
+	addrs := make([]string, len(insts))
+	var shards map[string]int
+	for i, in := range insts {
+		addrs[i] = in.Addr
+		if in.Shard >= 0 {
+			if shards == nil {
+				shards = make(map[string]int, len(insts))
+			}
+			shards[in.Addr] = in.Shard
+		}
+	}
+	return addrs, shards, nil
 }
 
 // refreshAsync re-resolves a service off the request path. On failure
@@ -186,7 +268,7 @@ func (b *Balancer) candidates(ctx context.Context, name string) ([]string, error
 func (b *Balancer) refreshAsync(name string, s *balancedService) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
-	addrs, err := b.resolver.Lookup(ctx, name)
+	addrs, shards, err := b.resolve(ctx, name)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.refreshing = false
@@ -194,11 +276,14 @@ func (b *Balancer) refreshAsync(name string, s *balancedService) {
 		s.fetched = time.Now()
 		return
 	}
-	s.adoptLocked(addrs)
+	s.adoptLocked(addrs, shards)
 }
 
-// adoptLocked installs a freshly resolved replica list (s.mu held).
-func (s *balancedService) adoptLocked(addrs []string) {
+// adoptLocked installs a freshly resolved replica list (s.mu held). The
+// shard ring is rebuilt from the advertised shard IDs; because the ring
+// is a pure function of the ID set, replica churn within a shard leaves
+// every key's owner untouched.
+func (s *balancedService) adoptLocked(addrs []string, shards map[string]int) {
 	s.addrs = append([]string(nil), addrs...)
 	s.fetched = time.Now()
 	s.stale = false
@@ -207,6 +292,16 @@ func (s *balancedService) adoptLocked(addrs []string) {
 			s.replicas[addr] = &replicaState{}
 		}
 	}
+	s.shards = shards
+	if len(shards) == 0 {
+		s.ring = nil
+		return
+	}
+	ids := make([]int, 0, len(shards))
+	for _, id := range shards {
+		ids = append(ids, id)
+	}
+	s.ring = shardmap.New(ids, 0)
 }
 
 // Invalidate marks a service's cached replica list stale so the next call
@@ -238,6 +333,24 @@ func (b *Balancer) Drop(name, addr string) {
 		}
 	}
 	s.addrs = kept
+	if _, ok := s.shards[addr]; !ok {
+		return
+	}
+	// Rebuild the shard map without the dropped replica (copy, never
+	// mutate: readers hold references outside the lock). The ring only
+	// changes when addr was its shard's last replica.
+	shards := make(map[string]int, len(s.shards))
+	for a, id := range s.shards {
+		if a != addr {
+			shards[a] = id
+		}
+	}
+	s.shards = shards
+	ids := make([]int, 0, len(shards))
+	for _, id := range shards {
+		ids = append(ids, id)
+	}
+	s.ring = shardmap.New(ids, 0)
 }
 
 // pick chooses a replica from candidates with power-of-two-choices over
@@ -247,7 +360,52 @@ func (b *Balancer) Drop(name, addr string) {
 // beats refusing the call. Ejected outliers are skipped the same way:
 // preferred out, but never to the point of refusing when nothing else is
 // admissible.
-func (b *Balancer) pick(name string, candidates []string, avoid map[string]bool) string {
+//
+// When key is non-empty and the service publishes a shard map, the pool
+// is first narrowed to the replicas of the key's owner shard. Reads
+// (readFallback=true) widen back to the full candidate set when no owner
+// replica is pickable — any shard can serve a read, at worst with a
+// cross-shard hop. Writes never widen: pick returns "" and the caller
+// surfaces the routing failure rather than landing a write on a
+// non-owner.
+func (b *Balancer) pick(name string, candidates []string, avoid map[string]bool, key string, readFallback bool) string {
+	if key != "" {
+		if owners, sharded := b.shardOwners(name, candidates, key); sharded {
+			if len(owners) > 0 {
+				if addr := b.pickFrom(name, owners, avoid); addr != "" {
+					return addr
+				}
+			}
+			if !readFallback {
+				return ""
+			}
+		}
+	}
+	return b.pickFrom(name, candidates, avoid)
+}
+
+// shardOwners narrows candidates to the replicas owning key's shard.
+// sharded=false means the service publishes no shard map and the key is
+// moot.
+func (b *Balancer) shardOwners(name string, candidates []string, key string) (owners []string, sharded bool) {
+	s := b.service(name)
+	s.mu.Lock()
+	ring, shards := s.ring, s.shards
+	s.mu.Unlock()
+	if ring == nil {
+		return nil, false
+	}
+	owner := ring.Owner(key)
+	for _, a := range candidates {
+		if id, ok := shards[a]; ok && id == owner {
+			owners = append(owners, a)
+		}
+	}
+	return owners, true
+}
+
+// pickFrom is the shard-blind p2c pick over a pool.
+func (b *Balancer) pickFrom(name string, candidates []string, avoid map[string]bool) string {
 	pool := candidates
 	if len(avoid) > 0 {
 		fresh := make([]string, 0, len(candidates))
@@ -377,6 +535,10 @@ func (b *Balancer) Snapshot() map[string]map[string]ReplicaCounts {
 			rc.EwmaLatencyMs = r.ewmaLat / 1e6
 			rc.EwmaErrorRate = r.ewmaErr
 			r.mu.Unlock()
+			if id, ok := s.shards[addr]; ok {
+				shard := id
+				rc.Shard = &shard
+			}
 			m[addr] = rc
 		}
 		s.mu.Unlock()

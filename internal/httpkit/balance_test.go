@@ -147,7 +147,7 @@ func TestBalancerPrefersLessLoadedReplica(t *testing.T) {
 		}
 	}()
 	for i := 0; i < 50; i++ {
-		if got := b.pick("svc", []string{"a:1", "b:1"}, nil); got != "b:1" {
+		if got := b.pick("svc", []string{"a:1", "b:1"}, nil, "", true); got != "b:1" {
 			t.Fatalf("pick %d chose loaded replica %q", i, got)
 		}
 	}

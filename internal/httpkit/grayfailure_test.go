@@ -44,7 +44,7 @@ func TestOutlierEjectsSlowReplica(t *testing.T) {
 	}
 	// Picks must skip the ejected replica entirely.
 	for i := 0; i < 50; i++ {
-		if got := b.pick("svc", addrs, nil); got == "c:1" {
+		if got := b.pick("svc", addrs, nil, "", true); got == "c:1" {
 			t.Fatalf("pick returned ejected replica on draw %d", i)
 		}
 	}
@@ -88,7 +88,7 @@ func TestOutlierEjectionFloor(t *testing.T) {
 	if ejected := b.Ejected("svc"); len(ejected) > 1 {
 		t.Fatalf("pool ejected below one admissible replica: %v", ejected)
 	}
-	if got := b.pick("svc", addrs, nil); got != "a:1" {
+	if got := b.pick("svc", addrs, nil, "", true); got != "a:1" {
 		t.Fatalf("pick = %q, want the one admissible replica a:1", got)
 	}
 
@@ -172,7 +172,7 @@ func TestOutlierEjectionRaceHammer(t *testing.T) {
 					lat = 500 * time.Millisecond
 				}
 				b.Observe("svc", addr, lat, i%7 == 0)
-				if got := b.pick("svc", addrs, nil); got == "" {
+				if got := b.pick("svc", addrs, nil, "", true); got == "" {
 					t.Error("pick returned nothing")
 					return
 				}

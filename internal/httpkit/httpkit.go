@@ -727,7 +727,7 @@ const (
 // timer, and arbitrates: the first acceptable response wins, the loser
 // is cancelled and drained in the background.
 func (c *Client) balancedAttempt(ctx context.Context, method, service, rest string, body []byte, contentType string, failed map[string]bool, mayHedge bool) attemptResult {
-	primaryAddr, br, err := c.pickReplica(ctx, service, failed)
+	primaryAddr, br, err := c.pickReplica(ctx, service, failed, readMethod(method))
 	if err != nil {
 		return attemptResult{err: err}
 	}
@@ -873,7 +873,7 @@ func (c *Client) tryHedge(ctx context.Context, method, service, rest string, bod
 	for a := range failed {
 		avoid[a] = true
 	}
-	addr, br, err := c.pickReplica(ctx, service, avoid)
+	addr, br, err := c.pickReplica(ctx, service, avoid, readMethod(method))
 	if err != nil || addr == primaryAddr {
 		if err == nil && br != nil {
 			br.Release()
@@ -957,16 +957,30 @@ func markFailed(m map[string]bool, addr string) map[string]bool {
 	return m
 }
 
+// readMethod reports whether a method is safe to serve from a non-owner
+// shard (shard-routing read fallback uses the same bar hedging does).
+func readMethod(method string) bool {
+	return method == http.MethodGet || method == http.MethodHead
+}
+
 // pickReplica resolves a logical service and picks a breaker-admitted
 // replica: power-of-two-choices over in-flight counts, skipping replicas
 // whose breaker refuses. When every live replica refuses, the cache is
 // invalidated (the list is evidently rotten) and ErrCircuitOpen surfaces
 // as one client-level short circuit.
-func (c *Client) pickReplica(ctx context.Context, service string, failed map[string]bool) (string, *Breaker, error) {
+//
+// A shard key on the context (WithShardKey) narrows the pick to the
+// owner shard's replicas; readFallback (GET/HEAD) lets the pick widen
+// back to siblings when no owner replica is admissible. A write whose
+// owner shard has no pickable replica fails as a retryable routing
+// error — the failure invalidates the cache, so the retry re-resolves
+// and sees the post-churn shard map.
+func (c *Client) pickReplica(ctx context.Context, service string, failed map[string]bool, readFallback bool) (string, *Breaker, error) {
 	addrs, err := c.balancer.candidates(ctx, service)
 	if err != nil {
 		return "", nil, fmt.Errorf("httpkit: resolving %s: %w", service, err)
 	}
+	key, _ := ShardKeyFrom(ctx)
 	var refused map[string]bool
 	for {
 		candidates := addrs
@@ -978,10 +992,13 @@ func (c *Client) pickReplica(ctx context.Context, service string, failed map[str
 				}
 			}
 		}
-		addr := c.balancer.pick(service, candidates, failed)
+		addr := c.balancer.pick(service, candidates, failed, key, readFallback)
 		if addr == "" {
 			c.shortCircuits.Add(1)
 			c.balancer.Invalidate(service)
+			if key != "" && !readFallback {
+				return "", nil, fmt.Errorf("httpkit: no admissible replica owns the shard for key %q of %s (%d live replicas)", key, service, len(addrs))
+			}
 			return "", nil, fmt.Errorf("%w for all %d replicas of %s", ErrCircuitOpen, len(addrs), service)
 		}
 		if c.breakers == nil {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -112,6 +113,45 @@ func TestWorkerNeverRetriesPOST(t *testing.T) {
 	}
 	if w.idemRetried != 0 {
 		t.Fatalf("idemRetried = %d for a POST, want 0", w.idemRetried)
+	}
+}
+
+// TestWorkerRetriesKeyedCheckout: a checkout POST carrying a client
+// order ID IS replayed on failure — the key dedupes server-side, so the
+// retry can only ever land the same order once — and every attempt
+// carries the same key and body.
+func TestWorkerRetriesKeyedCheckout(t *testing.T) {
+	var calls atomic.Int64
+	var keys []string
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := r.ParseForm(); err != nil {
+			t.Errorf("parse form: %v", err)
+		}
+		keys = append(keys, r.PostFormValue("clientOrderId"))
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	w := idemWorker(t, srv.URL, nil)
+	err := w.postKeyedForm(context.Background(), "/cart/checkout",
+		url.Values{"clientOrderId": {"key-123"}})
+	if err != nil {
+		t.Fatalf("retried keyed checkout still reported error: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d attempts, want 2", calls.Load())
+	}
+	if w.checkoutRetried != 1 || w.idemRetried != 0 {
+		t.Fatalf("checkoutRetried/idemRetried = %d/%d, want 1/0", w.checkoutRetried, w.idemRetried)
+	}
+	for _, k := range keys {
+		if k != "key-123" {
+			t.Fatalf("attempt keys = %v, want every attempt to carry key-123", keys)
+		}
 	}
 }
 

@@ -59,7 +59,10 @@ type Config struct {
 	// RetryIdempotent re-issues failed GETs (transport errors and 5xx) up
 	// to twice, re-picking the webui replica when a registry pool is
 	// available — the client-side defense that turns a gray replica's
-	// failures into latency instead of errors. POSTs are never retried.
+	// failures into latency instead of errors. POSTs are never retried,
+	// with one exception: checkout carries a client order ID that makes
+	// the submission idempotent end-to-end, so a failed checkout is
+	// re-issued on the same key and can never double-place.
 	RetryIdempotent bool
 	// EjectOutliers makes the webui session pool avoid replicas whose
 	// response-time EWMA stands far above their peers', re-admitting them
@@ -90,6 +93,10 @@ type Result struct {
 	// undefended runs report on the same scale.
 	IdempotentRetries  int64
 	IdempotentFailures int64
+	// CheckoutRetries counts checkout POST re-issues after failures —
+	// safe because every checkout carries a client order ID the
+	// persistence plane dedupes on (Config.RetryIdempotent).
+	CheckoutRetries int64
 	// MeasureStart anchors Timeline in wall-clock time.
 	MeasureStart time.Time
 	// Timeline is the per-second view of the measured run
@@ -201,6 +208,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 		res.Retries += w.retried
 		res.IdempotentRetries += w.idemRetried
 		res.IdempotentFailures += w.idemFailed
+		res.CheckoutRetries += w.checkoutRetried
 	}
 	res.MeasureStart = start
 	res.Timeline = tl.windows()
@@ -473,12 +481,14 @@ type worker struct {
 
 	all   metrics.Histogram
 	byReq [workload.NumRequests]metrics.Histogram
-	// shed, retried, idemRetried, and idemFailed are written by this
-	// worker's goroutine only and read after the run's WaitGroup barrier.
-	shed        int64
-	retried     int64
-	idemRetried int64
-	idemFailed  int64
+	// shed, retried, idemRetried, idemFailed, and checkoutRetried are
+	// written by this worker's goroutine only and read after the run's
+	// WaitGroup barrier.
+	shed            int64
+	retried         int64
+	idemRetried     int64
+	idemFailed      int64
+	checkoutRetried int64
 
 	lastProduct int64
 	userIdx     int
@@ -604,7 +614,11 @@ func (w *worker) issue(ctx context.Context, req workload.Request) error {
 	case workload.ReqViewCart:
 		return w.get(ctx, "/cart")
 	case workload.ReqCheckout:
-		return w.postForm(ctx, "/cart/checkout", url.Values{})
+		// A fresh client order ID per logical checkout makes the POST
+		// replayable end-to-end: retries of this submission land on the
+		// same idempotency key and can never double-place.
+		return w.postKeyedForm(ctx, "/cart/checkout",
+			url.Values{"clientOrderId": {persistence.NewOrderKey()}})
 	case workload.ReqProfile:
 		return w.get(ctx, "/profile")
 	case workload.ReqLogout:
@@ -630,6 +644,16 @@ func (w *worker) postForm(ctx context.Context, path string, form url.Values) err
 	}
 	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
 	return w.do(req)
+}
+
+// keyedPostCtx marks a POST whose payload carries an idempotency key, so
+// retryIdempotent may replay it: the server dedupes on the key instead of
+// double-placing. POSTs without the marker get exactly one attempt.
+type keyedPostCtx struct{}
+
+// postKeyedForm posts a form that carries its own idempotency key.
+func (w *worker) postKeyedForm(ctx context.Context, path string, form url.Values) error {
+	return w.postForm(context.WithValue(ctx, keyedPostCtx{}, true), path, form)
 }
 
 // maxShedRetries bounds how many Retry-After backoffs one request honours
@@ -698,12 +722,18 @@ func (w *worker) do(req *http.Request) error {
 }
 
 // retryIdempotent decides whether a failed request gets another go:
-// GETs only (a replayed POST could double an order), bounded tries,
-// and — when a registry pool is available — re-picked onto a different
-// base URL, because the point of the retry is landing somewhere
-// healthier than where the failure came from.
+// GETs, plus POSTs marked keyed (the idempotency key in the payload
+// makes the replay dedupe server-side instead of double-placing).
+// Bounded tries, and — when a registry pool is available — re-picked
+// onto a different base URL, because the point of the retry is landing
+// somewhere healthier than where the failure came from.
 func (w *worker) retryIdempotent(req *http.Request, tries *int) bool {
-	if !w.cfg.RetryIdempotent || req.Method != http.MethodGet {
+	if !w.cfg.RetryIdempotent {
+		return false
+	}
+	keyed, _ := req.Context().Value(keyedPostCtx{}).(bool)
+	keyed = keyed && req.GetBody != nil
+	if req.Method != http.MethodGet && !keyed {
 		return false
 	}
 	if *tries >= maxIdempotentRetries || req.Context().Err() != nil {
@@ -711,7 +741,11 @@ func (w *worker) retryIdempotent(req *http.Request, tries *int) bool {
 	}
 	*tries++
 	if w.measuring.Load() {
-		w.idemRetried++
+		if keyed {
+			w.checkoutRetried++
+		} else {
+			w.idemRetried++
+		}
 	}
 	if !w.sleep(req.Context(), time.Duration(*tries)*5*time.Millisecond) {
 		return false

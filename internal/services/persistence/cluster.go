@@ -1,0 +1,112 @@
+package persistence
+
+import (
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/shardmap"
+)
+
+// Cluster is the sharded order plane: shard-sibling stores (shared
+// catalog, independent order state) plus the consistent-hash ring that
+// assigns each user's orders to exactly one shard. Every persistence
+// replica holds the same *Cluster, so a request that lands on the
+// "wrong" replica is still executed against the owning shard's store
+// in-process — client-side shard routing is a locality optimization,
+// while ownership is enforced here, where it is a correctness property.
+type Cluster struct {
+	stores []*db.Store
+	ring   *shardmap.Ring
+}
+
+// NewCluster builds a cluster over shard-sibling stores; stores[i] owns
+// shard i. A single store is the unsharded degenerate case.
+func NewCluster(stores []*db.Store) *Cluster {
+	ids := make([]int, len(stores))
+	for i := range stores {
+		ids[i] = i
+	}
+	return &Cluster{stores: stores, ring: shardmap.New(ids, 0)}
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.stores) }
+
+// Store returns shard i's store.
+func (c *Cluster) Store(i int) *db.Store { return c.stores[i] }
+
+// OwnerShard returns the shard owning a user's order state.
+func (c *Cluster) OwnerShard(userID int64) int {
+	return c.ring.Owner(shardmap.UserKey(userID))
+}
+
+// StoreFor returns the store owning a user's order state.
+func (c *Cluster) StoreFor(userID int64) *db.Store {
+	return c.stores[c.OwnerShard(userID)]
+}
+
+// Generate populates the whole plane deterministically: catalog and
+// users once (shared), seed orders partitioned by owner exactly as live
+// checkouts are.
+func (c *Cluster) Generate(spec db.GenerateSpec, hash db.Hasher) error {
+	return db.GenerateCluster(c.stores, spec, hash, c.StoreFor)
+}
+
+// NumOrders returns the committed order count across all shards.
+func (c *Cluster) NumOrders() int {
+	n := 0
+	for _, st := range c.stores {
+		n += st.NumOrders()
+	}
+	return n
+}
+
+// OrdersSince merges each shard's incremental scan into one ID-ordered
+// page of at most limit orders with ID > sinceID. IDs are allocated from
+// the shared counter, so the merged page is a stable global cursor:
+// paging with the last returned ID walks every shard's log exactly once.
+func (c *Cluster) OrdersSince(sinceID int64, limit int) []db.Order {
+	if limit <= 0 {
+		limit = 256
+	}
+	if len(c.stores) == 1 {
+		return c.stores[0].OrdersSince(sinceID, limit)
+	}
+	var merged []db.Order
+	for _, st := range c.stores {
+		merged = append(merged, st.OrdersSince(sinceID, limit)...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	if len(merged) > limit {
+		merged = merged[:limit]
+	}
+	return merged
+}
+
+// AllOrders returns every order across all shards in ID order — the
+// deprecated full feed; incremental consumers should page OrdersSince.
+func (c *Cluster) AllOrders() []db.Order {
+	if len(c.stores) == 1 {
+		return c.stores[0].AllOrders()
+	}
+	var merged []db.Order
+	for _, st := range c.stores {
+		merged = append(merged, st.AllOrders()...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].ID < merged[j].ID })
+	return merged
+}
+
+// Flush drains every shard's commit pipeline.
+func (c *Cluster) Flush() {
+	for _, st := range c.stores {
+		st.Flush()
+	}
+}
+
+// Close stops every shard's commit pipeline. Safe to call more than once.
+func (c *Cluster) Close() {
+	for _, st := range c.stores {
+		st.Close()
+	}
+}

@@ -5,6 +5,8 @@ package persistence
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
@@ -15,20 +17,40 @@ import (
 	"repro/internal/db"
 	"repro/internal/httpkit"
 	"repro/internal/services/auth"
+	"repro/internal/shardmap"
 )
 
-// Service wraps a store with its HTTP API.
+// Service wraps one shard of a persistence cluster with its HTTP API.
+// Catalog reads are served from the local store (the catalog is shared
+// reference data); order reads and writes are executed against the
+// owning shard's store regardless of which replica received the request.
 type Service struct {
-	store *db.Store
+	cluster *Cluster
+	shard   int
+	store   *db.Store // this replica's own shard, = cluster.Store(shard)
 }
 
-// New returns a Persistence service over the given store.
+// New returns a Persistence service over the given store — the
+// single-shard deployment.
 func New(store *db.Store) *Service {
-	return &Service{store: store}
+	return NewSharded(NewCluster([]*db.Store{store}), 0)
 }
 
-// Store exposes the underlying store (embedded/in-process callers).
+// NewSharded returns the Persistence service for one shard of a
+// cluster. Replicas of the same shard share the shard index.
+func NewSharded(cluster *Cluster, shard int) *Service {
+	return &Service{cluster: cluster, shard: shard, store: cluster.Store(shard)}
+}
+
+// Store exposes this replica's own shard store (embedded/in-process
+// callers).
 func (s *Service) Store() *db.Store { return s.store }
+
+// Cluster exposes the shared order plane.
+func (s *Service) Cluster() *Cluster { return s.cluster }
+
+// Shard returns the shard this replica owns.
+func (s *Service) Shard() int { return s.shard }
 
 // statusFor maps store errors onto HTTP statuses.
 func statusFor(err error) int {
@@ -55,10 +77,15 @@ type ProductPage struct {
 	Offset   int          `json:"offset"`
 }
 
-// OrderRequest is the checkout write.
+// OrderRequest is the checkout write. ClientOrderID is the optional
+// client-supplied idempotency key (the Idempotency-Key header wins when
+// both are present): replays of the same key return the original order
+// instead of placing a second one, which is what makes checkout safely
+// retryable.
 type OrderRequest struct {
-	UserID int64          `json:"userId"`
-	Items  []db.OrderItem `json:"items"`
+	UserID        int64          `json:"userId"`
+	Items         []db.OrderItem `json:"items"`
+	ClientOrderID string         `json:"clientOrderId,omitempty"`
 }
 
 // BatchProductsRequest asks for many products in one round-trip.
@@ -87,8 +114,9 @@ const maxBatchProducts = 256
 //	GET  /user-by-email/{email}
 //	GET  /users/{id}
 //	GET  /users/{id}/orders
-//	POST /orders                    {userId, items}
-//	GET  /orders/all                (recommender training feed)
+//	POST /orders                    {userId, items, clientOrderId?} (+ Idempotency-Key header)
+//	GET  /orders?sinceId=&limit=    (incremental training feed, ID-ordered)
+//	GET  /orders/all                (deprecated alias: the full feed in one response)
 //	POST /generate                  db.GenerateSpec
 //	GET  /stats
 func (s *Service) Mux() *http.ServeMux {
@@ -115,8 +143,16 @@ func (s *Service) Mux() *http.ServeMux {
 			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		offset := queryInt(r, "offset", 0)
-		limit := queryInt(r, "limit", 20)
+		offset, err := queryInt(r, "offset", 0)
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		limit, err := queryInt(r, "limit", 20)
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
 		products, total, err := s.store.ProductsByCategory(id, offset, limit)
 		if err != nil {
 			writeStoreError(w, err)
@@ -182,7 +218,10 @@ func (s *Service) Mux() *http.ServeMux {
 			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		orders, err := s.store.OrdersByUser(id)
+		// Order state lives on the user's owner shard; routing here keeps
+		// history reads correct even when the balancer's read fallback
+		// landed the request on a sibling.
+		orders, err := s.cluster.StoreFor(id).OrdersByUser(id)
 		if err != nil {
 			writeStoreError(w, err)
 			return
@@ -195,15 +234,48 @@ func (s *Service) Mux() *http.ServeMux {
 			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		order, err := s.store.PlaceOrder(req.UserID, req.Items, time.Now())
+		key := r.Header.Get("Idempotency-Key")
+		if key == "" {
+			key = req.ClientOrderID
+		}
+		if key != "" {
+			// Scope the key per user so two users picking the same token
+			// can never collapse into one order.
+			key = fmt.Sprintf("%d/%s", req.UserID, key)
+		}
+		// Execute on the owning shard regardless of which replica got the
+		// request: ownership — and with it idempotency dedupe — must not
+		// depend on routing being right.
+		order, replayed, err := s.cluster.StoreFor(req.UserID).PlaceOrderIdempotent(key, req.UserID, req.Items, time.Now())
 		if err != nil {
 			writeStoreError(w, err)
 			return
 		}
+		if replayed {
+			w.Header().Set("Idempotent-Replay", "true")
+		}
 		httpkit.WriteJSON(w, http.StatusCreated, order)
 	})
+	mux.HandleFunc("GET /orders", func(w http.ResponseWriter, r *http.Request) {
+		sinceID, err := queryInt64(r, "sinceId", 0)
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		limit, err := queryInt(r, "limit", defaultOrderPage)
+		if err != nil {
+			httpkit.WriteError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if limit <= 0 || limit > maxOrderPage {
+			limit = maxOrderPage
+		}
+		httpkit.WriteJSON(w, http.StatusOK, s.cluster.OrdersSince(sinceID, limit))
+	})
+	// Deprecated: the unpaged full feed — one unbounded copy per call.
+	// Kept as an alias for old consumers; new code pages GET /orders.
 	mux.HandleFunc("GET /orders/all", func(w http.ResponseWriter, r *http.Request) {
-		httpkit.WriteJSON(w, http.StatusOK, s.store.AllOrders())
+		httpkit.WriteJSON(w, http.StatusOK, s.cluster.AllOrders())
 	})
 	mux.HandleFunc("POST /generate", func(w http.ResponseWriter, r *http.Request) {
 		spec := db.DefaultGenerateSpec()
@@ -213,27 +285,36 @@ func (s *Service) Mux() *http.ServeMux {
 				return
 			}
 		}
-		if err := s.store.Generate(spec, auth.HashPassword); err != nil {
+		if err := s.cluster.Generate(spec, auth.HashPassword); err != nil {
 			writeStoreError(w, err)
 			return
 		}
-		httpkit.WriteJSON(w, http.StatusOK, map[string]int{
-			"categories": len(s.store.Categories()),
-			"products":   s.store.NumProducts(),
-			"users":      s.store.NumUsers(),
-			"orders":     s.store.NumOrders(),
-		})
+		httpkit.WriteJSON(w, http.StatusOK, s.stats())
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		httpkit.WriteJSON(w, http.StatusOK, map[string]int{
-			"categories": len(s.store.Categories()),
-			"products":   s.store.NumProducts(),
-			"users":      s.store.NumUsers(),
-			"orders":     s.store.NumOrders(),
-		})
+		httpkit.WriteJSON(w, http.StatusOK, s.stats())
 	})
 	return mux
 }
+
+func (s *Service) stats() map[string]int {
+	return map[string]int{
+		"categories": len(s.store.Categories()),
+		"products":   s.store.NumProducts(),
+		"users":      s.store.NumUsers(),
+		"orders":     s.cluster.NumOrders(),
+		"shard":      s.shard,
+		"shards":     s.cluster.NumShards(),
+	}
+}
+
+// defaultOrderPage and maxOrderPage bound the incremental feed: the
+// default keeps pages cheap, the cap keeps a hostile limit from turning
+// the paged route back into /orders/all.
+const (
+	defaultOrderPage = 256
+	maxOrderPage     = 1000
+)
 
 func pathID(r *http.Request, key string) (int64, error) {
 	id, err := strconv.ParseInt(r.PathValue(key), 10, 64)
@@ -243,16 +324,32 @@ func pathID(r *http.Request, key string) (int64, error) {
 	return id, nil
 }
 
-func queryInt(r *http.Request, key string, def int) int {
+// queryInt parses an optional integer query parameter: absent means the
+// default, malformed means an error — silently serving defaults for
+// ?limit=abc masks client bugs as full-page responses.
+func queryInt(r *http.Request, key string, def int) (int, error) {
 	v := r.URL.Query().Get(key)
 	if v == "" {
-		return def
+		return def, nil
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return def
+		return 0, fmt.Errorf("persistence: bad %s %q", key, v)
 	}
-	return n
+	return n, nil
+}
+
+// queryInt64 is queryInt for 64-bit cursors.
+func queryInt64(r *http.Request, key string, def int64) (int64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("persistence: bad %s %q", key, v)
+	}
+	return n, nil
 }
 
 // Client is the typed client for remote Persistence access.
@@ -326,21 +423,59 @@ func (c *Client) User(ctx context.Context, id int64) (db.User, error) {
 	return out, err
 }
 
-// Orders lists a user's orders.
+// Orders lists a user's orders. The shard key routes the read to the
+// owner shard's replicas (locality; any replica answers correctly).
 func (c *Client) Orders(ctx context.Context, userID int64) ([]db.Order, error) {
+	ctx = httpkit.WithShardKey(ctx, shardmap.UserKey(userID))
 	var out []db.Order
 	err := c.http.GetJSON(ctx, fmt.Sprintf("%s/users/%d/orders", c.base, userID), &out)
 	return out, err
 }
 
-// PlaceOrder writes an order.
+// PlaceOrder writes an order with a fresh idempotency key.
 func (c *Client) PlaceOrder(ctx context.Context, userID int64, items []db.OrderItem) (db.Order, error) {
+	return c.PlaceOrderIdempotent(ctx, userID, items, "")
+}
+
+// PlaceOrderIdempotent writes an order deduped by key; an empty key gets
+// a generated one. Because replays return the original order, the call
+// opts into non-idempotent retries and hedging — a timed-out or hedged
+// checkout can no longer double-place.
+func (c *Client) PlaceOrderIdempotent(ctx context.Context, userID int64, items []db.OrderItem, key string) (db.Order, error) {
+	if key == "" {
+		key = NewOrderKey()
+	}
+	ctx = httpkit.WithShardKey(ctx, shardmap.UserKey(userID))
+	ctx = httpkit.WithCallRetry(ctx, httpkit.RetryPolicy{RetryNonIdempotent: true})
 	var out db.Order
-	err := c.http.PostJSON(ctx, c.base+"/orders", OrderRequest{UserID: userID, Items: items}, &out)
+	err := c.http.PostJSON(ctx, c.base+"/orders",
+		OrderRequest{UserID: userID, Items: items, ClientOrderID: key}, &out)
 	return out, err
 }
 
-// AllOrders fetches the training feed.
+// NewOrderKey returns a fresh random idempotency key for one logical
+// checkout.
+func NewOrderKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Out of kernel entropy is not a checkout failure; fall back to
+		// a time-derived key (worse uniqueness, same correctness).
+		return fmt.Sprintf("t-%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// OrdersSince pages the training feed: up to limit orders with ID >
+// sinceID, in ID order.
+func (c *Client) OrdersSince(ctx context.Context, sinceID int64, limit int) ([]db.Order, error) {
+	var out []db.Order
+	err := c.http.GetJSON(ctx, fmt.Sprintf("%s/orders?sinceId=%d&limit=%d", c.base, sinceID, limit), &out)
+	return out, err
+}
+
+// AllOrders fetches the full training feed in one response.
+//
+// Deprecated: page with OrdersSince; this copies every order per call.
 func (c *Client) AllOrders(ctx context.Context) ([]db.Order, error) {
 	var out []db.Order
 	err := c.http.GetJSON(ctx, c.base+"/orders/all", &out)

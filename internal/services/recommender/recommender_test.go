@@ -130,10 +130,26 @@ func TestEmptyTraining(t *testing.T) {
 	}
 }
 
-// ordersFunc adapts a function to the ordersSource interface.
+// ordersFunc adapts a full-feed function to the incremental
+// ordersSource interface (the adapter filters and pages).
 type ordersFunc func(ctx context.Context) ([]db.Order, error)
 
-func (f ordersFunc) AllOrders(ctx context.Context) ([]db.Order, error) { return f(ctx) }
+func (f ordersFunc) OrdersSince(ctx context.Context, sinceID int64, limit int) ([]db.Order, error) {
+	all, err := f(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]db.Order, 0, limit)
+	for _, o := range all {
+		if o.ID > sinceID {
+			out = append(out, o)
+			if len(out) == limit {
+				break
+			}
+		}
+	}
+	return out, nil
+}
 
 func TestServiceLifecycle(t *testing.T) {
 	src := ordersFunc(func(ctx context.Context) ([]db.Order, error) { return mkOrders(), nil })

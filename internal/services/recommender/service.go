@@ -10,18 +10,30 @@ import (
 	"repro/internal/httpkit"
 )
 
-// ordersSource feeds training data; the Persistence client satisfies it.
+// ordersSource feeds training data incrementally: up to limit orders
+// with ID > sinceID, in ID order. The Persistence client satisfies it.
 type ordersSource interface {
-	AllOrders(ctx context.Context) ([]db.Order, error)
+	OrdersSince(ctx context.Context, sinceID int64, limit int) ([]db.Order, error)
 }
 
-// Service hosts one algorithm behind the HTTP API.
+// trainPage sizes one incremental fetch of the training feed.
+const trainPage = 500
+
+// Service hosts one algorithm behind the HTTP API. Training is
+// incremental: the order history accumulates across Train calls and
+// each retrain only fetches orders newer than the last seen ID, so a
+// periodic retrain costs O(new orders), not O(all orders).
 type Service struct {
 	mu      sync.RWMutex
 	algo    Algorithm
 	source  ordersSource
 	trained bool
-	orders  int
+	history []db.Order // every order seen, ID-ordered
+	lastID  int64
+
+	// trainMu serializes the fetch+apply of Train so two concurrent
+	// retrains cannot double-append the same page.
+	trainMu sync.Mutex
 }
 
 // New returns a Recommender running the named algorithm, training from
@@ -34,26 +46,55 @@ func New(algorithm string, source ordersSource) (*Service, error) {
 	return &Service{algo: algo, source: source}, nil
 }
 
-// Train pulls the order history and rebuilds the model.
+// Train fetches orders placed since the last training pass, appends them
+// to the cached history, and rebuilds the model. It returns the total
+// number of orders the model is now trained on.
 func (s *Service) Train(ctx context.Context) (int, error) {
 	if s.source == nil {
 		return 0, fmt.Errorf("recommender: no order source configured")
 	}
-	orders, err := s.source.AllOrders(ctx)
-	if err != nil {
-		return 0, fmt.Errorf("recommender: fetching orders: %w", err)
+	s.trainMu.Lock()
+	defer s.trainMu.Unlock()
+	s.mu.RLock()
+	since := s.lastID
+	s.mu.RUnlock()
+	var fresh []db.Order
+	for {
+		page, err := s.source.OrdersSince(ctx, since, trainPage)
+		if err != nil {
+			return 0, fmt.Errorf("recommender: fetching orders: %w", err)
+		}
+		fresh = append(fresh, page...)
+		if len(page) < trainPage {
+			break
+		}
+		since = page[len(page)-1].ID
 	}
-	s.TrainOn(orders)
-	return len(orders), nil
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(fresh) > 0 {
+		s.history = append(s.history, fresh...)
+		s.lastID = s.history[len(s.history)-1].ID
+	}
+	s.algo.Train(s.history)
+	s.trained = true
+	return len(s.history), nil
 }
 
-// TrainOn rebuilds the model from the given orders (embedded use).
+// TrainOn rebuilds the model from the given orders (embedded use),
+// replacing any incrementally accumulated history.
 func (s *Service) TrainOn(orders []db.Order) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.algo.Train(orders)
+	s.history = append([]db.Order(nil), orders...)
+	s.lastID = 0
+	for _, o := range orders {
+		if o.ID > s.lastID {
+			s.lastID = o.ID
+		}
+	}
+	s.algo.Train(s.history)
 	s.trained = true
-	s.orders = len(orders)
 }
 
 // Recommend ranks products; it returns an error until trained.
@@ -118,7 +159,7 @@ func (s *Service) Mux() *http.ServeMux {
 		s.mu.RLock()
 		defer s.mu.RUnlock()
 		httpkit.WriteJSON(w, http.StatusOK, map[string]any{
-			"algorithm": s.algo.Name(), "trained": s.trained, "orders": s.orders,
+			"algorithm": s.algo.Name(), "trained": s.trained, "orders": len(s.history),
 		})
 	})
 	return mux

@@ -16,10 +16,30 @@ import (
 // DefaultTTL is how long a registration survives without a heartbeat.
 const DefaultTTL = 10 * time.Second
 
-// Registration is one live instance.
+// Registration is one live instance. Shard is the partition of the
+// service's keyspace this instance owns (sharded services only; nil for
+// the stateless majority). The registry stores it verbatim and serves it
+// back through the instances listing — this is how the persistence
+// plane's shard map is published to every balancer.
 type Registration struct {
 	Service string `json:"service"`
-	Address string `json:"address"` // host:port
+	Address string `json:"address"`         // host:port
+	Shard   *int   `json:"shard,omitempty"` // keyspace partition, nil = unsharded
+}
+
+// ShardID returns the registration's shard, or -1 when unsharded.
+func (r Registration) ShardID() int {
+	if r.Shard == nil {
+		return -1
+	}
+	return *r.Shard
+}
+
+// Instance is one live instance with its shard label, as served by
+// GET /instances/{name}.
+type Instance struct {
+	Address string `json:"address"`
+	Shard   int    `json:"shard"` // -1 = unsharded
 }
 
 // entry tracks liveness.
@@ -99,6 +119,22 @@ func (r *Registry) Lookup(service string) []string {
 	return out
 }
 
+// LookupInstances lists the live instances of a service with their shard
+// labels, sorted by address (deterministic, not a routing order).
+func (r *Registry) LookupInstances(service string) []Instance {
+	cutoff := r.now().Add(-r.ttl)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Instance
+	for addr, e := range r.entries[service] {
+		if e.lastSeen.After(cutoff) {
+			out = append(out, Instance{Address: addr, Shard: e.reg.ShardID()})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Address < out[j].Address })
+	return out
+}
+
 // Services lists all service names with at least one live instance.
 func (r *Registry) Services() []string {
 	cutoff := r.now().Add(-r.ttl)
@@ -144,6 +180,7 @@ func (r *Registry) Sweep() int {
 //	POST /deregister   {service, address}
 //	GET  /services                          → ["auth", ...]
 //	GET  /services/{name}                   → ["host:port", ...]
+//	GET  /instances/{name}                  → [{address, shard}, ...]
 func (r *Registry) Mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	decode := func(w http.ResponseWriter, req *http.Request) (Registration, bool) {
@@ -184,6 +221,9 @@ func (r *Registry) Mux() *http.ServeMux {
 	})
 	mux.HandleFunc("GET /services/{name}", func(w http.ResponseWriter, req *http.Request) {
 		httpkit.WriteJSON(w, http.StatusOK, r.Lookup(req.PathValue("name")))
+	})
+	mux.HandleFunc("GET /instances/{name}", func(w http.ResponseWriter, req *http.Request) {
+		httpkit.WriteJSON(w, http.StatusOK, r.LookupInstances(req.PathValue("name")))
 	})
 	return mux
 }
@@ -248,4 +288,19 @@ func (c *Client) Lookup(ctx context.Context, service string) ([]string, error) {
 	var out []string
 	err := c.http.GetJSON(ctx, c.base+"/services/"+service, &out)
 	return out, err
+}
+
+// LookupShards lists live instances with shard labels; it satisfies
+// httpkit.ShardResolver, which is how the balancer learns the
+// persistence plane's shard map.
+func (c *Client) LookupShards(ctx context.Context, service string) ([]httpkit.ShardAddr, error) {
+	var raw []Instance
+	if err := c.http.GetJSON(ctx, c.base+"/instances/"+service, &raw); err != nil {
+		return nil, err
+	}
+	out := make([]httpkit.ShardAddr, len(raw))
+	for i, in := range raw {
+		out[i] = httpkit.ShardAddr{Addr: in.Address, Shard: in.Shard}
+	}
+	return out, nil
 }

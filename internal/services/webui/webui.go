@@ -504,7 +504,12 @@ func (s *Service) handleCheckout(w http.ResponseWriter, r *http.Request) {
 	for i, it := range sess.cart {
 		items[i] = db.OrderItem{ProductID: it.ProductID, Quantity: it.Quantity}
 	}
-	order, err := s.backends.Persistence.PlaceOrder(r.Context(), sess.claims.UserID, items)
+	// A client-supplied order ID makes the whole checkout idempotent
+	// end-to-end (a retried form POST replays instead of double-placing);
+	// without one the webui→persistence hop still gets a generated key,
+	// so internal retries and hedges can never double-place.
+	order, err := s.backends.Persistence.PlaceOrderIdempotent(
+		r.Context(), sess.claims.UserID, items, r.FormValue("clientOrderId"))
 	if err != nil {
 		s.renderError(w, r, http.StatusBadGateway, "checkout failed: %v", err)
 		return

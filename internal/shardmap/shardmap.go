@@ -1,0 +1,125 @@
+// Package shardmap is the consistent-hash shard map of the persistence
+// plane: a deterministic ring that assigns order-plane keys (user IDs) to
+// shard owners. The same ring is built on both sides of the wire — the
+// client-side balancer builds it from the shard labels the registry
+// advertises, the persistence service builds it from its cluster size —
+// so router and storage agree on ownership without coordination.
+//
+// Determinism is the contract: the ring is a pure function of the shard
+// ID set. Replica churn within a shard (a replica dying, a replacement
+// booting) never moves a key, and adding or removing a whole shard moves
+// only the keys that land on its virtual points (~1/n of the space).
+package shardmap
+
+import (
+	"sort"
+	"strconv"
+)
+
+// DefaultVirtualNodes is how many ring points each shard gets. 64 points
+// per shard keeps the assignment imbalance across shards within a few
+// percent while the ring stays small enough to rebuild on every registry
+// refresh.
+const DefaultVirtualNodes = 64
+
+// HashKey hashes a routing key onto the ring's keyspace: FNV-1a 64
+// followed by a 64-bit avalanche finalizer. Bare FNV-1a is too weak here
+// — short sequential keys like "u:64".."u:127" (exactly what user IDs
+// produce) land in one narrow arc of the ring and a whole population can
+// collapse onto a single shard; the finalizer diffuses every input bit
+// across the word so both the virtual points and the keys spread
+// uniformly.
+func HashKey(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	// fmix64 finalizer (MurmurHash3 / SplitMix64 family).
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// UserKey is the canonical order-plane routing key for a user: orders are
+// partitioned by the user who places them, so checkout, order history,
+// and idempotency dedupe for one user all land on the same shard.
+func UserKey(userID int64) string { return "u:" + strconv.FormatInt(userID, 10) }
+
+// point is one virtual node: a position on the ring owned by a shard.
+type point struct {
+	hash  uint64
+	shard int
+}
+
+// Ring maps keys to shard IDs by consistent hashing.
+type Ring struct {
+	points []point
+	shards []int // distinct shard IDs, ascending
+}
+
+// New builds a ring over the given shard IDs with vnodes virtual points
+// per shard (≤0 selects DefaultVirtualNodes). Duplicate IDs collapse;
+// negative IDs (the "unsharded" label) are ignored. An empty shard set
+// returns nil — callers treat a nil ring as "no shard map".
+func New(shardIDs []int, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[int]bool{}
+	var shards []int
+	for _, id := range shardIDs {
+		if id < 0 || seen[id] {
+			continue
+		}
+		seen[id] = true
+		shards = append(shards, id)
+	}
+	if len(shards) == 0 {
+		return nil
+	}
+	sort.Ints(shards)
+	r := &Ring{shards: shards, points: make([]point, 0, len(shards)*vnodes)}
+	for _, id := range shards {
+		prefix := "shard:" + strconv.Itoa(id) + ":"
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: HashKey(prefix + strconv.Itoa(v)), shard: id})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (astronomically rare) break by shard ID so the ring
+		// stays a pure function of the shard set.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Owner returns the shard ID owning a key: the first virtual point at or
+// clockwise of the key's hash.
+func (r *Ring) Owner(key string) int { return r.OwnerHash(HashKey(key)) }
+
+// OwnerHash is Owner for a pre-hashed key.
+func (r *Ring) OwnerHash(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap
+	}
+	return r.points[i].shard
+}
+
+// Shards lists the ring's distinct shard IDs, ascending. The slice is
+// shared; callers must not modify it.
+func (r *Ring) Shards() []int { return r.shards }
+
+// NumShards returns the shard count.
+func (r *Ring) NumShards() int { return len(r.shards) }

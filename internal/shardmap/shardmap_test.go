@@ -1,0 +1,111 @@
+package shardmap
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := New([]int{0, 1, 2, 3}, 0)
+	b := New([]int{3, 2, 1, 0, 2, 1}, 0) // order and duplicates must not matter
+	if a == nil || b == nil {
+		t.Fatal("expected non-nil rings")
+	}
+	for i := 0; i < 10000; i++ {
+		key := UserKey(int64(i))
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("ring not deterministic for %q: %d vs %d", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingStableUnderReplicaChurn(t *testing.T) {
+	// Replica churn within a shard never changes the shard ID set, so the
+	// ring — and therefore every key's owner — is bitwise stable. Model
+	// churn as rebuilding the ring from repeated observations of the same
+	// shard set (what the balancer does on every registry refresh).
+	before := New([]int{0, 1, 2}, 0)
+	after := New([]int{0, 0, 1, 1, 1, 2}, 0) // more replicas, same shards
+	for i := 0; i < 10000; i++ {
+		key := UserKey(int64(i))
+		if before.Owner(key) != after.Owner(key) {
+			t.Fatalf("owner of %q moved under replica churn", key)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyOrphanedKeys(t *testing.T) {
+	full := New([]int{0, 1, 2, 3}, 0)
+	reduced := New([]int{0, 1, 2}, 0)
+	moved, kept := 0, 0
+	for i := 0; i < 20000; i++ {
+		key := UserKey(int64(i))
+		was, now := full.Owner(key), reduced.Owner(key)
+		if was == 3 {
+			if now == 3 {
+				t.Fatalf("key %q still owned by removed shard", key)
+			}
+			moved++
+			continue
+		}
+		if was != now {
+			t.Fatalf("key %q moved from surviving shard %d to %d", key, was, now)
+		}
+		kept++
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := New([]int{0, 1, 2, 3}, 0)
+	counts := make([]int, 4)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(UserKey(int64(i)))]++
+	}
+	for shard, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("shard %d owns %.1f%% of keys; ring badly imbalanced: %v", shard, 100*frac, counts)
+		}
+	}
+}
+
+// TestRingBalanceSequentialUsers pins the failure mode bare FNV-1a had:
+// a realistic population — a few dozen users with sequential IDs, exactly
+// what Generate seeds — collapsed entirely onto one shard because the
+// un-finalized hash maps short sequential keys into one narrow arc. With
+// the avalanche finalizer every shard must own a meaningful slice of even
+// a small sequential population.
+func TestRingBalanceSequentialUsers(t *testing.T) {
+	r := New([]int{0, 1}, 0)
+	counts := make([]int, 2)
+	for id := int64(64); id < 128; id++ { // IDs as the shared allocator assigns them
+		counts[r.Owner(UserKey(id))]++
+	}
+	for shard, c := range counts {
+		if c < 13 { // ≥20% of 64 keys
+			t.Fatalf("shard %d owns only %d/64 sequential user keys: %v", shard, c, counts)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if New(nil, 0) != nil {
+		t.Fatal("empty shard set should produce a nil ring")
+	}
+	if New([]int{-1, -7}, 0) != nil {
+		t.Fatal("negative-only shard set should produce a nil ring")
+	}
+	one := New([]int{5}, 0)
+	for i := 0; i < 100; i++ {
+		if got := one.Owner(fmt.Sprintf("k%d", i)); got != 5 {
+			t.Fatalf("single-shard ring returned %d", got)
+		}
+	}
+	if got := one.NumShards(); got != 1 {
+		t.Fatalf("NumShards = %d", got)
+	}
+}

@@ -1,0 +1,215 @@
+package teastore
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/services/persistence"
+	"repro/internal/shardmap"
+)
+
+// startShardedStack boots a stack with a partitioned order plane and
+// tight discovery timing so routing reacts to churn within the test.
+func startShardedStack(t *testing.T, shards int, replicas map[string]int) *Stack {
+	t.Helper()
+	st, err := Start(Config{
+		Catalog: db.GenerateSpec{
+			Categories: 2, ProductsPerCategory: 8, Users: 16, SeedOrders: 0, Seed: 11,
+		},
+		Replicas:          replicas,
+		PersistenceShards: shards,
+		Commit:            db.CommitConfig{MaxBatch: 4, FlushCost: 500 * time.Microsecond},
+		RegistryTTL:       time.Second,
+		BalancerCacheTTL:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		st.Shutdown(ctx)
+	})
+	return st
+}
+
+// persistenceShardByAddr maps live persistence replica addresses to the
+// shard each one fronts, as the registry advertises them.
+func persistenceShardByAddr(st *Stack) map[string]int {
+	out := map[string]int{}
+	for _, inst := range st.Registry().LookupInstances("persistence") {
+		if inst.Shard >= 0 {
+			out[inst.Address] = inst.Shard
+		}
+	}
+	return out
+}
+
+// TestShardedCheckoutSurvivesReplicaKill is the cross-shard acceptance
+// run: checkouts flow against a 2-shard persistence plane while one
+// shard loses a replica mid-run. Every checkout carries a stable
+// client-side idempotency key and retries until acked; at the end the
+// cluster must hold exactly one order per acked key — zero duplicates
+// (a retry that raced a dying replica must dedupe at the owner shard),
+// zero losses (an acked order must survive the kill).
+func TestShardedCheckoutSurvivesReplicaKill(t *testing.T) {
+	// Two replicas per shard: the kill leaves its shard covered, so
+	// retried checkouts reroute instead of stalling.
+	st := startShardedStack(t, 2, map[string]int{"persistence": 4})
+	hc := balancedClient(st, 2*time.Second)
+	pc := persistence.NewClient("svc://persistence", hc)
+	ctx := context.Background()
+
+	// Discover the seeded users and a product to order.
+	var userIDs []int64
+	for i := 0; i < 16; i++ {
+		rec, err := pc.UserByEmail(ctx, db.EmailFor(i))
+		if err != nil {
+			t.Fatalf("user %d: %v", i, err)
+		}
+		userIDs = append(userIDs, rec.ID)
+	}
+	page, err := pc.Products(ctx, 1, 0, 1)
+	if err != nil || len(page.Products) == 0 {
+		t.Fatalf("products: %v", err)
+	}
+	items := []db.OrderItem{{ProductID: page.Products[0].ID, Quantity: 1}}
+
+	var (
+		mu    sync.Mutex
+		acked = map[string]bool{}
+	)
+	deadline := time.Now().Add(3 * time.Second)
+	var wg sync.WaitGroup
+	const workers = 8
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			user := userIDs[w%len(userIDs)]
+			for time.Now().Before(deadline) {
+				// One logical checkout = one stable key, retried until the
+				// ack lands. The client already replays non-idempotent
+				// calls; this outer loop covers attempts whose every retry
+				// hit the dying replica.
+				key := persistence.NewOrderKey()
+				for {
+					_, err := pc.PlaceOrderIdempotent(ctx, user, items, key)
+					if err == nil {
+						break
+					}
+					if time.Now().After(deadline.Add(2 * time.Second)) {
+						t.Errorf("checkout for key %s never acked: %v", key, err)
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				mu.Lock()
+				acked[key] = true
+				mu.Unlock()
+			}
+		}(w)
+	}
+
+	// Mid-run, crash one replica (no drain, no deregistration — its lease
+	// lingers and routed requests die on a closed port until caches turn).
+	time.Sleep(time.Second)
+	if err := st.KillReplica("persistence", 1); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	cluster := st.PersistenceCluster()
+	cluster.Flush()
+	stored := cluster.NumOrders()
+	mu.Lock()
+	want := len(acked)
+	mu.Unlock()
+	if want == 0 {
+		t.Fatal("no checkouts acked; run proved nothing")
+	}
+	if stored != want {
+		t.Fatalf("cluster stores %d orders for %d acked keys (dup or lost checkouts)", stored, want)
+	}
+	t.Logf("acked %d checkouts across a replica kill, stored exactly %d", want, stored)
+}
+
+// TestShardAssignmentUnderReplicaChurn: replica churn must not reshape
+// the shard map. A replacement replica adopts the shard the kill left
+// least covered, the registry's advertised shard set is unchanged, and
+// the ring built from that set assigns every key exactly as before.
+func TestShardAssignmentUnderReplicaChurn(t *testing.T) {
+	st := startShardedStack(t, 2, nil) // boot floors persistence replicas at the shard count
+
+	before := persistenceShardByAddr(st)
+	if len(before) != 2 {
+		t.Fatalf("expected 2 labeled persistence replicas, got %v", before)
+	}
+	shardSet := func(m map[string]int) []int {
+		seen := map[int]bool{}
+		var out []int
+		for _, sh := range m {
+			if !seen[sh] {
+				seen[sh] = true
+				out = append(out, sh)
+			}
+		}
+		return out
+	}
+	ringBefore := shardmap.New(shardSet(before), 0)
+
+	// Find and kill the replica fronting shard 1 (KillReplica indexes in
+	// boot order within the service).
+	killIdx := -1
+	var persistenceIdx int
+	for _, inst := range st.Instances() {
+		if inst.Service != "persistence" {
+			continue
+		}
+		if before[inst.Addr] == 1 {
+			killIdx = persistenceIdx
+		}
+		persistenceIdx++
+	}
+	if killIdx < 0 {
+		t.Fatalf("no replica fronts shard 1: %v", before)
+	}
+	if err := st.KillReplica("persistence", killIdx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replacement must adopt the orphaned shard, not double up on 0.
+	if err := st.StartReplica("persistence"); err != nil {
+		t.Fatal(err)
+	}
+	after := persistenceShardByAddr(st)
+	var replacementShard = -1
+	for addr, sh := range after {
+		if _, existed := before[addr]; !existed {
+			replacementShard = sh
+		}
+	}
+	if replacementShard != 1 {
+		t.Fatalf("replacement replica adopted shard %d, want the orphaned shard 1 (after: %v)", replacementShard, after)
+	}
+
+	// Scale-out churn: more replicas never grow the shard set, and the
+	// ring over the advertised set is bitwise-stable — no key moves.
+	if err := st.StartReplica("persistence"); err != nil {
+		t.Fatal(err)
+	}
+	final := persistenceShardByAddr(st)
+	ringAfter := shardmap.New(shardSet(final), 0)
+	if ringAfter.NumShards() != 2 {
+		t.Fatalf("shard set changed under churn: %v", final)
+	}
+	for id := int64(0); id < 5000; id++ {
+		key := shardmap.UserKey(id)
+		if ringBefore.Owner(key) != ringAfter.Owner(key) {
+			t.Fatalf("key %q changed owner under replica churn", key)
+		}
+	}
+}

@@ -124,6 +124,18 @@ type Config struct {
 	// teastore_replicas_desired/actual gauges on /metrics, while the
 	// reconcile loop scales the configured services between their bounds.
 	Autoscale *scalectl.Config
+	// PersistenceShards partitions the order plane into N shard-sibling
+	// stores (shared catalog, each owning one consistent-hash partition of
+	// the user keyspace). 0 or 1 means a single unsharded store. Every
+	// persistence replica registers with its shard label, publishing the
+	// shard map through the registry, and the stack boots at least one
+	// replica per shard.
+	PersistenceShards int
+	// Commit tunes the persistence write pipeline: group-commit batch
+	// size, per-batch flush cost, and the pending bound that backpressures
+	// writers. The zero value selects db defaults (no simulated flush
+	// cost).
+	Commit db.CommitConfig
 }
 
 // replicableServices are the service names Config.Replicas may scale.
@@ -162,6 +174,9 @@ func (c Config) validateReplicas() error {
 			}
 		}
 	}
+	if c.PersistenceShards < 0 {
+		return fmt.Errorf("teastore: negative PersistenceShards %d", c.PersistenceShards)
+	}
 	return nil
 }
 
@@ -190,6 +205,14 @@ type Stack struct {
 	errMu    sync.Mutex
 	serveErr error
 
+	// cluster is the sharded order plane; shardByAddr remembers which
+	// shard each persistence listener registered as, so replacements can
+	// re-cover the least-replicated shard.
+	cluster     *persistence.Cluster
+	shardByAddr map[string]int
+
+	// Store is shard 0's store — the whole order plane when unsharded.
+	// Sharded consumers should use PersistenceCluster.
 	Store *db.Store
 
 	RegistryURL    string
@@ -224,7 +247,21 @@ func Start(cfg Config) (*Stack, error) {
 	if err := cfg.validateReplicas(); err != nil {
 		return nil, err
 	}
-	st := &Stack{Store: db.NewStore(), cfg: cfg}
+	shards := cfg.PersistenceShards
+	if shards < 1 {
+		shards = 1
+	}
+	stores := make([]*db.Store, shards)
+	stores[0] = db.NewStoreCommit(cfg.Commit)
+	for i := 1; i < shards; i++ {
+		stores[i] = stores[0].NewShardSibling()
+	}
+	st := &Stack{
+		Store:       stores[0],
+		cluster:     persistence.NewCluster(stores),
+		shardByAddr: map[string]int{},
+		cfg:         cfg,
+	}
 	fail := func(err error) (*Stack, error) {
 		st.Shutdown(context.Background())
 		return nil, err
@@ -266,7 +303,7 @@ func Start(cfg Config) (*Stack, error) {
 		return httpkit.NewClient(cfg.Resilience.clientTimeout(), opts...)
 	}
 
-	if err := st.Store.Generate(cfg.Catalog, auth.HashPassword); err != nil {
+	if err := st.cluster.Generate(cfg.Catalog, auth.HashPassword); err != nil {
 		return fail(fmt.Errorf("teastore: seeding catalog: %w", err))
 	}
 
@@ -275,10 +312,16 @@ func Start(cfg Config) (*Stack, error) {
 	// registers it, whether invoked during Start or months into a run by
 	// the reconciler.
 	st.boot = map[string]func() (*httpkit.Server, error){
-		// Persistence replicas are stateless compute sharing one store, the
-		// all-in-one analogue of app servers in front of a single database.
+		// Persistence replicas share the whole cluster (every replica can
+		// execute against any shard's store in-process — ownership is
+		// enforced at the cluster, not the listener), but each registers
+		// with one shard label so the balancers route a user's writes to
+		// the replica fronting the owning shard. New replicas cover the
+		// least-replicated shard, so boot round-robins 0..n-1 and a
+		// replacement adopts a killed replica's shard.
 		"persistence": func() (*httpkit.Server, error) {
-			return st.listen("persistence", persistence.New(st.Store).Mux())
+			shard := st.nextPersistenceShard()
+			return st.listenShard("persistence", persistence.NewSharded(st.cluster, shard).Mux(), &shard)
 		},
 		// Auth verifies against persistence.
 		"auth": func() (*httpkit.Server, error) {
@@ -341,7 +384,13 @@ func Start(cfg Config) (*Stack, error) {
 	// and later services resolve earlier ones through the registry — the
 	// recommender trains against svc://persistence before webui exists.
 	for _, name := range []string{"persistence", "auth", "recommender", "image", "webui"} {
-		for i := 0; i < cfg.replicas(name); i++ {
+		n := cfg.replicas(name)
+		if name == "persistence" && n < shards {
+			// Every shard needs a fronting replica or its partition of the
+			// keyspace has no owner in the routing plane.
+			n = shards
+		}
+		for i := 0; i < n; i++ {
 			srv, err := st.boot[name]()
 			if err != nil {
 				return fail(err)
@@ -413,6 +462,12 @@ func Start(cfg Config) (*Stack, error) {
 // registry. Used for the initial boot and for runtime StartReplica calls
 // alike.
 func (s *Stack) listen(name string, mux *http.ServeMux) (*httpkit.Server, error) {
+	return s.listenShard(name, mux, nil)
+}
+
+// listenShard is listen with a shard label on the registration — how a
+// persistence replica publishes which keyspace partition it fronts.
+func (s *Stack) listenShard(name string, mux *http.ServeMux, shard *int) (*httpkit.Server, error) {
 	srv, err := httpkit.NewServer(name, s.cfg.Host+":0", mux)
 	if err != nil {
 		return nil, err
@@ -423,8 +478,38 @@ func (s *Stack) listen(name string, mux *http.ServeMux) (*httpkit.Server, error)
 	}
 	srv.Start()
 	s.track(srv)
-	s.reg.Register(registry.Registration{Service: name, Address: srv.Addr()})
+	if shard != nil {
+		s.mu.Lock()
+		s.shardByAddr[srv.Addr()] = *shard
+		s.mu.Unlock()
+	}
+	s.reg.Register(registry.Registration{Service: name, Address: srv.Addr(), Shard: shard})
 	return srv, nil
+}
+
+// nextPersistenceShard picks the shard with the fewest live fronting
+// replicas (lowest ID on ties): boot assigns 0..n-1 round-robin, and a
+// replacement replica re-covers the shard a kill left unfronted.
+func (s *Stack) nextPersistenceShard() int {
+	n := s.cluster.NumShards()
+	counts := make([]int, n)
+	s.mu.RLock()
+	for _, srv := range s.servers {
+		if srv.Name() != "persistence" {
+			continue
+		}
+		if sh, ok := s.shardByAddr[srv.Addr()]; ok && sh >= 0 && sh < n {
+			counts[sh]++
+		}
+	}
+	s.mu.RUnlock()
+	best := 0
+	for i := 1; i < n; i++ {
+		if counts[i] < counts[best] {
+			best = i
+		}
+	}
+	return best
 }
 
 // maxInflightFor resolves a service's admission bound: the per-service
@@ -821,6 +906,10 @@ func (s *Stack) deregister(srv *httpkit.Server) {
 // Registry exposes the in-process registry.
 func (s *Stack) Registry() *registry.Registry { return s.reg }
 
+// PersistenceCluster exposes the sharded order plane (a single-shard
+// cluster when Config.PersistenceShards was unset).
+func (s *Stack) PersistenceCluster() *persistence.Cluster { return s.cluster }
+
 // Shutdown stops the control loops, then deregisters and stops every
 // server. The reconciler is stopped first so it cannot add replicas to a
 // stack that is going away. Deregistering before closing means a
@@ -844,5 +933,10 @@ func (s *Stack) Shutdown(ctx context.Context) {
 	}
 	for _, srv := range live {
 		_ = srv.Shutdown(ctx)
+	}
+	// Stop the commit pipelines last: with every listener down nothing can
+	// append, and closing drains pending writes so nothing acked is lost.
+	if s.cluster != nil {
+		s.cluster.Close()
 	}
 }
