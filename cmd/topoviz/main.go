@@ -1,21 +1,33 @@
 // Command topoviz prints the modeled server topologies: the containment
 // tree (socket → NUMA → CCD → CCX → cores) and the NUMA distance matrix.
+// With -placement it additionally renders where a placement policy puts
+// the stack's replicas on that machine — the service → cell assignment
+// next to the machine diagram.
 //
 // Usage:
 //
 //	topoviz [-machine rome-2s]
+//	        [-placement ccx] [-replicas webui=3,image=2] [-slot-cores 3]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strconv"
+	"strings"
 
+	"repro/internal/placement"
 	"repro/internal/topology"
 )
 
 func main() {
 	name := flag.String("machine", "rome-2s", "preset: rome-1s, rome-2s, rome-1s-nps4, small")
+	policyName := flag.String("placement", "", "render a placement policy's assignment: packed, ccx, numa")
+	replicasSpec := flag.String("replicas", "", "replica counts to place, e.g. webui=3,image=2 (default: one per replicable service)")
+	slotCores := flag.Int("slot-cores", 3, "each slot's CPU budget in physical cores")
+	capPerCore := flag.Int("cap-per-core", 4, "admission cap granted per effective slot core")
 	flag.Parse()
 
 	machines := map[string]*topology.Machine{
@@ -37,4 +49,116 @@ func main() {
 		}
 		fmt.Println()
 	}
+
+	if *policyName == "" {
+		return
+	}
+	if err := renderPlacement(m, *policyName, *replicasSpec, *slotCores, *capPerCore); err != nil {
+		fmt.Fprintf(os.Stderr, "topoviz: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// renderPlacement assigns the requested replicas through the named
+// policy — the same Assign loop the stack runs at boot — and prints the
+// resulting service → slot table plus per-cell occupancy.
+func renderPlacement(m *topology.Machine, policyName, replicasSpec string, slotCores, capPerCore int) error {
+	pol, err := placement.NewPolicy(policyName, m, nil, slotCores)
+	if err != nil {
+		return err
+	}
+	order, err := parseReplicas(replicasSpec)
+	if err != nil {
+		return err
+	}
+
+	var slots []placement.Slot
+	for _, svc := range order {
+		slot, err := pol.Assign(svc, slots)
+		if err != nil {
+			return fmt.Errorf("placing %s: %w", svc, err)
+		}
+		slots = append(slots, slot)
+	}
+
+	fmt.Printf("\nplacement %s (slot=%d cores, cap/core=%d):\n", pol.Name(), slotCores, capPerCore)
+	fmt.Printf("  %-14s %-22s %s\n", "replica", "slot", "cap")
+	seq := map[string]int{}
+	for _, slot := range slots {
+		seq[slot.Service]++
+		fmt.Printf("  %-14s %-22s %3d\n",
+			fmt.Sprintf("%s/%d", slot.Service, seq[slot.Service]),
+			slot.Label(), placement.SlotCap(slot, slots, m, capPerCore))
+	}
+
+	fmt.Println("\ncell occupancy:")
+	for _, line := range cellOccupancy(m, slots) {
+		fmt.Println("  " + line)
+	}
+	return nil
+}
+
+// cellOccupancy summarizes which services landed in each CCX.
+func cellOccupancy(m *topology.Machine, slots []placement.Slot) []string {
+	byCCX := make([][]string, m.NumCCXs())
+	for _, slot := range slots {
+		seen := map[int]bool{}
+		slot.CPUs.ForEach(func(id int) {
+			if m.ValidCPU(id) {
+				seen[m.CPU(id).CCX] = true
+			}
+		})
+		ccxs := make([]int, 0, len(seen))
+		for c := range seen {
+			ccxs = append(ccxs, c)
+		}
+		sort.Ints(ccxs)
+		tag := slot.Service
+		if len(ccxs) > 1 {
+			tag += "*" // straddles cells
+		}
+		for _, c := range ccxs {
+			byCCX[c] = append(byCCX[c], tag)
+		}
+	}
+	out := make([]string, 0, len(byCCX))
+	for c, names := range byCCX {
+		sort.Strings(names)
+		label := "(idle)"
+		if len(names) > 0 {
+			label = strings.Join(names, " ")
+		}
+		out = append(out, fmt.Sprintf("ccx %d [%s]: %s", c, m.CPUsOfCCX(c).String(), label))
+	}
+	return out
+}
+
+// parseReplicas expands "webui=3,image=2" into the boot-order service
+// sequence the stack would place: services in boot order, each service's
+// replicas consecutively. Empty means one replica of each replicable
+// service.
+func parseReplicas(spec string) ([]string, error) {
+	bootOrder := []string{"persistence", "auth", "recommender", "image", "webui"}
+	counts := map[string]int{}
+	for _, svc := range bootOrder {
+		counts[svc] = 1
+	}
+	if spec != "" {
+		for _, part := range strings.Split(spec, ",") {
+			name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+			n, err := strconv.Atoi(val)
+			if !ok || err != nil || counts[name] == 0 || n < 1 {
+				return nil, fmt.Errorf("bad -replicas element %q, want service=count (services: %s)",
+					part, strings.Join(bootOrder, ", "))
+			}
+			counts[name] = n
+		}
+	}
+	var out []string
+	for _, svc := range bootOrder {
+		for i := 0; i < counts[svc]; i++ {
+			out = append(out, svc)
+		}
+	}
+	return out, nil
 }

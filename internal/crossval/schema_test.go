@@ -44,6 +44,42 @@ func TestScaleupGoldenSchema(t *testing.T) {
 	if !names["webui"] {
 		t.Fatal("SCALEUP.json lacks a webui curve; crossval anchors its calibration on it")
 	}
+
+	// Placement-era artifacts carry the machine model and the policy
+	// comparison; both are structural requirements of the checked-in
+	// report now that the placement sweep exists.
+	m := r.Machine
+	if m == nil {
+		t.Fatal("SCALEUP.json lacks the machine/topology block; regenerate with cmd/scalectl -placement")
+	}
+	if m.Name == "" || m.Cores < 1 || m.CCXs < 1 || m.NUMANodes < 1 ||
+		m.LogicalCPUs < m.Cores || m.ThreadsPerCore < 1 || m.GOMAXPROCS < 1 {
+		t.Fatalf("machine block incomplete: %+v", m)
+	}
+	b := r.Placement
+	if b == nil {
+		t.Fatal("SCALEUP.json lacks the placement block; regenerate with cmd/scalectl -placement")
+	}
+	if b.Service == "" || b.Replicas < 2 || len(b.Policies) < 2 {
+		t.Fatalf("placement block incomplete: service %q, replicas %d, %d policies",
+			b.Service, b.Replicas, len(b.Policies))
+	}
+	for _, c := range b.Policies {
+		if len(c.Points) == 0 || c.PeakRPS <= 0 {
+			t.Fatalf("placement policy %q has no usable curve: %+v", c.Policy, c)
+		}
+		if len(c.Slots) != b.Replicas || len(c.Caps) != b.Replicas {
+			t.Fatalf("placement policy %q records %d slots / %d caps, want %d each",
+				c.Policy, len(c.Slots), len(c.Caps), b.Replicas)
+		}
+	}
+	if b.BestPolicy == "" || b.BestGainVsPacked < 1 {
+		t.Fatalf("placement headline missing or regressive: best %q gain %.3f",
+			b.BestPolicy, b.BestGainVsPacked)
+	}
+	if err := b.Gate(); err != nil {
+		t.Fatalf("checked-in placement block fails its own gate: %v", err)
+	}
 }
 
 func TestCrossvalGoldenSchema(t *testing.T) {

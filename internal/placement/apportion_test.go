@@ -1,0 +1,102 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Regression for the trim tiebreak: weights [9 8 1 1] at n=5, min=1
+// floor to [2 2 1 1] (6 units) and must trim the *lighter* of the two
+// 2-unit recipients. The old first-wins trim produced [1 2 1 1], giving
+// weight 9 less than weight 8.
+func TestApportionTrimPreservesMonotonicity(t *testing.T) {
+	got := apportion(5, []float64{9, 8, 1, 1}, 1)
+	want := []int{2, 1, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("apportion(5, [9 8 1 1], 1) = %v, want %v", got, want)
+		}
+	}
+}
+
+// decode maps quick-generated raw bytes onto apportion's input domain:
+// n ∈ [0,63], min ∈ [0,3], weights ∈ {0..15} (zeros included on purpose).
+func decodeApportionCase(nRaw, minRaw uint8, wRaw []uint8) (n, min int, weights []float64) {
+	n = int(nRaw % 64)
+	min = int(minRaw % 4)
+	weights = make([]float64, len(wRaw)%9)
+	for i := range weights {
+		weights[i] = float64(wRaw[i] % 16)
+	}
+	return
+}
+
+func TestApportionPropertySumsToN(t *testing.T) {
+	prop := func(nRaw, minRaw uint8, wRaw []uint8) bool {
+		n, min, weights := decodeApportionCase(nRaw, minRaw, wRaw)
+		out := apportion(n, weights, min)
+		positive := 0
+		for _, w := range weights {
+			if w > 0 {
+				positive++
+			}
+		}
+		sum := 0
+		for _, v := range out {
+			sum += v
+		}
+		if n <= 0 || positive == 0 {
+			return sum == 0
+		}
+		// Minimums are a floor the trim never crosses, so the total is n
+		// unless the floor itself exceeds n.
+		want := n
+		if floor := min * positive; floor > want {
+			want = floor
+		}
+		return sum == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApportionPropertyRespectsMin(t *testing.T) {
+	prop := func(nRaw, minRaw uint8, wRaw []uint8) bool {
+		n, min, weights := decodeApportionCase(nRaw, minRaw, wRaw)
+		if n <= 0 {
+			return true
+		}
+		out := apportion(n, weights, min)
+		for i, w := range weights {
+			if w > 0 && out[i] < min {
+				return false
+			}
+			if w <= 0 && out[i] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApportionPropertyMonotoneInWeights(t *testing.T) {
+	prop := func(nRaw, minRaw uint8, wRaw []uint8) bool {
+		n, min, weights := decodeApportionCase(nRaw, minRaw, wRaw)
+		out := apportion(n, weights, min)
+		for i, wi := range weights {
+			for j, wj := range weights {
+				if wi > wj && out[i] < out[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Cells must reject degenerate inputs with an error — never panic, never
+// emit instances with empty affinity sets.
+func TestCellsEdgeCases(t *testing.T) {
+	small := topology.Small()
+	cases := []struct {
+		name    string
+		mach    *topology.Machine
+		shares  Shares
+		level   CellLevel
+		wantErr bool
+	}{
+		{"default shares ok", small, DefaultShares(), CellPerCCD, false},
+		{"nil machine", nil, DefaultShares(), CellPerCCD, true},
+		{"nil shares", small, nil, CellPerCCD, true},
+		{"all-zero shares", small, Shares{sim.WebUI: 0, sim.Auth: 0}, CellPerCCD, true},
+		{"negative shares", small, Shares{sim.WebUI: -1, sim.Auth: -2}, CellPerCCD, true},
+		{"missing webui share", small, Shares{sim.Auth: 1, sim.Image: 1}, CellPerCCD, true},
+		{"registry-only shares", small, Shares{sim.Registry: 1}, CellPerCCD, true},
+		{"single-core machine", topology.MustNew(topology.MonolithicConfig(1)), DefaultShares(), CellPerCCD, true},
+		{"cell smaller than replica set", topology.MustNew(topology.MonolithicConfig(3)), DefaultShares(), CellPerCCD, true},
+		{"unknown level", small, DefaultShares(), CellLevel(99), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Cells(tc.mach, tc.shares, tc.level)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Cells accepted degenerate input, deployment %+v", d)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Cells: %v", err)
+			}
+			for _, inst := range d.Instances {
+				if inst.Affinity.Empty() {
+					t.Fatalf("instance %v has an empty affinity set", inst.Service)
+				}
+			}
+		})
+	}
+}

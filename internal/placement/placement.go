@@ -176,11 +176,16 @@ func apportion(n int, weights []float64, min int) []int {
 		out[fracs[k%len(fracs)].i]++
 		used++
 	}
-	// Over-allocation from minimums: trim from the largest.
+	// Over-allocation from minimums: trim from the largest allocation,
+	// breaking ties toward the smallest weight so a heavier service never
+	// ends up with fewer units than a lighter one.
 	for used > n {
 		big := -1
 		for i := range out {
-			if out[i] > min && (big < 0 || out[i] > out[big]) {
+			if out[i] <= min || weights[i] <= 0 {
+				continue
+			}
+			if big < 0 || out[i] > out[big] || (out[i] == out[big] && weights[i] < weights[big]) {
 				big = i
 			}
 		}
@@ -281,6 +286,9 @@ func (l CellLevel) String() string {
 // locally. Use sim.Config.RouteNearest with this deployment so WebUI
 // replicas call their cell-mates.
 func Cells(mach *topology.Machine, shares Shares, level CellLevel) (sim.Deployment, error) {
+	if mach == nil {
+		return sim.Deployment{}, fmt.Errorf("placement: Cells needs a machine")
+	}
 	cells, err := cellCores(mach, level)
 	if err != nil {
 		return sim.Deployment{}, err
@@ -290,6 +298,12 @@ func Cells(mach *topology.Machine, shares Shares, level CellLevel) (sim.Deployme
 	weights := make([]float64, len(services))
 	for i, s := range services {
 		weights[i] = norm[s]
+		// Every cell hosts a full replica set, so a service with no demand
+		// share cannot be sized — refuse rather than emit an instance with
+		// an empty affinity set.
+		if weights[i] <= 0 {
+			return sim.Deployment{}, fmt.Errorf("placement: shares give %s no demand; every replicable service needs a positive share", s)
+		}
 	}
 
 	d := sim.Deployment{Name: "cells-" + level.String()}

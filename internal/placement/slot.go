@@ -1,0 +1,301 @@
+package placement
+
+// This file is the real-stack half of the package: where placement.go
+// builds whole simulated deployments (sim.Deployment) for the paper's
+// configuration sweep, Slot and Policy bind *live* replicas of the real
+// TeaStore stack to topology cells one at a time, the way the scalectl
+// reconciler scales — incrementally, replica by replica.
+//
+// A Slot is a CPU budget plus an affinity cell drawn from a
+// topology.Machine model of the host. The stack cannot truly pin
+// goroutines to cores, so a slot takes real effect through capacity: each
+// replica's admission bound (ServiceMaxInflight-style inflight cap) is
+// derived from the slot's *effective* core count — the budget discounted
+// for cores shared with co-resident slots and for spans across L3 (CCX)
+// boundaries. Packed placement loses capacity to straddling and
+// overlap; CCX-aware placement keeps every replica inside one L3 domain
+// and loses nothing. That capacity gap is the paper's headline effect,
+// expressed through the -caps model the characterizer already uses.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/topology"
+)
+
+// Slot is one replica's CPU budget and affinity cell.
+type Slot struct {
+	// Service is the replica's service name ("webui", "image", ...).
+	Service string
+	// Policy names the policy that assigned the slot.
+	Policy string
+	// Level is the cell granularity: LevelCCX or LevelNUMA for cell
+	// policies, LevelCore for packed core runs.
+	Level topology.Level
+	// Cell is the cell id at Level (CCX id, NUMA node id, or the first
+	// core id of a packed run).
+	Cell int
+	// CPUs is the affinity set: the logical CPUs the replica may run on.
+	CPUs topology.CPUSet
+	// Budget is the replica's CPU budget in physical cores; capacity is
+	// derived from min(Budget, fair share of CPUs), never from the full
+	// affinity set — a replica allowed to roam a NUMA node still only
+	// gets Budget cores of work done.
+	Budget int
+}
+
+// Label renders the slot as a compact registry/metrics label,
+// e.g. "ccx:1/4-7,12-15" (level:cell/cpuset).
+func (s Slot) Label() string {
+	return fmt.Sprintf("%s:%d/%s", s.Level, s.Cell, s.CPUs.String())
+}
+
+func (s Slot) String() string {
+	return fmt.Sprintf("%s %s budget=%d", s.Service, s.Label(), s.Budget)
+}
+
+// StraddlePenalty is the fractional capacity cost per additional CCX a
+// slot's affinity set spans: threads migrating across L3 slices refill
+// cache they already had, so a budget spread over k CCXs delivers
+// 1/(1+StraddlePenalty·(k−1)) of its single-CCX capacity. Calibrated to
+// the paper's observed cross-CCX degradation band.
+const StraddlePenalty = 0.3
+
+// Policy assigns slots to new replicas, one at a time. Implementations
+// are stateless: each Assign decision is a pure function of the machine,
+// the demand shares, and the slots currently live, so a reconciler and a
+// stack holding separate policy instances with the same configuration
+// make identical choices.
+type Policy interface {
+	// Name is the policy's configuration name: "packed", "ccx", "numa".
+	Name() string
+	// Machine is the topology model slots are drawn from.
+	Machine() *topology.Machine
+	// Assign picks the slot for a new replica of service given every slot
+	// currently live (across all services — contention is machine-wide).
+	Assign(service string, existing []Slot) (Slot, error)
+}
+
+// PolicyNames lists the valid NewPolicy names.
+func PolicyNames() []string { return []string{"packed", "ccx", "numa"} }
+
+// NewPolicy builds a named placement policy over a machine model.
+// shares weights cell contention by per-service demand (nil falls back
+// to DefaultNamedShares); slotCores is the per-replica CPU budget in
+// physical cores (0 → 2).
+func NewPolicy(name string, mach *topology.Machine, shares map[string]float64, slotCores int) (Policy, error) {
+	if mach == nil {
+		return nil, fmt.Errorf("placement: policy %q needs a machine model", name)
+	}
+	if slotCores <= 0 {
+		slotCores = 2
+	}
+	if slotCores > mach.NumCores() {
+		return nil, fmt.Errorf("placement: slot budget %d cores exceeds the %d-core machine", slotCores, mach.NumCores())
+	}
+	if shares == nil {
+		shares = DefaultNamedShares()
+	}
+	switch name {
+	case "packed":
+		return &packedPolicy{mach: mach, slotCores: slotCores}, nil
+	case "ccx":
+		return newCellPolicy("ccx", topology.LevelCCX, mach, shares, slotCores)
+	case "numa":
+		return newCellPolicy("numa", topology.LevelNUMA, mach, shares, slotCores)
+	default:
+		return nil, fmt.Errorf("placement: unknown policy %q (have %s)", name, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// DefaultNamedShares is DefaultShares keyed by service name — the form
+// the real stack (which does not speak sim.Service) consumes.
+func DefaultNamedShares() map[string]float64 {
+	out := map[string]float64{}
+	for svc, share := range DefaultShares() {
+		out[svc.String()] = share
+	}
+	return out
+}
+
+// packedPolicy pins replicas to contiguous core runs in arrival order,
+// ignoring CCX boundaries and wrapping at the end of the machine — naive
+// pinning, the paper's "packed" configuration. The cursor is derived
+// from the live slots, keeping Assign stateless.
+type packedPolicy struct {
+	mach      *topology.Machine
+	slotCores int
+}
+
+func (p *packedPolicy) Name() string               { return "packed" }
+func (p *packedPolicy) Machine() *topology.Machine { return p.mach }
+
+func (p *packedPolicy) Assign(service string, existing []Slot) (Slot, error) {
+	cursor := 0
+	for _, s := range existing {
+		cursor += s.Budget
+	}
+	var set topology.CPUSet
+	first := cursor % p.mach.NumCores()
+	for i := 0; i < p.slotCores; i++ {
+		core := (cursor + i) % p.mach.NumCores()
+		for _, id := range p.mach.CoreSiblings(core) {
+			set.Add(id)
+		}
+	}
+	return Slot{
+		Service: service, Policy: "packed",
+		Level: topology.LevelCore, Cell: first,
+		CPUs: set, Budget: p.slotCores,
+	}, nil
+}
+
+// cellPolicy places each replica in the least-contended cell at its
+// level, where contention is the demand-share-weighted population of
+// slots already overlapping the cell. The slot's affinity is the whole
+// cell — cell-mates share it — and its budget stays slotCores.
+type cellPolicy struct {
+	name      string
+	level     topology.Level
+	mach      *topology.Machine
+	shares    map[string]float64
+	slotCores int
+	cells     []topology.CPUSet
+}
+
+func newCellPolicy(name string, level topology.Level, mach *topology.Machine, shares map[string]float64, slotCores int) (*cellPolicy, error) {
+	p := &cellPolicy{name: name, level: level, mach: mach, shares: shares, slotCores: slotCores}
+	switch level {
+	case topology.LevelCCX:
+		for i := 0; i < mach.NumCCXs(); i++ {
+			p.cells = append(p.cells, mach.CPUsOfCCX(i))
+		}
+	case topology.LevelNUMA:
+		for i := 0; i < mach.NumNUMA(); i++ {
+			p.cells = append(p.cells, mach.CPUsOfNUMA(i))
+		}
+	default:
+		return nil, fmt.Errorf("placement: no cell policy at level %v", level)
+	}
+	return p, nil
+}
+
+func (p *cellPolicy) Name() string               { return p.name }
+func (p *cellPolicy) Machine() *topology.Machine { return p.mach }
+
+// weight is a service's contention contribution: its demand share, or
+// the mean share for services the map does not know.
+func (p *cellPolicy) weight(service string) float64 {
+	if w, ok := p.shares[service]; ok && w > 0 {
+		return w
+	}
+	if len(p.shares) == 0 {
+		return 1
+	}
+	total := 0.0
+	for _, w := range p.shares {
+		total += w
+	}
+	return total / float64(len(p.shares))
+}
+
+func (p *cellPolicy) Assign(service string, existing []Slot) (Slot, error) {
+	best, bestLoad := -1, 0.0
+	for i, cell := range p.cells {
+		load := 0.0
+		for _, s := range existing {
+			inter := s.CPUs.Intersect(cell).Count()
+			if inter == 0 {
+				continue
+			}
+			// A slot straddling cells contributes proportionally to each.
+			load += p.weight(s.Service) * float64(inter) / float64(s.CPUs.Count())
+		}
+		if best < 0 || load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	if best < 0 {
+		return Slot{}, fmt.Errorf("placement: %s policy has no cells on %s", p.name, p.mach.Name())
+	}
+	return Slot{
+		Service: service, Policy: p.name,
+		Level: p.level, Cell: best,
+		CPUs: p.cells[best].Clone(), Budget: p.slotCores,
+	}, nil
+}
+
+// EffectiveCores is the capacity a slot actually delivers, in physical
+// cores: the fair share of its affinity cores (cores host every slot
+// whose affinity includes them, splitting evenly), capped at the slot's
+// budget, then discounted for every additional CCX the affinity set
+// spans (StraddlePenalty). all must include slot itself.
+func EffectiveCores(slot Slot, all []Slot, mach *topology.Machine) float64 {
+	occupancy := map[int]int{} // physical core → number of slots on it
+	for _, s := range all {
+		for _, core := range coresOfSet(mach, s.CPUs) {
+			occupancy[core]++
+		}
+	}
+	fair := 0.0
+	ccxs := map[int]bool{}
+	for _, core := range coresOfSet(mach, slot.CPUs) {
+		if n := occupancy[core]; n > 0 {
+			fair += 1 / float64(n)
+		}
+		ccxs[mach.CPU(mach.CoreSiblings(core)[0]).CCX] = true
+	}
+	if fair > float64(slot.Budget) {
+		fair = float64(slot.Budget)
+	}
+	if span := len(ccxs); span > 1 {
+		fair /= 1 + StraddlePenalty*float64(span-1)
+	}
+	return fair
+}
+
+// SlotCap converts a slot's effective cores into an inflight admission
+// bound at capPerCore concurrent requests per core (0 → 2), flooring so
+// the budget never promises more than the hardware and never less than
+// one admitted request.
+func SlotCap(slot Slot, all []Slot, mach *topology.Machine, capPerCore int) int {
+	if capPerCore <= 0 {
+		capPerCore = 2
+	}
+	n := int(EffectiveCores(slot, all, mach) * float64(capPerCore))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// coresOfSet lists the distinct physical cores a CPU set touches, in
+// ascending order.
+func coresOfSet(mach *topology.Machine, set topology.CPUSet) []int {
+	seen := map[int]bool{}
+	var out []int
+	set.ForEach(func(id int) {
+		if !mach.ValidCPU(id) {
+			return
+		}
+		c := mach.CPU(id).Core
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	})
+	sort.Ints(out)
+	return out
+}
+
+// SlotsByService groups a slot list by service name, preserving order —
+// the shape reports and the topoviz renderer consume.
+func SlotsByService(slots []Slot) map[string][]Slot {
+	out := map[string][]Slot{}
+	for _, s := range slots {
+		out[s.Service] = append(out[s.Service], s)
+	}
+	return out
+}

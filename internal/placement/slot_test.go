@@ -1,0 +1,244 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// assign is a test helper: run n Assign calls for service, accumulating
+// the slot list, failing the test on error.
+func assign(t *testing.T, p Policy, service string, n int, existing []Slot) []Slot {
+	t.Helper()
+	slots := append([]Slot(nil), existing...)
+	for i := 0; i < n; i++ {
+		s, err := p.Assign(service, slots)
+		if err != nil {
+			t.Fatalf("Assign(%s) #%d: %v", service, i, err)
+		}
+		slots = append(slots, s)
+	}
+	return slots
+}
+
+func caps(slots []Slot, mach *topology.Machine, capPerCore int) []int {
+	out := make([]int, len(slots))
+	for i, s := range slots {
+		out[i] = SlotCap(s, slots, mach, capPerCore)
+	}
+	return out
+}
+
+// The worked example behind the sweep: on the Small machine (2 CCX ×
+// 4 cores, SMT2) three webui replicas at 3 cores each. Packed wraps and
+// straddles — replica 2 spans both CCXs, replica 3 wraps onto replica
+// 1's first core — so its caps decay [5,4,3]. CCX-aware replicas stay
+// inside one L3 domain each and total strictly more admission capacity.
+func TestPackedVsCCXWorkedExample(t *testing.T) {
+	mach := topology.Small()
+
+	packed, err := NewPolicy("packed", mach, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := assign(t, packed, "webui", 3, nil)
+	wantCells := []int{0, 3, 6}
+	for i, s := range ps {
+		if s.Cell != wantCells[i] {
+			t.Fatalf("packed replica %d first core = %d, want %d", i, s.Cell, wantCells[i])
+		}
+		if s.Level != topology.LevelCore || s.Policy != "packed" || s.Budget != 3 {
+			t.Fatalf("packed replica %d slot = %+v", i, s)
+		}
+	}
+	pCaps := caps(ps, mach, 2)
+	if pCaps[0] != 5 || pCaps[1] != 4 || pCaps[2] != 3 {
+		t.Fatalf("packed caps = %v, want [5 4 3]", pCaps)
+	}
+
+	ccx, err := NewPolicy("ccx", mach, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := assign(t, ccx, "webui", 3, nil)
+	if cs[0].Cell != 0 || cs[1].Cell != 1 || cs[2].Cell != 0 {
+		t.Fatalf("ccx cells = [%d %d %d], want alternating [0 1 0]",
+			cs[0].Cell, cs[1].Cell, cs[2].Cell)
+	}
+	for i, s := range cs {
+		if s.Level != topology.LevelCCX {
+			t.Fatalf("ccx replica %d level = %v", i, s.Level)
+		}
+		if got := s.CPUs.Count(); got != 8 {
+			t.Fatalf("ccx replica %d affinity %d CPUs, want the whole 8-CPU cell", i, got)
+		}
+	}
+	cCaps := caps(cs, mach, 2)
+
+	sum := func(xs []int) int {
+		n := 0
+		for _, x := range xs {
+			n += x
+		}
+		return n
+	}
+	if sum(cCaps) <= sum(pCaps) {
+		t.Fatalf("ccx total cap %v = %d not above packed %v = %d",
+			cCaps, sum(cCaps), pCaps, sum(pCaps))
+	}
+}
+
+// Cell contention is weighted by demand share: a cell holding only the
+// ~0 % registry is less contended than one holding a webui replica.
+func TestCellContentionWeighting(t *testing.T) {
+	mach := topology.Small()
+	p, err := NewPolicy("ccx", mach, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	existing := assign(t, p, "webui", 1, nil) // → cell 0
+	existing = append(existing, Slot{
+		Service: "registry", Policy: "ccx", Level: topology.LevelCCX,
+		Cell: 1, CPUs: mach.CPUsOfCCX(1), Budget: 2,
+	})
+	s, err := p.Assign("auth", existing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cell != 1 {
+		t.Fatalf("auth placed in cell %d; want 1 (registry's share is lighter than webui's)", s.Cell)
+	}
+}
+
+// A straddling slot contributes to each cell proportionally to overlap,
+// not fully to both.
+func TestStraddlingSlotSplitsContention(t *testing.T) {
+	mach := topology.Small()
+	p, err := NewPolicy("ccx", mach, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	straddler := Slot{
+		Service: "webui", Policy: "packed", Level: topology.LevelCore, Cell: 2,
+		CPUs: topology.NewCPUSet(2, 3, 4, 5, 10, 11, 12, 13), Budget: 4,
+	}
+	// Cell 0 additionally holds a whole-cell image replica; cell 1 only
+	// sees half the straddler, so it must win.
+	existing := []Slot{straddler, {
+		Service: "image", Policy: "ccx", Level: topology.LevelCCX,
+		Cell: 0, CPUs: mach.CPUsOfCCX(0), Budget: 4,
+	}}
+	s, err := p.Assign("auth", existing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cell != 1 {
+		t.Fatalf("auth placed in cell %d, want 1", s.Cell)
+	}
+}
+
+func TestNUMAPolicySpreadsAcrossNodes(t *testing.T) {
+	mach := topology.Rome2S()
+	p, err := NewPolicy("numa", mach, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots := assign(t, p, "webui", 2, nil)
+	if slots[0].Cell == slots[1].Cell {
+		t.Fatalf("two webui replicas share NUMA node %d", slots[0].Cell)
+	}
+	for i, s := range slots {
+		if s.Level != topology.LevelNUMA {
+			t.Fatalf("replica %d level = %v, want numa", i, s.Level)
+		}
+	}
+}
+
+func TestPackedAssignIsOrderInsensitive(t *testing.T) {
+	mach := topology.Small()
+	p, err := NewPolicy("packed", mach, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := assign(t, p, "webui", 2, nil)
+	// The packed cursor is Σ budgets of live slots, so permuting the
+	// existing list cannot move the next assignment.
+	next1, err := p.Assign("auth", []Slot{a[0], a[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next2, err := p.Assign("auth", []Slot{a[1], a[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next1.Cell != next2.Cell || !next1.CPUs.Equal(next2.CPUs) {
+		t.Fatalf("packed assignment depends on slot order: %v vs %v", next1, next2)
+	}
+}
+
+func TestEffectiveCoresStraddlePenalty(t *testing.T) {
+	mach := topology.Small()
+	inside := Slot{Service: "webui", CPUs: topology.NewCPUSet(0, 1, 8, 9), Budget: 2}
+	across := Slot{Service: "webui", CPUs: topology.NewCPUSet(3, 4, 11, 12), Budget: 2}
+	in := EffectiveCores(inside, []Slot{inside}, mach)
+	out := EffectiveCores(across, []Slot{across}, mach)
+	if math.Abs(in-2) > 1e-9 {
+		t.Fatalf("uncontended in-CCX slot effective cores = %v, want 2", in)
+	}
+	want := 2 / (1 + StraddlePenalty)
+	if math.Abs(out-want) > 1e-9 {
+		t.Fatalf("straddling slot effective cores = %v, want %v", out, want)
+	}
+}
+
+func TestSlotCapNeverBelowOne(t *testing.T) {
+	mach := topology.Small()
+	// Eight 1-core slots all stacked on core 0: fair share 1/8 each.
+	var all []Slot
+	for i := 0; i < 8; i++ {
+		all = append(all, Slot{Service: "webui", CPUs: topology.NewCPUSet(0, 8), Budget: 1})
+	}
+	if got := SlotCap(all[0], all, mach, 2); got != 1 {
+		t.Fatalf("overcommitted slot cap = %d, want floor of 1", got)
+	}
+}
+
+func TestNewPolicyErrors(t *testing.T) {
+	mach := topology.Small()
+	if _, err := NewPolicy("packed", nil, nil, 2); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	if _, err := NewPolicy("spiral", mach, nil, 2); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := NewPolicy("ccx", mach, nil, mach.NumCores()+1); err == nil {
+		t.Fatal("slot budget larger than the machine accepted")
+	}
+}
+
+func TestSlotLabelFormat(t *testing.T) {
+	mach := topology.Small()
+	s := Slot{
+		Service: "webui", Policy: "ccx", Level: topology.LevelCCX,
+		Cell: 1, CPUs: mach.CPUsOfCCX(1), Budget: 3,
+	}
+	if got, want := s.Label(), "ccx:1/4-7,12-15"; got != want {
+		t.Fatalf("Label() = %q, want %q", got, want)
+	}
+}
+
+func TestDefaultNamedShares(t *testing.T) {
+	shares := DefaultNamedShares()
+	total := 0.0
+	for _, name := range []string{"webui", "auth", "persistence", "recommender", "image", "registry"} {
+		w, ok := shares[name]
+		if !ok || w <= 0 {
+			t.Fatalf("share for %s missing or non-positive: %v", name, w)
+		}
+		total += w
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("shares sum to %v, want 1", total)
+	}
+}

@@ -1,0 +1,84 @@
+package scalectl
+
+import (
+	"fmt"
+
+	"repro/internal/placement"
+)
+
+// SlotTarget is an optional Target extension for topology-aware
+// placement: a stack that binds each replica to a placement.Slot (CPU
+// budget + affinity cell) and can boot a replica into a chosen slot.
+// teastore.Stack implements it when configured with a placement policy;
+// when the target lacks it — or Config.Placement is nil — the reconciler
+// falls back to plain StartReplica and placement is a no-op.
+type SlotTarget interface {
+	// AllSlots lists every live replica's slot across all services —
+	// the machine-wide view a policy scores contention against.
+	AllSlots() []placement.Slot
+	// SlotOf returns the slot a specific replica (by base URL) is bound
+	// to, false when the replica is unknown or unplaced.
+	SlotOf(service, url string) (placement.Slot, bool)
+	// StartReplicaInSlot boots and registers one new replica of a
+	// running service bound to the given slot.
+	StartReplicaInSlot(service string, slot placement.Slot) error
+}
+
+// slotTarget resolves the placement extension: non-nil only when a
+// policy is configured AND the target can bind slots.
+func (c *Controller) slotTarget() (SlotTarget, bool) {
+	if c.cfg.Placement == nil {
+		return nil, false
+	}
+	st, ok := c.target.(SlotTarget)
+	return st, ok
+}
+
+// startReplica boots one replica of name. With placement active the
+// policy picks the least-contended slot given every live slot on the
+// machine; placement decides *where* the replica lands, never *whether*
+// it starts, so scaling decisions are identical with placement off.
+func (c *Controller) startReplica(name string) error {
+	st, ok := c.slotTarget()
+	if !ok {
+		return c.target.StartReplica(name)
+	}
+	slot, err := c.cfg.Placement.Assign(name, st.AllSlots())
+	if err != nil {
+		return fmt.Errorf("placement: %w", err)
+	}
+	return st.StartReplicaInSlot(name, slot)
+}
+
+// startReplacement boots the stand-in for a sick replica. With placement
+// active it inherits the sick replica's slot — the replacement takes
+// over the same cell (its caches and cell-mates) instead of the policy
+// migrating the capacity elsewhere mid-incident.
+func (c *Controller) startReplacement(name, sickURL string) error {
+	st, ok := c.slotTarget()
+	if !ok {
+		return c.target.StartReplica(name)
+	}
+	if slot, found := st.SlotOf(name, sickURL); found {
+		return st.StartReplicaInSlot(name, slot)
+	}
+	slot, err := c.cfg.Placement.Assign(name, st.AllSlots())
+	if err != nil {
+		return fmt.Errorf("placement: %w", err)
+	}
+	return st.StartReplicaInSlot(name, slot)
+}
+
+// slotLabels snapshots the live slot labels per controlled service for
+// Status; nil when placement is inactive.
+func (c *Controller) slotLabels() map[string][]string {
+	st, ok := c.slotTarget()
+	if !ok {
+		return nil
+	}
+	out := map[string][]string{}
+	for _, s := range st.AllSlots() {
+		out[s.Service] = append(out[s.Service], s.Label())
+	}
+	return out
+}

@@ -1,0 +1,316 @@
+package scalectl
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/placement"
+	"repro/internal/topology"
+)
+
+// slotFakeTarget extends the drainable fake with slot bookkeeping, the
+// way teastore.Stack binds replicas to slots: StartReplicaInSlot records
+// the slot under the new replica's URL, drains unbind it.
+type slotFakeTarget struct {
+	*drainableTarget
+
+	slotMu     sync.Mutex
+	slots      map[string]placement.Slot // replica URL → slot
+	slotStarts int
+}
+
+func newSlotFakeTarget(t *testing.T) *slotFakeTarget {
+	return &slotFakeTarget{
+		drainableTarget: newDrainableTarget(t),
+		slots:           map[string]placement.Slot{},
+	}
+}
+
+// addInSlot seeds one pre-placed replica, assigning its slot through the
+// policy the way the stack does at boot.
+func (f *slotFakeTarget) addInSlot(service string, pol placement.Policy) *fakeInstance {
+	slot, err := pol.Assign(service, f.AllSlots())
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	inst := f.add(service)
+	f.slotMu.Lock()
+	f.slots[inst.srv.URL] = slot
+	f.slotMu.Unlock()
+	return inst
+}
+
+func (f *slotFakeTarget) AllSlots() []placement.Slot {
+	f.slotMu.Lock()
+	defer f.slotMu.Unlock()
+	urls := make([]string, 0, len(f.slots))
+	for url := range f.slots {
+		urls = append(urls, url)
+	}
+	sort.Strings(urls)
+	out := make([]placement.Slot, 0, len(urls))
+	for _, url := range urls {
+		out = append(out, f.slots[url])
+	}
+	return out
+}
+
+func (f *slotFakeTarget) SlotOf(service, url string) (placement.Slot, bool) {
+	f.slotMu.Lock()
+	defer f.slotMu.Unlock()
+	s, ok := f.slots[url]
+	return s, ok
+}
+
+func (f *slotFakeTarget) StartReplicaInSlot(service string, slot placement.Slot) error {
+	f.mu.Lock()
+	if err := f.startErr; err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	f.starts[service]++
+	f.mu.Unlock()
+	inst := f.add(service)
+	f.slotMu.Lock()
+	f.slots[inst.srv.URL] = slot
+	f.slotStarts++
+	f.slotMu.Unlock()
+	return nil
+}
+
+func (f *slotFakeTarget) DrainReplica(ctx context.Context, service, url string) error {
+	if err := f.drainableTarget.DrainReplica(ctx, service, url); err != nil {
+		return err
+	}
+	f.slotMu.Lock()
+	delete(f.slots, url)
+	f.slotMu.Unlock()
+	return nil
+}
+
+// lastSlot returns the newest replica's slot for a service.
+func (f *slotFakeTarget) lastSlot(service string) placement.Slot {
+	f.mu.Lock()
+	list := f.replicas[service]
+	url := list[len(list)-1].srv.URL
+	f.mu.Unlock()
+	f.slotMu.Lock()
+	defer f.slotMu.Unlock()
+	return f.slots[url]
+}
+
+func ccxPolicy(t *testing.T, slotCores int) placement.Policy {
+	t.Helper()
+	pol, err := placement.NewPolicy("ccx", topology.Small(), nil, slotCores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+// TestScaleUpPicksLeastContendedCell: with one webui replica in CCX 0, a
+// saturation-driven scale-up must land the new replica in CCX 1 — the
+// policy's least-contended cell — and bind it through StartReplicaInSlot.
+func TestScaleUpPicksLeastContendedCell(t *testing.T) {
+	pol := ccxPolicy(t, 2)
+	ft := newSlotFakeTarget(t)
+	inst := ft.addInSlot("webui", pol)
+	if got := ft.lastSlot("webui").Cell; got != 0 {
+		t.Fatalf("seed replica in cell %d, want 0", got)
+	}
+
+	ctl := newTestController(t, ft, Config{
+		Services:      map[string]Bounds{"webui": {Min: 1, Max: 3}},
+		UpStableTicks: 1,
+		Placement:     pol,
+	})
+	saturate(inst)
+	ctl.Tick(context.Background())
+
+	ft.slotMu.Lock()
+	slotStarts := ft.slotStarts
+	ft.slotMu.Unlock()
+	if slotStarts != 1 {
+		t.Fatalf("slot starts = %d, want 1 (scale-up must go through StartReplicaInSlot)", slotStarts)
+	}
+	got := ft.lastSlot("webui")
+	if got.Cell != 1 || got.Level != topology.LevelCCX {
+		t.Fatalf("scale-up slot = %v, want the uncontended CCX 1", got)
+	}
+	st := ctl.Status().Services[0]
+	if len(st.Slots) != 2 {
+		t.Fatalf("status slots = %v, want 2 labels", st.Slots)
+	}
+	for _, label := range st.Slots {
+		if !strings.HasPrefix(label, "ccx:") {
+			t.Fatalf("slot label %q lacks the ccx: prefix", label)
+		}
+	}
+}
+
+// TestReplacementInheritsSlot: the stand-in for a sick replica must take
+// over the sick replica's slot, even when the policy would place a fresh
+// replica elsewhere.
+func TestReplacementInheritsSlot(t *testing.T) {
+	pol := ccxPolicy(t, 2)
+	ft := newSlotFakeTarget(t)
+	r0 := ft.addInSlot("webui", pol) // cell 0
+	r1 := ft.addInSlot("webui", pol) // cell 1
+	ft.addInSlot("webui", pol)       // cell 0 (tie → lowest)
+	sickSlot, ok := ft.SlotOf("webui", r0.srv.URL)
+	if !ok || sickSlot.Cell != 0 {
+		t.Fatalf("seed slots wrong: %v ok=%v", sickSlot, ok)
+	}
+
+	cfg := healthConfig(map[string]Bounds{"webui": {Min: 2, Max: 4}})
+	cfg.Placement = pol
+	ctl := newTestController(t, ft, cfg)
+	ctx := context.Background()
+
+	ctl.Tick(ctx) // prime windows
+	flagEjected(r1, "webui", hostOf(r0.srv.URL))
+	for i := 0; i < 3; i++ {
+		ctl.Tick(ctx)
+	}
+	if got := ft.drained(); len(got) != 1 || got[0] != r0.srv.URL {
+		t.Fatalf("drained %v, want [%s]", got, r0.srv.URL)
+	}
+	fresh := ft.lastSlot("webui")
+	if fresh.Cell != sickSlot.Cell || fresh.Level != sickSlot.Level {
+		t.Fatalf("replacement slot = %v, want inherited %v", fresh, sickSlot)
+	}
+	// The policy alone would have picked cell 1 (2 live webui in cell 0
+	// would make it least contended after the drain) — the match above is
+	// only meaningful because inheritance overrode it.
+}
+
+// TestPackedPolicyMatchesNoPlacementDecisions: policy=packed must
+// reproduce the placement-disabled reconciler's decision sequence
+// bit-for-bit under an identical script — placement changes where
+// replicas land, never whether the controller scales.
+func TestPackedPolicyMatchesNoPlacementDecisions(t *testing.T) {
+	mach := topology.Small()
+	packed, err := placement.NewPolicy("packed", mach, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type run struct {
+		target  Target
+		inst    *fakeInstance
+		ctl     *Controller
+		actions []string
+		counts  []int
+	}
+	mkRun := func(withPlacement bool) *run {
+		r := &run{}
+		if withPlacement {
+			ft := newSlotFakeTarget(t)
+			r.inst = ft.addInSlot("webui", packed)
+			r.target = ft
+		} else {
+			ft := newFakeTarget(t)
+			r.inst = ft.add("webui")
+			r.target = ft
+		}
+		cfg := Config{
+			Services:        map[string]Bounds{"webui": {Min: 1, Max: 3}},
+			UpStableTicks:   2,
+			DownStableTicks: 2,
+			DownCooldown:    time.Nanosecond,
+		}
+		if withPlacement {
+			cfg.Placement = packed
+		}
+		r.ctl = newTestController(t, r.target, cfg)
+		return r
+	}
+	runs := []*run{mkRun(false), mkRun(true)}
+
+	// Identical script on both: saturate to a scale-up, then idle to a
+	// scale-down. Each step records the decision and the replica count.
+	script := []func(*run){
+		func(r *run) { saturate(r.inst) },
+		func(r *run) { saturate(r.inst) },
+		func(r *run) { saturate(r.inst) },
+		func(r *run) { idle(r.inst) },
+		func(r *run) { idle(r.inst) },
+		func(r *run) { idle(r.inst) },
+		func(r *run) { idle(r.inst) },
+	}
+	for _, step := range script {
+		for _, r := range runs {
+			step(r)
+			r.ctl.Tick(context.Background())
+			r.actions = append(r.actions, r.ctl.Status().Services[0].LastDecision.Action)
+			r.counts = append(r.counts, len(r.target.ReplicaURLs("webui")))
+		}
+	}
+	if fmt.Sprint(runs[0].actions) != fmt.Sprint(runs[1].actions) {
+		t.Fatalf("decision sequences diverge:\n  no placement: %v\n  packed:       %v",
+			runs[0].actions, runs[1].actions)
+	}
+	if fmt.Sprint(runs[0].counts) != fmt.Sprint(runs[1].counts) {
+		t.Fatalf("replica-count sequences diverge:\n  no placement: %v\n  packed:       %v",
+			runs[0].counts, runs[1].counts)
+	}
+}
+
+// TestPlacementFallsBackWithoutSlotTarget: a policy configured against a
+// target that cannot bind slots degrades to plain StartReplica.
+func TestPlacementFallsBackWithoutSlotTarget(t *testing.T) {
+	ft := newFakeTarget(t)
+	inst := ft.add("webui")
+	ctl := newTestController(t, ft, Config{
+		Services:      map[string]Bounds{"webui": {Min: 1, Max: 2}},
+		UpStableTicks: 1,
+		Placement:     ccxPolicy(t, 2),
+	})
+	saturate(inst)
+	ctl.Tick(context.Background())
+	ft.mu.Lock()
+	starts := ft.starts["webui"]
+	ft.mu.Unlock()
+	if starts != 1 {
+		t.Fatalf("starts = %d, want 1 via the StartReplica fallback", starts)
+	}
+	if slots := ctl.Status().Services[0].Slots; slots != nil {
+		t.Fatalf("status slots = %v, want none without a slot target", slots)
+	}
+}
+
+// failingPolicy always refuses to assign.
+type failingPolicy struct{ mach *topology.Machine }
+
+func (p failingPolicy) Name() string               { return "failing" }
+func (p failingPolicy) Machine() *topology.Machine { return p.mach }
+func (p failingPolicy) Assign(string, []placement.Slot) (placement.Slot, error) {
+	return placement.Slot{}, fmt.Errorf("no room")
+}
+
+// TestPlacementAssignFailureHolds: a policy error turns the scale-up
+// into a hold with the reason surfaced, not a crash or a silent start.
+func TestPlacementAssignFailureHolds(t *testing.T) {
+	ft := newSlotFakeTarget(t)
+	pol := ccxPolicy(t, 2)
+	inst := ft.addInSlot("webui", pol)
+	ctl := newTestController(t, ft, Config{
+		Services:      map[string]Bounds{"webui": {Min: 1, Max: 2}},
+		UpStableTicks: 1,
+		Placement:     failingPolicy{mach: topology.Small()},
+	})
+	saturate(inst)
+	ctl.Tick(context.Background())
+	if n := len(ft.ReplicaURLs("webui")); n != 1 {
+		t.Fatalf("replicas = %d, want 1 (assign failed)", n)
+	}
+	st := ctl.Status().Services[0]
+	if st.LastDecision.Action != ActionHold || !strings.Contains(st.LastDecision.Reason, "no room") {
+		t.Fatalf("decision = %+v, want hold citing the placement error", st.LastDecision)
+	}
+}

@@ -134,3 +134,28 @@ func TestHTTPValidation(t *testing.T) {
 		t.Fatalf("services = %v", svcs)
 	}
 }
+
+// TestSlotLabelRoundTrip: a registration's placement slot is stored
+// verbatim, served by LookupInstances, and survives heartbeats (which
+// only refresh liveness, never rewrite the registration).
+func TestSlotLabelRoundTrip(t *testing.T) {
+	r := New(0)
+	r.Register(Registration{Service: "webui", Address: "w:1", Slot: "ccx:0/0-3,8-11"})
+	r.Register(Registration{Service: "webui", Address: "w:2"})
+
+	got := r.LookupInstances("webui")
+	if len(got) != 2 {
+		t.Fatalf("LookupInstances = %v", got)
+	}
+	if got[0].Slot != "ccx:0/0-3,8-11" || got[1].Slot != "" {
+		t.Fatalf("slots = [%q %q]", got[0].Slot, got[1].Slot)
+	}
+
+	// A bare heartbeat (no slot field) must not erase the stored label.
+	if !r.Heartbeat(Registration{Service: "webui", Address: "w:1"}) {
+		t.Fatal("heartbeat failed")
+	}
+	if got := r.LookupInstances("webui")[0].Slot; got != "ccx:0/0-3,8-11" {
+		t.Fatalf("slot after heartbeat = %q", got)
+	}
+}

@@ -1,0 +1,190 @@
+package teastore
+
+import (
+	"fmt"
+
+	"repro/internal/httpkit"
+	"repro/internal/placement"
+	"repro/internal/scalectl"
+	"repro/internal/services/registry"
+	"repro/internal/topology"
+)
+
+// PlacementConfig turns on topology-aware replica placement: every
+// replica of a replicable service is bound to a placement.Slot — a CPU
+// budget plus an affinity cell drawn from the machine model — chosen by
+// the named policy. The binding has a real effect in-process: each
+// replica's admission cap (max in-flight) is derived from its slot's
+// effective core share, so replicas stacked on the same cores admit less
+// and replicas alone in a cell admit more, and the slot label is
+// published through the registry and /metrics for observability.
+type PlacementConfig struct {
+	// Machine models the CPU topology slots are drawn from. Required.
+	Machine *topology.Machine
+	// Policy names the placement policy: "packed", "ccx", or "numa"
+	// (placement.PolicyNames). Empty means "packed".
+	Policy string
+	// Shares weights per-service demand for the cell policies; nil means
+	// placement.DefaultNamedShares (the paper's measured demand mix).
+	Shares map[string]float64
+	// SlotCores is each slot's CPU budget in physical cores (0 → 2).
+	SlotCores int
+	// CapPerCore converts a slot's effective cores into an admission cap:
+	// cap = effectiveCores × CapPerCore, floored at 1 (0 → 2).
+	CapPerCore int
+}
+
+// policy resolves the configured placement policy.
+func (p *PlacementConfig) policy() (placement.Policy, error) {
+	name := p.Policy
+	if name == "" {
+		name = "packed"
+	}
+	return placement.NewPolicy(name, p.Machine, p.Shares, p.SlotCores)
+}
+
+// Stack binds replicas to slots for the reconciler's placement loop.
+var _ scalectl.SlotTarget = (*Stack)(nil)
+
+// AllSlots lists every placed replica's slot in boot order — the
+// machine-wide occupancy view placement policies score against.
+func (s *Stack) AllSlots() []placement.Slot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []placement.Slot
+	for _, srv := range s.servers {
+		if slot, ok := s.slotByAddr[srv.Addr()]; ok {
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
+// SlotOf returns the slot the replica at url (base URL or host:port) is
+// bound to; false when placement is off or the replica is unknown.
+func (s *Stack) SlotOf(service, url string) (placement.Slot, bool) {
+	for _, srv := range s.serversOf(service) {
+		if srv.URL() == url || srv.Addr() == url {
+			s.mu.RLock()
+			slot, ok := s.slotByAddr[srv.Addr()]
+			s.mu.RUnlock()
+			return slot, ok
+		}
+	}
+	return placement.Slot{}, false
+}
+
+// StartReplicaInSlot boots one new replica of a running service bound to
+// the given slot instead of letting the policy pick one — how the
+// reconciler places scale-ups and slot-inheriting replacements.
+func (s *Stack) StartReplicaInSlot(service string, slot placement.Slot) error {
+	if s.placementPol == nil {
+		return fmt.Errorf("teastore: placement not configured")
+	}
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	s.pendingSlot.Store(&slot)
+	defer s.pendingSlot.Store(nil)
+	return s.StartReplica(service)
+}
+
+// slotFor picks the slot for a replica of name about to boot: the
+// pending slot when a StartReplicaInSlot call is in flight, else the
+// policy's choice against current occupancy. ok=false when placement is
+// off or the service is not placed (registry, scalectl).
+func (s *Stack) slotFor(name string) (slot placement.Slot, ok bool, err error) {
+	if s.placementPol == nil || !replicableServices[name] {
+		return placement.Slot{}, false, nil
+	}
+	if p := s.pendingSlot.Load(); p != nil {
+		return *p, true, nil
+	}
+	slot, err = s.placementPol.Assign(name, s.AllSlots())
+	if err != nil {
+		return placement.Slot{}, false, fmt.Errorf("teastore: placing %s replica: %w", name, err)
+	}
+	return slot, true, nil
+}
+
+// bindSlot attaches a slot to a freshly-listening replica: record the
+// binding, label the server, and rebalance every placed replica's
+// admission cap against the new occupancy.
+func (s *Stack) bindSlot(srv *httpkit.Server, slot placement.Slot) {
+	s.mu.Lock()
+	s.slotByAddr[srv.Addr()] = slot
+	s.mu.Unlock()
+	srv.SetSlot(slot.Label())
+	s.rebalanceCaps()
+}
+
+// rebalanceCaps recomputes every placed replica's admission cap from the
+// current machine-wide slot occupancy. Runs after every placement change
+// — replica added or removed — because occupancy is global: a new
+// replica stacked onto shared cores lowers its cell-mates' effective
+// share too, and a drain gives it back.
+func (s *Stack) rebalanceCaps() {
+	if s.placementPol == nil {
+		return
+	}
+	all := s.AllSlots()
+	mach := s.placementPol.Machine()
+	s.mu.RLock()
+	servers := append([]*httpkit.Server(nil), s.servers...)
+	slots := make(map[string]placement.Slot, len(s.slotByAddr))
+	for addr, slot := range s.slotByAddr {
+		slots[addr] = slot
+	}
+	s.mu.RUnlock()
+	for _, srv := range servers {
+		slot, ok := slots[srv.Addr()]
+		if !ok {
+			continue
+		}
+		srv.SetMaxInflight(placement.SlotCap(slot, all, mach, s.capPerCore))
+	}
+}
+
+// unbindSlot drops a removed replica's slot binding and rebalances the
+// survivors' caps; no-op for unplaced servers.
+func (s *Stack) unbindSlot(srv *httpkit.Server) {
+	s.mu.Lock()
+	_, had := s.slotByAddr[srv.Addr()]
+	delete(s.slotByAddr, srv.Addr())
+	s.mu.Unlock()
+	if had {
+		s.rebalanceCaps()
+	}
+}
+
+// PlacementPolicy exposes the active policy (nil when placement is off).
+func (s *Stack) PlacementPolicy() placement.Policy { return s.placementPol }
+
+// ReplicaCaps lists a service's live replicas' admission caps by base
+// URL — how tests and the sweep verify slot-derived capacity.
+func (s *Stack) ReplicaCaps(service string) map[string]int {
+	out := map[string]int{}
+	for _, srv := range s.serversOf(service) {
+		out[srv.URL()] = srv.MaxInflight()
+	}
+	return out
+}
+
+// SlotLabelsByService groups live slot labels by service name, matching
+// what the registry serves — the topoviz and status view of placement.
+func (s *Stack) SlotLabelsByService() map[string][]string {
+	out := map[string][]string{}
+	for _, slot := range s.AllSlots() {
+		out[slot.Service] = append(out[slot.Service], slot.Label())
+	}
+	return out
+}
+
+// registrationFor builds a replica's registry record, carrying the shard
+// and slot labels the routing plane publishes.
+func (s *Stack) registrationFor(srv *httpkit.Server, shard *int) registry.Registration {
+	reg := registry.Registration{Service: srv.Name(), Address: srv.Addr(), Shard: shard}
+	if slot, ok := s.SlotOf(srv.Name(), srv.Addr()); ok {
+		reg.Slot = slot.Label()
+	}
+	return reg
+}

@@ -1,0 +1,161 @@
+package teastore
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/topology"
+)
+
+// startPlacedStack boots a minimal stack with topology-aware placement
+// on the Small preset machine.
+func startPlacedStack(t *testing.T, policy string) *Stack {
+	t.Helper()
+	st, err := Start(Config{
+		Catalog:          db.GenerateSpec{Categories: 2, ProductsPerCategory: 4, Users: 2, SeedOrders: 4, Seed: 7},
+		BalancerCacheTTL: 50 * time.Millisecond,
+		Placement: &PlacementConfig{
+			Machine: topology.Small(),
+			Policy:  policy,
+			// Large enough that one more cell-mate moves the integer cap:
+			// with the default 2, floor(1.33×2) == floor(1.0×2).
+			CapPerCore: 6,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		st.Shutdown(ctx)
+	})
+	return st
+}
+
+// TestPlacedStackBindsEveryReplicableService: a placement-enabled boot
+// gives each replicable service a slot, derives its admission cap from
+// the slot (not the stack-wide default), and publishes the slot label
+// through the registry. The registry itself stays unplaced.
+func TestPlacedStackBindsEveryReplicableService(t *testing.T) {
+	st := startPlacedStack(t, "ccx")
+
+	slots := st.AllSlots()
+	if len(slots) != len(replicableServices) {
+		t.Fatalf("placed %d slots, want %d (one per replicable service): %v", len(slots), len(replicableServices), slots)
+	}
+	byService := st.SlotLabelsByService()
+	for name := range replicableServices {
+		if len(byService[name]) != 1 {
+			t.Fatalf("%s has slot labels %v, want exactly one", name, byService[name])
+		}
+		caps := st.ReplicaCaps(name)
+		if len(caps) != 1 {
+			t.Fatalf("%s has caps %v, want exactly one replica", name, caps)
+		}
+		for url, c := range caps {
+			if c < 1 || c >= DefaultMaxInflight {
+				t.Fatalf("%s replica %s cap = %d, want a small slot-derived bound", name, url, c)
+			}
+		}
+		insts := st.Registry().LookupInstances(name)
+		if len(insts) != 1 || insts[0].Slot == "" {
+			t.Fatalf("registry instances for %s = %+v, want one with a slot label", name, insts)
+		}
+		if insts[0].Slot != byService[name][0] {
+			t.Fatalf("registry slot %q != stack slot %q for %s", insts[0].Slot, byService[name][0], name)
+		}
+	}
+	if reg := st.Registry().LookupInstances("registry"); len(reg) != 1 || reg[0].Slot != "" {
+		t.Fatalf("registry instances = %+v, want one with no slot label", reg)
+	}
+}
+
+// TestStartReplicaInSlotStacksAndRebalances: forcing a second replica
+// into the first one's exact slot halves the shared cores' effective
+// share, so the incumbent's cap drops — and scaling back down restores
+// it. This is the cap-rebalance contract the placement model rests on.
+func TestStartReplicaInSlotStacksAndRebalances(t *testing.T) {
+	st := startPlacedStack(t, "ccx")
+
+	urls := st.ReplicaURLs("webui")
+	if len(urls) != 1 {
+		t.Fatalf("webui replicas = %v, want 1", urls)
+	}
+	first := urls[0]
+	slot, ok := st.SlotOf("webui", first)
+	if !ok {
+		t.Fatalf("webui replica %s has no slot", first)
+	}
+	capBefore := st.ReplicaCaps("webui")[first]
+
+	if err := st.StartReplicaInSlot("webui", slot); err != nil {
+		t.Fatal(err)
+	}
+	urls = st.ReplicaURLs("webui")
+	if len(urls) != 2 {
+		t.Fatalf("webui replicas = %v, want 2", urls)
+	}
+	second := urls[1]
+	got, ok := st.SlotOf("webui", second)
+	if !ok || got.Cell != slot.Cell || !got.CPUs.Equal(slot.CPUs) {
+		t.Fatalf("second replica slot = %v ok=%v, want the forced slot %v", got, ok, slot)
+	}
+	capStacked := st.ReplicaCaps("webui")[first]
+	if capStacked >= capBefore {
+		t.Fatalf("incumbent cap %d did not drop from %d after stacking a cell-mate", capStacked, capBefore)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	if err := st.ScaleDown(ctx, "webui"); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(st.AllSlots()); n != len(replicableServices) {
+		t.Fatalf("slots after scale-down = %d, want %d (drain must unbind)", n, len(replicableServices))
+	}
+	if capAfter := st.ReplicaCaps("webui")[first]; capAfter != capBefore {
+		t.Fatalf("incumbent cap = %d after scale-down, want %d restored", capAfter, capBefore)
+	}
+}
+
+// TestKillReplicaUnbindsSlot: a crashed replica's slot is released (the
+// process is gone even if its lease lingers), so its cell capacity flows
+// back to survivors and a replacement can be placed into the hole.
+func TestKillReplicaUnbindsSlot(t *testing.T) {
+	st := startPlacedStack(t, "packed")
+
+	if err := st.StartReplica("image"); err != nil {
+		t.Fatal(err)
+	}
+	before := len(st.AllSlots())
+	if err := st.KillReplica("image", 1); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(st.AllSlots()); after != before-1 {
+		t.Fatalf("slots after kill = %d, want %d", after, before-1)
+	}
+	if _, ok := st.SlotOf("image", st.ReplicaURLs("image")[0]); !ok {
+		t.Fatal("surviving image replica lost its slot")
+	}
+}
+
+// TestPlacedStackRejectsBadPolicy: an unknown policy or missing machine
+// fails the boot loudly instead of silently running unplaced.
+func TestPlacedStackRejectsBadPolicy(t *testing.T) {
+	base := Config{
+		Catalog: db.GenerateSpec{Categories: 2, ProductsPerCategory: 4, Users: 2, SeedOrders: 4, Seed: 7},
+	}
+	bad := base
+	bad.Placement = &PlacementConfig{Machine: topology.Small(), Policy: "best-effort"}
+	if _, err := Start(bad); err == nil {
+		t.Fatal("unknown policy booted")
+	}
+	noMach := base
+	noMach.Placement = &PlacementConfig{Policy: "ccx"}
+	if _, err := Start(noMach); err == nil {
+		t.Fatal("placement without a machine booted")
+	}
+}

@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseCPUSetRoundTrip checks that any spec ParseCPUSet accepts
+// renders back (String) to a canonical form that re-parses to the same
+// set, and that the canonical form is a fixed point.
+func FuzzParseCPUSetRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"", "∅", "0", "5", "0-3", "0-3,8,12-15", "1,2,3", "7-7",
+		" 0 , 2-4 ", "63,64,65", "0,0,0", "3-1", "x", "1-,2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		// Keep ids small so the bitmap stays bounded: reject digit runs
+		// longer than 4 (ids ≤ 9999) before parsing.
+		run := 0
+		for _, r := range spec {
+			if r >= '0' && r <= '9' {
+				if run++; run > 4 {
+					t.Skip("oversized CPU id")
+				}
+			} else {
+				run = 0
+			}
+		}
+		set, err := ParseCPUSet(spec)
+		if err != nil {
+			return // rejection is fine; we only check accepted inputs
+		}
+		rendered := set.String()
+		back, err := ParseCPUSet(rendered)
+		if err != nil {
+			t.Fatalf("String() %q of accepted spec %q does not re-parse: %v", rendered, spec, err)
+		}
+		if !back.Equal(set) {
+			t.Fatalf("round trip changed the set: %q → %q → %q", spec, rendered, back.String())
+		}
+		if again := back.String(); again != rendered {
+			t.Fatalf("String() is not canonical: %q vs %q", rendered, again)
+		}
+	})
+}
+
+// FuzzCPUSetStringRoundTrip drives the other direction: build a set from
+// raw bytes, render it, and re-parse.
+func FuzzCPUSetStringRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{0, 1, 2, 3, 250})
+	f.Add([]byte{7, 7, 9})
+	f.Fuzz(func(t *testing.T, ids []byte) {
+		var set CPUSet
+		for _, id := range ids {
+			set.Add(int(id))
+		}
+		rendered := set.String()
+		back, err := ParseCPUSet(rendered)
+		if err != nil {
+			t.Fatalf("String() %q does not re-parse: %v", rendered, err)
+		}
+		if !back.Equal(set) {
+			t.Fatalf("round trip changed the set: %v → %q → %v", set.IDs(), rendered, back.IDs())
+		}
+		if set.Count() > 0 && strings.Contains(rendered, "∅") {
+			t.Fatalf("non-empty set rendered as empty: %q", rendered)
+		}
+	})
+}
