@@ -1,11 +1,16 @@
-// Command loadgen drives closed-loop user load at a running TeaStore and
-// prints a throughput/latency report.
+// Command loadgen drives user load at a running TeaStore and prints a
+// throughput/latency report. It runs closed-loop by default (a fixed
+// user population, each request waiting for the previous one) and
+// open-loop with -open (arrivals scheduled on a global timeline at
+// -rate req/s, latency recorded coordinated-omission-safely from each
+// arrival's intended time).
 //
 // Usage:
 //
 //	loadgen -webui http://127.0.0.1:PORT -persistence http://127.0.0.1:PORT \
 //	        [-users 64] [-duration 30s] [-warmup 5s] [-profile browse]
 //	        [-think-scale 1.0] [-catalog-users 100] [-registry http://127.0.0.1:PORT]
+//	        [-open -rate 100 -shape flash -arrivals poisson] [-trace trace.csv]
 //
 // With -registry set, sessions spread across every live webui replica
 // (including ones the autoscaler starts mid-run) and the run ends with a
@@ -25,6 +30,8 @@ import (
 	"time"
 
 	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/openloop"
 	"repro/internal/workload"
 )
 
@@ -36,23 +43,44 @@ func main() {
 	sweep := flag.String("sweep", "", "comma-separated user counts; runs one measurement per count and prints a scaling table (overrides -users)")
 	duration := flag.Duration("duration", 30*time.Second, "measured duration")
 	warmup := flag.Duration("warmup", 5*time.Second, "warmup before measurement")
-	profileName := flag.String("profile", "browse", "behaviour profile: browse or buy")
+	profileName := flag.String("profile", "browse", "behaviour profile: "+strings.Join(workload.ProfileNames(), ", "))
 	thinkScale := flag.Float64("think-scale", 1.0, "think-time multiplier")
 	catalogUsers := flag.Int("catalog-users", 100, "demo accounts in the store")
 	seed := flag.Int64("seed", 1, "random seed")
 	timeline := flag.Bool("timeline", false, "record and print a per-second window breakdown of the measured run")
 	retryIdem := flag.Bool("retry-idempotent", false, "retry failed GETs up to twice, re-picking the webui replica")
 	ejectOutliers := flag.Bool("eject-outliers", false, "steer sessions away from webui replicas whose latency EWMA stands far above their peers (needs -registry)")
+
+	open := flag.Bool("open", false, "open-loop mode: schedule arrivals at -rate req/s instead of a fixed user population")
+	rate := flag.Float64("rate", 0, "open-loop mean offered rate in req/s (required with -open)")
+	arrivalsName := flag.String("arrivals", "poisson", "open-loop arrival process: "+strings.Join(openloop.ArrivalNames(), ", "))
+	shapeName := flag.String("shape", "steady", "open-loop rate shape: "+strings.Join(openloop.ShapeNames(), ", "))
+	tracePath := flag.String("trace", "", "open-loop rate trace file (\"seconds,rate\" CSV; overrides -shape)")
+	maxInflight := flag.Int("max-inflight", 0, "open-loop connection-pool cap (0 → 128); arrivals beyond it queue, then drop")
 	flag.Parse()
 
 	profile, ok := workload.Profiles()[*profileName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "loadgen: unknown profile %q\n", *profileName)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown profile %q (valid: %s)\n",
+			*profileName, strings.Join(workload.ProfileNames(), ", "))
 		os.Exit(2)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	if *open {
+		runOpen(ctx, openOptions{
+			webui: *webui, persistence: *persistenceURL, registry: *registryURL,
+			profile: profile, rate: *rate, warmup: *warmup, duration: *duration,
+			arrivals: *arrivalsName, shape: *shapeName, trace: *tracePath,
+			maxInflight: *maxInflight, thinkScale: *thinkScale,
+			catalogUsers: *catalogUsers, seed: *seed,
+			retryIdem: *retryIdem, ejectOutliers: *ejectOutliers,
+		})
+		printBreakdown(*registryURL)
+		return
+	}
 
 	base := loadgen.Config{
 		WebUIURL:        *webui,
@@ -105,27 +133,105 @@ func main() {
 		res.Throughput, res.Requests, res.Errors, res.Shed, res.Retries,
 		res.IdempotentRetries, res.IdempotentFailures)
 	fmt.Printf("latency:    %v\n", res.Latency)
-	var types []workload.Request
-	for r := range res.PerRequest {
-		types = append(types, r)
-	}
-	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
-	for _, r := range types {
-		fmt.Printf("  %-10s %v\n", r, res.PerRequest[r])
-	}
+	printPerRequest(res.PerRequest)
 	printTimeline(res.Timeline)
 	printBreakdown(*registryURL)
 }
 
-// printTimeline prints the per-second window table recorded by -timeline.
+// openOptions carries the open-loop flag set.
+type openOptions struct {
+	webui, persistence, registry string
+	profile                      *workload.Profile
+	rate                         float64
+	warmup, duration             time.Duration
+	arrivals, shape, trace       string
+	maxInflight                  int
+	thinkScale                   float64
+	catalogUsers                 int
+	seed                         int64
+	retryIdem, ejectOutliers     bool
+}
+
+// runOpen executes one open-loop run and prints the offered-vs-achieved
+// report with both latency views.
+func runOpen(ctx context.Context, o openOptions) {
+	if o.rate <= 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -open requires -rate > 0")
+		os.Exit(2)
+	}
+	var shape openloop.RateShape
+	var err error
+	if o.trace != "" {
+		shape, err = openloop.LoadTraceShape(o.trace)
+	} else {
+		shape, err = openloop.NewShape(o.shape)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	proc, err := openloop.NewArrivalProcess(o.arrivals)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+	res, err := openloop.Run(ctx, openloop.Config{
+		WebUIURL:        o.webui,
+		PersistenceURL:  o.persistence,
+		RegistryURL:     o.registry,
+		Profile:         o.profile,
+		Rate:            o.rate,
+		Warmup:          o.warmup,
+		Duration:        o.duration,
+		Shape:           shape,
+		Arrivals:        proc,
+		MaxInflight:     o.maxInflight,
+		ThinkScale:      o.thinkScale,
+		CatalogUsers:    o.catalogUsers,
+		Seed:            o.seed,
+		RetryIdempotent: o.retryIdem,
+		EjectOutliers:   o.ejectOutliers,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("offered:  %.1f req/s (%s × %s, %d arrivals)\n",
+		res.OfferedRate, res.Shape, res.Arrivals, res.Offered)
+	fmt.Printf("achieved: %.1f req/s (%d served, %d errors, %d dropped, %d shed, %d retried, %d idem-failed)\n",
+		res.AchievedRate, res.Served, res.Errors, res.Dropped, res.Shed,
+		res.Retries, res.IdempotentFailures)
+	fmt.Printf("sessions: %d created, peak %d in flight\n", res.SessionsCreated, res.PeakInflight)
+	fmt.Printf("latency (CO-safe, from intended arrival): %v\n", res.Latency)
+	fmt.Printf("latency (service time, from dispatch):    %v\n", res.ServiceLatency)
+	printPerRequest(res.PerRequest)
+	printTimeline(res.Timeline)
+}
+
+// printPerRequest prints the per-request-type latency table.
+func printPerRequest(perReq map[workload.Request]metrics.Snapshot) {
+	var types []workload.Request
+	for r := range perReq {
+		types = append(types, r)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+	for _, r := range types {
+		fmt.Printf("  %-10s %v\n", r, perReq[r])
+	}
+}
+
+// printTimeline prints the per-second window table. The offered and
+// dropped columns are the open-loop demand axis; closed-loop runs leave
+// them zero (a closed loop has no arrival schedule to miss).
 func printTimeline(windows []loadgen.Window) {
 	if len(windows) == 0 {
 		return
 	}
-	fmt.Printf("\n%6s %9s %7s %6s %9s %9s\n", "sec", "requests", "errors", "shed", "p50 ms", "p99 ms")
+	fmt.Printf("\n%6s %9s %9s %7s %6s %9s %9s %9s\n",
+		"sec", "offered", "served", "errors", "shed", "dropped", "p50 ms", "p99 ms")
 	for _, w := range windows {
-		fmt.Printf("%6d %9d %7d %6d %9.2f %9.2f\n",
-			w.Second, w.Requests, w.Errors, w.Shed,
+		fmt.Printf("%6d %9d %9d %7d %6d %9d %9.2f %9.2f\n",
+			w.Second, w.Offered, w.Requests, w.Errors, w.Shed, w.Dropped,
 			float64(w.P50Ns)/1e6, float64(w.P99Ns)/1e6)
 	}
 }

@@ -1,0 +1,84 @@
+// Command openloop boots the autoscaling TeaStore stack in-process and
+// sweeps the open-loop workload scenarios ({rate shape × user profile})
+// against it, recording the scalectl replica walk each shape provokes
+// and the coordinated-omission comparison between closed- and open-loop
+// measurement. The graded verdict is written to OPENLOOP.json; the
+// process exits non-zero when any gate fails, so CI can gate on exit
+// status directly.
+//
+// Usage:
+//
+//	openloop [-out OPENLOOP.json] [-quick] [-scenarios flash-crowd,diurnal]
+//	         [-skip-co] [-summary summary.md] [-seed 1] [-host 127.0.0.1] [-list]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"repro/internal/openloop"
+)
+
+func main() {
+	out := flag.String("out", "OPENLOOP.json", "report output path")
+	quick := flag.Bool("quick", false, "compressed durations for CI")
+	scenarios := flag.String("scenarios", "", "comma-separated scenario names (default all; skips the CO comparison when set)")
+	skipCO := flag.Bool("skip-co", false, "skip the closed-vs-open coordinated-omission comparison")
+	summary := flag.String("summary", "", "write a Markdown summary table to this path (for CI job summaries)")
+	seed := flag.Int64("seed", 1, "catalog and load seed")
+	host := flag.String("host", "127.0.0.1", "bind address for stack listeners")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range openloop.ScenarioSpecs() {
+			fmt.Printf("%-14s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opts := openloop.Options{
+		Quick:  *quick,
+		SkipCO: *skipCO,
+		Host:   *host,
+		Seed:   *seed,
+		Log: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	}
+	if *scenarios != "" {
+		for _, name := range strings.Split(*scenarios, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				opts.Scenarios = append(opts.Scenarios, name)
+			}
+		}
+	}
+
+	report, err := openloop.RunScenarios(ctx, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "openloop:", err)
+		os.Exit(1)
+	}
+	if err := report.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "openloop:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nreport written to %s\n\n%s", *out, report.Markdown())
+	if *summary != "" {
+		if err := os.WriteFile(*summary, []byte(report.Markdown()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "openloop:", err)
+			os.Exit(1)
+		}
+	}
+	if err := report.Gate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -20,7 +20,7 @@ func idemWorker(t *testing.T, base string, pool *webuiPool) *worker {
 	measuring.Store(true)
 	var errCount atomic.Int64
 	w, err := newWorker(Config{WebUIURL: base, ThinkScale: 0.01, CatalogUsers: 1, RetryIdempotent: true},
-		catalog{categoryIDs: []int64{1}, productIDs: []int64{1}}, pool, nil, 0, &measuring, &errCount)
+		Catalog{CategoryIDs: []int64{1}, ProductIDs: []int64{1}}, pool, nil, 0, &measuring, &errCount)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestWorkerRetriesKeyedCheckout(t *testing.T) {
 	}
 }
 
-// TestTimelineBucketsBySecond: records land in their completion-time
+// TestTimelineBucketsBySecond: records land in their request-start
 // windows with per-window percentiles, errors, and sheds.
 func TestTimelineBucketsBySecond(t *testing.T) {
 	tl := &timeline{}

@@ -100,14 +100,21 @@ type Result struct {
 	// MeasureStart anchors Timeline in wall-clock time.
 	MeasureStart time.Time
 	// Timeline is the per-second view of the measured run
-	// (Config.Timeline), in completion-time order.
+	// (Config.Timeline), bucketed by request-start second; the trailing
+	// partial window is dropped.
 	Timeline []Window
 }
 
-// catalog is the discovered store shape.
-type catalog struct {
-	categoryIDs []int64
-	productIDs  []int64
+// Catalog is the discovered store shape, shared with the open-loop
+// engine (internal/openloop) so both drivers issue against the same IDs.
+type Catalog struct {
+	CategoryIDs []int64
+	ProductIDs  []int64
+}
+
+// DiscoverCatalog fetches the catalog shape from the persistence service.
+func DiscoverCatalog(ctx context.Context, persistenceURL string) (Catalog, error) {
+	return discover(ctx, persistenceURL)
 }
 
 // Run executes the configured load and gathers results.
@@ -187,6 +194,7 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 	}
 	measuring.Store(false)
 	elapsed := time.Since(start)
+	tl.finish(start.Add(elapsed))
 	cancel()
 	wg.Wait()
 
@@ -222,28 +230,28 @@ func Run(ctx context.Context, cfg Config) (Result, error) {
 }
 
 // discover fetches the catalog shape from persistence.
-func discover(ctx context.Context, persistenceURL string) (catalog, error) {
+func discover(ctx context.Context, persistenceURL string) (Catalog, error) {
 	client := persistence.NewClient(persistenceURL, nil)
 	cats, err := client.Categories(ctx)
 	if err != nil {
-		return catalog{}, fmt.Errorf("loadgen: discovering catalog: %w", err)
+		return Catalog{}, fmt.Errorf("loadgen: discovering catalog: %w", err)
 	}
 	if len(cats) == 0 {
-		return catalog{}, fmt.Errorf("loadgen: store has no categories — generate the catalog first")
+		return Catalog{}, fmt.Errorf("loadgen: store has no categories — generate the catalog first")
 	}
-	var out catalog
+	var out Catalog
 	for _, c := range cats {
-		out.categoryIDs = append(out.categoryIDs, c.ID)
+		out.CategoryIDs = append(out.CategoryIDs, c.ID)
 		page, err := client.Products(ctx, c.ID, 0, 50)
 		if err != nil {
-			return catalog{}, err
+			return Catalog{}, err
 		}
 		for _, p := range page.Products {
-			out.productIDs = append(out.productIDs, p.ID)
+			out.ProductIDs = append(out.ProductIDs, p.ID)
 		}
 	}
-	if len(out.productIDs) == 0 {
-		return catalog{}, fmt.Errorf("loadgen: store has no products")
+	if len(out.ProductIDs) == 0 {
+		return Catalog{}, fmt.Errorf("loadgen: store has no products")
 	}
 	return out, nil
 }
@@ -470,7 +478,7 @@ func poolMedian(xs []float64) float64 {
 // worker is one closed-loop user.
 type worker struct {
 	cfg       Config
-	cat       catalog
+	cat       Catalog
 	pool      *webuiPool
 	tl        *timeline
 	base      string
@@ -494,7 +502,7 @@ type worker struct {
 	userIdx     int
 }
 
-func newWorker(cfg Config, cat catalog, pool *webuiPool, tl *timeline, id int64, measuring *atomic.Bool, errCount *atomic.Int64) (*worker, error) {
+func newWorker(cfg Config, cat Catalog, pool *webuiPool, tl *timeline, id int64, measuring *atomic.Bool, errCount *atomic.Int64) (*worker, error) {
 	jar, err := cookiejar.New(nil)
 	if err != nil {
 		return nil, err
@@ -545,7 +553,7 @@ func (w *worker) run(ctx context.Context) {
 					w.all.Record(lat.Nanoseconds())
 					w.byReq[req].Record(lat.Nanoseconds())
 				}
-				w.tl.record(done, lat.Nanoseconds(), err != nil)
+				w.tl.record(start, lat.Nanoseconds(), err != nil)
 			}
 			if !w.sleep(ctx, w.think()) {
 				return
@@ -599,16 +607,16 @@ func (w *worker) issue(ctx context.Context, req workload.Request) error {
 			"password": {db.PasswordFor(w.userIdx)},
 		})
 	case workload.ReqCategory:
-		id := w.cat.categoryIDs[w.rng.Intn(len(w.cat.categoryIDs))]
+		id := w.cat.CategoryIDs[w.rng.Intn(len(w.cat.CategoryIDs))]
 		page := w.rng.Intn(3)
 		return w.get(ctx, fmt.Sprintf("/category/%d?page=%d", id, page))
 	case workload.ReqProduct:
-		w.lastProduct = w.cat.productIDs[w.rng.Intn(len(w.cat.productIDs))]
+		w.lastProduct = w.cat.ProductIDs[w.rng.Intn(len(w.cat.ProductIDs))]
 		return w.get(ctx, fmt.Sprintf("/product/%d", w.lastProduct))
 	case workload.ReqAddToCart:
 		id := w.lastProduct
 		if id == 0 {
-			id = w.cat.productIDs[w.rng.Intn(len(w.cat.productIDs))]
+			id = w.cat.ProductIDs[w.rng.Intn(len(w.cat.ProductIDs))]
 		}
 		return w.postForm(ctx, "/cart/add", url.Values{"productId": {strconv.FormatInt(id, 10)}})
 	case workload.ReqViewCart:

@@ -1,0 +1,178 @@
+package loadgen
+
+// Exported virtual-session API for the open-loop engine
+// (internal/openloop). The closed-loop worker drives itself — walk, issue,
+// think, repeat — but an open-loop engine inverts control: *it* decides
+// when each session's next request fires, from a global arrival schedule.
+// A Session is therefore the worker's browsing machinery (cookie jar,
+// Markov position, replica steering, shed/retry handling) with the pacing
+// stripped out, and a SessionFactory mints them against one shared
+// replica pool so hundreds of thousands of sessions steer with a single
+// registry view.
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/db"
+	"repro/internal/workload"
+)
+
+// Timeline is the exported per-second window recorder, so the open-loop
+// engine files its coordinated-omission-safe samples into the same
+// request-start windows (with the Offered/Dropped columns) the
+// closed-loop generator reports.
+type Timeline struct {
+	tl timeline
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Begin anchors the timeline; records before the anchor are dropped.
+func (t *Timeline) Begin(at time.Time) { t.tl.begin(at) }
+
+// Finish marks the end; Windows then reports only complete seconds.
+func (t *Timeline) Finish(at time.Time) { t.tl.finish(at) }
+
+// Record files one completed request into the window of its intended
+// start time.
+func (t *Timeline) Record(startedAt time.Time, lat time.Duration, failed bool) {
+	t.tl.record(startedAt, lat.Nanoseconds(), failed)
+}
+
+// RecordOffered files one intended arrival.
+func (t *Timeline) RecordOffered(at time.Time) { t.tl.recordOffered(at) }
+
+// RecordDropped files one undispatchable intended arrival.
+func (t *Timeline) RecordDropped(at time.Time) { t.tl.recordDropped(at) }
+
+// Windows snapshots the timeline.
+func (t *Timeline) Windows() []Window { return t.tl.windows() }
+
+// SessionCounters is one session's cumulative defense bookkeeping,
+// counted only while the factory is measuring.
+type SessionCounters struct {
+	// Shed counts 503+Retry-After answers; Retries the re-issues after
+	// honouring their backoff.
+	Shed    int64
+	Retries int64
+	// IdempotentRetries / IdempotentFailures / CheckoutRetries mirror the
+	// closed-loop Result fields of the same names.
+	IdempotentRetries  int64
+	IdempotentFailures int64
+	CheckoutRetries    int64
+}
+
+// SessionFactory mints Sessions sharing one replica pool, catalog, and
+// measurement gate. The factory reuses Config, honouring WebUIURL,
+// RegistryURL, Profile, ThinkScale, CatalogUsers, Seed, RetryIdempotent,
+// and EjectOutliers; pacing fields (Users, Warmup, Duration) are the
+// engine's business and ignored here.
+type SessionFactory struct {
+	cfg  Config
+	cat  Catalog
+	pool *webuiPool
+	tl   *Timeline
+
+	measuring atomic.Bool
+	errSink   atomic.Int64
+	next      atomic.Int64
+}
+
+// NewSessionFactory validates the config and prepares the shared pool.
+// tl may be nil; when set, sheds observed inside retry handling are filed
+// into it.
+func NewSessionFactory(cfg Config, cat Catalog, tl *Timeline) (*SessionFactory, error) {
+	if cfg.WebUIURL == "" {
+		return nil, fmt.Errorf("loadgen: WebUIURL is required")
+	}
+	if cfg.Profile == nil {
+		cfg.Profile = workload.Browse()
+	}
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ThinkScale <= 0 {
+		cfg.ThinkScale = 1
+	}
+	if cfg.CatalogUsers <= 0 {
+		cfg.CatalogUsers = db.DefaultGenerateSpec().Users
+	}
+	if len(cat.CategoryIDs) == 0 || len(cat.ProductIDs) == 0 {
+		return nil, fmt.Errorf("loadgen: session factory needs a discovered catalog")
+	}
+	f := &SessionFactory{cfg: cfg, cat: cat, tl: tl}
+	if cfg.RegistryURL != "" {
+		f.pool = newWebuiPool(cfg.RegistryURL, cfg.WebUIURL, cfg.EjectOutliers)
+	}
+	return f, nil
+}
+
+// SetMeasuring toggles the counter gate shared by every session.
+func (f *SessionFactory) SetMeasuring(on bool) { f.measuring.Store(on) }
+
+// New mints one session: a fresh cookie jar and Markov walk, landed on a
+// replica picked from the shared pool.
+func (f *SessionFactory) New() (*Session, error) {
+	id := f.next.Add(1) - 1
+	var tl *timeline
+	if f.tl != nil {
+		tl = &f.tl.tl
+	}
+	w, err := newWorker(f.cfg, f.cat, f.pool, tl, id, &f.measuring, &f.errSink)
+	if err != nil {
+		return nil, err
+	}
+	if f.pool != nil {
+		w.base = f.pool.pick(context.Background(), w.rng)
+	}
+	return &Session{w: w, walker: workload.NewWalker(f.cfg.Profile, w.rng)}, nil
+}
+
+// Session is one virtual storefront user under external pacing. A
+// session is owned by one goroutine at a time (hand it off through a
+// channel or mutex); it is not safe for concurrent calls.
+type Session struct {
+	w      *worker
+	walker *workload.Walker
+}
+
+// Next advances the Markov walk; ok=false means the walk ended (logout
+// or bounce) and the session should be retired.
+func (s *Session) Next() (workload.Request, bool) { return s.walker.Next() }
+
+// Think draws one think time from the profile (scaled by ThinkScale) —
+// the gap before this session may carry its next request.
+func (s *Session) Think() time.Duration { return s.w.think() }
+
+// Issue performs one request over the session's connection: re-picks the
+// replica if the current one has been ejected or delisted, issues with
+// the worker's full shed/retry handling, and feeds the outcome back into
+// the pool's health view.
+func (s *Session) Issue(ctx context.Context, req workload.Request) error {
+	if s.w.pool != nil && !s.w.pool.admissible(s.w.base) {
+		s.w.base = s.w.pool.pick(ctx, s.w.rng)
+	}
+	start := time.Now()
+	err := s.w.issue(ctx, req)
+	s.w.pool.observe(s.w.base, time.Since(start), err != nil)
+	if err != nil && s.w.measuring.Load() && isIdempotent(req) {
+		s.w.idemFailed++
+	}
+	return err
+}
+
+// Counters snapshots the session's bookkeeping. Call only while the
+// session is quiescent (no Issue in flight).
+func (s *Session) Counters() SessionCounters {
+	return SessionCounters{
+		Shed:               s.w.shed,
+		Retries:            s.w.retried,
+		IdempotentRetries:  s.w.idemRetried,
+		IdempotentFailures: s.w.idemFailed,
+		CheckoutRetries:    s.w.checkoutRetried,
+	}
+}

@@ -19,7 +19,7 @@ func shedWorker(t *testing.T, base string) *worker {
 	measuring.Store(true)
 	var errCount atomic.Int64
 	w, err := newWorker(Config{WebUIURL: base, ThinkScale: 0.01, CatalogUsers: 1},
-		catalog{categoryIDs: []int64{1}, productIDs: []int64{1}}, nil, nil, 0, &measuring, &errCount)
+		Catalog{CategoryIDs: []int64{1}, ProductIDs: []int64{1}}, nil, nil, 0, &measuring, &errCount)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,6 +4,13 @@ package loadgen
 // *when* latency degraded and recovered, not just the run's aggregate —
 // a fault injected mid-run and cleared before the end is invisible in
 // whole-run percentiles but obvious in the per-second windows.
+//
+// Windows bucket by request *start* second. A request that stalls for
+// two seconds is pain suffered by the window that issued it, not by the
+// window it happened to finish in — completion-time bucketing smeared a
+// stall forward onto innocent windows and credited the stalled window as
+// healthy. The open-loop engine reuses the same Window type with the
+// Offered and Dropped columns filled in.
 
 import (
 	"sync"
@@ -12,15 +19,24 @@ import (
 	"repro/internal/metrics"
 )
 
-// Window is one second of the measured run. Latency percentiles cover
-// successful requests only; Requests counts every completed operation
-// including failures, so error bursts don't masquerade as quiet seconds.
+// Window is one second of the measured run, keyed by request-start time.
+// Latency percentiles cover successful requests only; Requests counts
+// every completed operation including failures, so error bursts don't
+// masquerade as quiet seconds.
 type Window struct {
 	// Second is the window's offset from Result.MeasureStart.
 	Second   int   `json:"second"`
 	Requests int64 `json:"requests"`
 	Errors   int64 `json:"errors"`
 	Shed     int64 `json:"shed"`
+	// Offered counts intended arrivals scheduled into this window — the
+	// open-loop engine's demand axis. Closed-loop runs leave it zero
+	// (a closed loop has no arrival schedule independent of completions).
+	Offered int64 `json:"offered,omitempty"`
+	// Dropped counts intended arrivals the open-loop engine could not
+	// dispatch because its connection pool was exhausted. Never silently
+	// skipped: a drop is demand the stack did not even get to refuse.
+	Dropped int64 `json:"dropped,omitempty"`
 	// P50Ns and P99Ns are the window's latency percentiles in
 	// nanoseconds (0 when the window saw no successful request).
 	P50Ns int64 `json:"p50Ns"`
@@ -39,13 +55,16 @@ func (w Window) P50() time.Duration { return time.Duration(w.P50Ns) }
 type timeline struct {
 	mu    sync.Mutex
 	start time.Time
+	end   time.Time
 	slots []*timeslot
 }
 
 type timeslot struct {
-	hist   metrics.Histogram
-	errors int64
-	shed   int64
+	hist    metrics.Histogram
+	errors  int64
+	shed    int64
+	offered int64
+	dropped int64
 }
 
 // begin anchors the timeline at the measurement start; records arriving
@@ -53,7 +72,22 @@ type timeslot struct {
 func (t *timeline) begin(at time.Time) {
 	t.mu.Lock()
 	t.start = at
+	t.end = time.Time{}
 	t.slots = t.slots[:0]
+	t.mu.Unlock()
+}
+
+// finish marks the measurement end. windows() then reports only the
+// complete seconds: the trailing partial window holds a biased sample
+// (only the requests that started in its fraction of a second) and, fed
+// into gating, skews the final-window p99 on every run whose duration
+// isn't an exact whole second.
+func (t *timeline) finish(at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.end = at
 	t.mu.Unlock()
 }
 
@@ -73,14 +107,14 @@ func (t *timeline) slot(at time.Time) *timeslot {
 	return t.slots[idx]
 }
 
-// record files one completed request into the window of its completion
+// record files one completed request into the window of its *start*
 // time. Failed requests count but contribute no latency sample.
-func (t *timeline) record(at time.Time, latNs int64, failed bool) {
+func (t *timeline) record(startedAt time.Time, latNs int64, failed bool) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
-	if s := t.slot(at); s != nil {
+	if s := t.slot(startedAt); s != nil {
 		if failed {
 			s.errors++
 		} else {
@@ -102,20 +136,58 @@ func (t *timeline) recordShed(at time.Time) {
 	t.mu.Unlock()
 }
 
-// windows snapshots the timeline as one Window per elapsed second.
+// recordOffered files one intended arrival into its scheduled window.
+func (t *timeline) recordOffered(at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if s := t.slot(at); s != nil {
+		s.offered++
+	}
+	t.mu.Unlock()
+}
+
+// recordDropped files one undispatchable intended arrival.
+func (t *timeline) recordDropped(at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if s := t.slot(at); s != nil {
+		s.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// windows snapshots the timeline as one Window per complete elapsed
+// second. When finish was called, the trailing partial window (and any
+// starts recorded beyond it) is dropped; without it every recorded slot
+// is reported.
 func (t *timeline) windows() []Window {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Window, len(t.slots))
-	for i, s := range t.slots {
+	n := len(t.slots)
+	if !t.end.IsZero() {
+		if full := int(t.end.Sub(t.start) / time.Second); full < n {
+			n = full
+		}
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Window, n)
+	for i, s := range t.slots[:n] {
 		out[i] = Window{
 			Second:   i,
 			Requests: s.hist.Count() + s.errors,
 			Errors:   s.errors,
 			Shed:     s.shed,
+			Offered:  s.offered,
+			Dropped:  s.dropped,
 			P50Ns:    s.hist.Percentile(50),
 			P99Ns:    s.hist.Percentile(99),
 		}

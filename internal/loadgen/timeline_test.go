@@ -1,0 +1,94 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// A 2-second server stall must be charged to the windows that *issued*
+// the stalled requests. Under the old completion-time bucketing, requests
+// issued at second 0 and stalled until second 2 piled their pain into
+// window 2 — the stalled window itself read as healthy, and the recovery
+// window read as the disaster.
+func TestTimelineStallChargedToStartWindow(t *testing.T) {
+	tl := &timeline{}
+	start := time.Now()
+	tl.begin(start)
+
+	// Healthy traffic in window 0...
+	for i := 0; i < 50; i++ {
+		tl.record(start.Add(time.Duration(i)*10*time.Millisecond), int64(10*time.Millisecond), false)
+	}
+	// ...plus requests issued late in window 0 that stall for 2 seconds
+	// (they complete during window 2 — irrelevant: the start second owns
+	// them).
+	for i := 0; i < 20; i++ {
+		tl.record(start.Add(900*time.Millisecond), int64(2*time.Second), false)
+	}
+	// Window 2 itself sees only fast post-recovery traffic.
+	for i := 0; i < 50; i++ {
+		tl.record(start.Add(2*time.Second+time.Duration(i)*10*time.Millisecond), int64(10*time.Millisecond), false)
+	}
+	tl.finish(start.Add(3 * time.Second))
+
+	ws := tl.windows()
+	if len(ws) != 3 {
+		t.Fatalf("got %d windows, want 3", len(ws))
+	}
+	if ws[0].P99() < time.Second {
+		t.Fatalf("stall window p99 = %v, want ≥1s — the stall's pain belongs to the window that issued it", ws[0].P99())
+	}
+	if ws[2].P99() > 100*time.Millisecond {
+		t.Fatalf("recovery window p99 = %v, want fast — completion-time bucketing leaked the stall forward", ws[2].P99())
+	}
+	if ws[0].Requests != 70 || ws[2].Requests != 50 {
+		t.Fatalf("window requests = %d/%d, want 70/50", ws[0].Requests, ws[2].Requests)
+	}
+}
+
+// The trailing partial window holds a biased fraction of a second and
+// must not reach gating; without finish (old callers, mid-run snapshots)
+// every slot is still reported.
+func TestTimelineDropsTrailingPartialWindow(t *testing.T) {
+	tl := &timeline{}
+	start := time.Now()
+	tl.begin(start)
+	tl.record(start.Add(500*time.Millisecond), int64(5*time.Millisecond), false)
+	tl.record(start.Add(1500*time.Millisecond), int64(5*time.Millisecond), false)
+	tl.record(start.Add(2200*time.Millisecond), int64(900*time.Millisecond), false) // partial window's skew
+
+	if got := len(tl.windows()); got != 3 {
+		t.Fatalf("unfinished timeline reports %d windows, want all 3", got)
+	}
+	tl.finish(start.Add(2400 * time.Millisecond)) // run measured 2.4s → 2 complete windows
+	ws := tl.windows()
+	if len(ws) != 2 {
+		t.Fatalf("finished timeline reports %d windows, want 2 complete ones", len(ws))
+	}
+	for _, w := range ws {
+		if w.P99() > 100*time.Millisecond {
+			t.Fatalf("complete window %d p99 = %v includes the partial window's sample", w.Second, w.P99())
+		}
+	}
+}
+
+// Offered and dropped arrivals land in their scheduled windows — the
+// open-loop engine's offered-vs-served axis.
+func TestTimelineOfferedAndDropped(t *testing.T) {
+	tl := &timeline{}
+	start := time.Now()
+	tl.begin(start)
+	for i := 0; i < 7; i++ {
+		tl.recordOffered(start.Add(100 * time.Millisecond))
+	}
+	tl.recordDropped(start.Add(200 * time.Millisecond))
+	tl.record(start.Add(300*time.Millisecond), int64(time.Millisecond), false)
+	tl.finish(start.Add(time.Second))
+	ws := tl.windows()
+	if len(ws) != 1 {
+		t.Fatalf("got %d windows, want 1", len(ws))
+	}
+	if ws[0].Offered != 7 || ws[0].Dropped != 1 || ws[0].Requests != 1 {
+		t.Fatalf("window = %+v, want offered 7, dropped 1, requests 1", ws[0])
+	}
+}

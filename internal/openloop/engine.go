@@ -1,0 +1,485 @@
+package openloop
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Config parameterizes an open-loop run.
+type Config struct {
+	// WebUIURL is the storefront base URL; PersistenceURL is used once to
+	// discover the catalog.
+	WebUIURL       string
+	PersistenceURL string
+	// RegistryURL, when set, spreads sessions across every live webui
+	// replica — including ones the autoscaler starts mid-run.
+	RegistryURL string
+	// Profile is the behaviour model; nil means workload.Browse().
+	Profile *workload.Profile
+	// Rate is the mean offered rate in arrivals/second. Every shape
+	// integrates to 1, so Rate is the run's true mean whatever the shape.
+	Rate float64
+	// Warmup runs unmeasured at the shape's starting rate; Duration is
+	// the measured schedule.
+	Warmup   time.Duration
+	Duration time.Duration
+	// Shape is the deterministic rate trajectory (nil → steady);
+	// Arrivals the stochastic texture (nil → poisson).
+	Shape    RateShape
+	Arrivals ArrivalProcess
+	// MaxInflight caps concurrently outstanding requests — the engine's
+	// connection pool (0 → 128). Unlike a closed loop this does NOT bound
+	// offered load; arrivals beyond it queue in the pending buffer.
+	MaxInflight int
+	// MaxPending bounds arrivals waiting for a free connection
+	// (0 → 4×MaxInflight). An arrival that finds the buffer full is
+	// counted dropped — never silently skipped: silent skips are
+	// coordinated omission re-imported through the back door.
+	MaxPending int
+	// MaxSessions caps the virtual-session pool (0 → 200_000). Sessions
+	// are created lazily as arrivals need them, so the pool grows to
+	// roughly rate × (think + response time) — far more sessions than
+	// inflight requests, as with real user populations.
+	MaxSessions int
+	// ThinkScale, CatalogUsers, Seed, RetryIdempotent, and EjectOutliers
+	// behave exactly as in loadgen.Config.
+	ThinkScale      float64
+	CatalogUsers    int
+	Seed            int64
+	RetryIdempotent bool
+	EjectOutliers   bool
+}
+
+func (cfg *Config) fill() error {
+	if cfg.Rate <= 0 {
+		return fmt.Errorf("openloop: Rate must be positive")
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("openloop: Duration must be positive")
+	}
+	if cfg.Shape == nil {
+		cfg.Shape = steadyShape{}
+	}
+	if cfg.Arrivals == nil {
+		cfg.Arrivals = poisson{}
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = 128
+	}
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 4 * cfg.MaxInflight
+	}
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 200_000
+	}
+	return nil
+}
+
+// Result is an open-loop run's measurements. Latency is recorded
+// coordinated-omission-safely: each sample is completion time minus the
+// *intended* arrival time from the schedule, so queueing delay the stack
+// (or the engine's own full connection pool) imposed is charged to the
+// request instead of vanishing into a slower offered rate.
+type Result struct {
+	// Shape, Arrivals, and ProfileName label the run.
+	Shape       string `json:"shape"`
+	Arrivals    string `json:"arrivals"`
+	ProfileName string `json:"profile"`
+
+	// OfferedRate is scheduled arrivals per measured second;
+	// AchievedRate is successful completions per measured second. The
+	// gap between them is the run's verdict on the stack.
+	OfferedRate  float64 `json:"offeredRate"`
+	AchievedRate float64 `json:"achievedRate"`
+
+	// Offered = Served + Errors + Dropped: every intended arrival is
+	// accounted for, by construction.
+	Offered int64 `json:"offered"`
+	Served  int64 `json:"served"`
+	Errors  int64 `json:"errors"`
+	Dropped int64 `json:"dropped"`
+	Shed    int64 `json:"shed"`
+
+	// Retries through CheckoutRetries mirror loadgen.Result.
+	Retries            int64 `json:"retries"`
+	IdempotentRetries  int64 `json:"idempotentRetries"`
+	IdempotentFailures int64 `json:"idempotentFailures"`
+	CheckoutRetries    int64 `json:"checkoutRetries"`
+
+	// SessionsCreated counts virtual sessions minted across the whole run
+	// (warmup included); PeakInflight the most requests ever outstanding
+	// at once. Their ratio is the multiplexing proof: a healthy open loop
+	// keeps sessions ≫ inflight.
+	SessionsCreated int64 `json:"sessionsCreated"`
+	PeakInflight    int64 `json:"peakInflight"`
+
+	// Latency is the CO-safe distribution (completion − intended arrival)
+	// over successful requests; ServiceLatency is completion − dispatch,
+	// the number a closed loop would have reported. Their divergence *is*
+	// coordinated omission, made visible.
+	Latency        metrics.Snapshot `json:"latency"`
+	ServiceLatency metrics.Snapshot `json:"serviceLatency"`
+
+	// PerRequest breaks CO-safe latency down by request type.
+	PerRequest map[workload.Request]metrics.Snapshot `json:"-"`
+
+	// MeasureStart anchors Timeline; Timeline is the per-second view with
+	// the Offered/Dropped columns filled, bucketed by intended arrival
+	// second, trailing partial window dropped.
+	MeasureStart time.Time        `json:"-"`
+	Timeline     []loadgen.Window `json:"timeline,omitempty"`
+}
+
+// virtSession is one virtual user from the engine's side; satisfied by
+// *loadgen.Session and by test fakes.
+type virtSession interface {
+	Next() (workload.Request, bool)
+	Think() time.Duration
+	Issue(ctx context.Context, req workload.Request) error
+	Counters() loadgen.SessionCounters
+}
+
+// sessionSource mints sessions; the engine's test seam.
+type sessionSource interface {
+	New() (virtSession, error)
+	SetMeasuring(on bool)
+}
+
+type realSource struct{ f *loadgen.SessionFactory }
+
+func (r realSource) New() (virtSession, error) { return r.f.New() }
+func (r realSource) SetMeasuring(on bool)      { r.f.SetMeasuring(on) }
+
+// Run executes the configured open-loop load against a live stack.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.WebUIURL == "" || cfg.PersistenceURL == "" {
+		return Result{}, fmt.Errorf("openloop: WebUIURL and PersistenceURL are required")
+	}
+	if err := cfg.fill(); err != nil {
+		return Result{}, err
+	}
+	cat, err := loadgen.DiscoverCatalog(ctx, cfg.PersistenceURL)
+	if err != nil {
+		return Result{}, err
+	}
+	tl := loadgen.NewTimeline()
+	f, err := loadgen.NewSessionFactory(loadgen.Config{
+		WebUIURL:        cfg.WebUIURL,
+		RegistryURL:     cfg.RegistryURL,
+		Profile:         cfg.Profile,
+		ThinkScale:      cfg.ThinkScale,
+		CatalogUsers:    cfg.CatalogUsers,
+		Seed:            cfg.Seed,
+		RetryIdempotent: cfg.RetryIdempotent,
+		EjectOutliers:   cfg.EjectOutliers,
+	}, cat, tl)
+	if err != nil {
+		return Result{}, err
+	}
+	return run(ctx, cfg, realSource{f}, tl)
+}
+
+// pooledSession is a session parked between requests.
+type pooledSession struct {
+	s       virtSession
+	next    workload.Request
+	readyAt time.Time
+}
+
+// sessionHeap orders parked sessions by readiness.
+type sessionHeap []*pooledSession
+
+func (h sessionHeap) Len() int           { return len(h) }
+func (h sessionHeap) Less(i, j int) bool { return h[i].readyAt.Before(h[j].readyAt) }
+func (h sessionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *sessionHeap) Push(x any)        { *h = append(*h, x.(*pooledSession)) }
+func (h *sessionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+// job is one dispatched arrival.
+type job struct {
+	ps       *pooledSession
+	intended time.Time
+	measured bool
+}
+
+// engine is one run's shared state.
+type engine struct {
+	cfg Config
+	src sessionSource
+	tl  *loadgen.Timeline
+
+	pending chan job
+
+	mu      sync.Mutex
+	ready   sessionHeap
+	created int64
+
+	inflight atomic.Int64
+	peak     atomic.Int64
+
+	offered atomic.Int64
+	served  atomic.Int64
+	errors  atomic.Int64
+	dropped atomic.Int64
+
+	counters struct {
+		sync.Mutex
+		loadgen.SessionCounters
+	}
+
+	histMu  sync.Mutex
+	coHist  metrics.Histogram
+	svcHist metrics.Histogram
+	byReq   [workload.NumRequests]metrics.Histogram
+}
+
+// drainGrace bounds how long after the schedule ends the engine waits
+// for outstanding requests before cancelling them: their samples belong
+// to windows inside the run, but a hung connection must not park the
+// whole run behind a 30s client timeout.
+const drainGrace = 10 * time.Second
+
+// run is the engine body, split from Run so tests can substitute the
+// session source (a fake issuer with scripted latency stands in for the
+// whole HTTP stack).
+func run(ctx context.Context, cfg Config, src sessionSource, tl *loadgen.Timeline) (Result, error) {
+	if err := cfg.fill(); err != nil {
+		return Result{}, err
+	}
+	e := &engine{cfg: cfg, src: src, tl: tl, pending: make(chan job, cfg.MaxPending)}
+
+	issueCtx, cancelIssue := context.WithCancel(context.Background())
+	defer cancelIssue()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.MaxInflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.work(issueCtx)
+		}()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed*7_368_787 + 1))
+	if cfg.Warmup > 0 && ctx.Err() == nil {
+		// Warmup at the shape's starting rate with plain Poisson texture:
+		// its only job is priming sessions, caches, and connections.
+		warm := NewSchedule(cfg.Rate*cfg.Shape.Factor(0), cfg.Warmup, steadyShape{}, poisson{}, rng)
+		e.schedule(ctx, warm, time.Now(), false)
+	}
+
+	start := time.Now()
+	src.SetMeasuring(true)
+	tl.Begin(start)
+	sched := NewSchedule(cfg.Rate, cfg.Duration, cfg.Shape, cfg.Arrivals, rng)
+	e.schedule(ctx, sched, start, true)
+
+	// Let in-flight work finish so late completions still land in their
+	// (intended-time) windows, then cut stragglers loose.
+	close(e.pending)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(drainGrace):
+		cancelIssue()
+		<-done
+	case <-ctx.Done():
+		cancelIssue()
+		<-done
+	}
+	src.SetMeasuring(false)
+	tl.Finish(start.Add(cfg.Duration))
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Shape:           cfg.Shape.Name(),
+		Arrivals:        cfg.Arrivals.Name(),
+		OfferedRate:     float64(e.offered.Load()) / cfg.Duration.Seconds(),
+		AchievedRate:    float64(e.served.Load()) / cfg.Duration.Seconds(),
+		Offered:         e.offered.Load(),
+		Served:          e.served.Load(),
+		Errors:          e.errors.Load(),
+		Dropped:         e.dropped.Load(),
+		SessionsCreated: e.created,
+		PeakInflight:    e.peak.Load(),
+		MeasureStart:    start,
+		Timeline:        tl.Windows(),
+		PerRequest:      map[workload.Request]metrics.Snapshot{},
+	}
+	if cfg.Profile != nil {
+		res.ProfileName = cfg.Profile.Name
+	} else {
+		res.ProfileName = workload.Browse().Name
+	}
+	res.Shed = e.counters.Shed
+	res.Retries = e.counters.Retries
+	res.IdempotentRetries = e.counters.IdempotentRetries
+	res.IdempotentFailures = e.counters.IdempotentFailures
+	res.CheckoutRetries = e.counters.CheckoutRetries
+	res.Latency = e.coHist.Snapshot()
+	res.ServiceLatency = e.svcHist.Snapshot()
+	for r := range e.byReq {
+		if e.byReq[r].Count() > 0 {
+			res.PerRequest[workload.Request(r)] = e.byReq[r].Snapshot()
+		}
+	}
+	return res, nil
+}
+
+// schedule walks one phase's arrival schedule, dispatching each intended
+// arrival the moment its time comes — or accounting it dropped, never
+// skipping it.
+func (e *engine) schedule(ctx context.Context, sched *Schedule, anchor time.Time, measured bool) {
+	for {
+		off, ok := sched.Next()
+		if !ok {
+			return
+		}
+		intended := anchor.Add(off)
+		if d := time.Until(intended); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+		if measured {
+			e.offered.Add(1)
+			e.tl.RecordOffered(intended)
+		}
+		ps := e.takeSession()
+		if ps == nil {
+			// Session cap hit with nothing ready — the population is
+			// exhausted; the arrival still counts.
+			if measured {
+				e.dropped.Add(1)
+				e.tl.RecordDropped(intended)
+			}
+			continue
+		}
+		select {
+		case e.pending <- job{ps: ps, intended: intended, measured: measured}:
+		default:
+			// Connection pool and pending buffer are both full: the stack
+			// is not keeping up with the offered rate. Count the drop and
+			// put the unused session back.
+			if measured {
+				e.dropped.Add(1)
+				e.tl.RecordDropped(intended)
+			}
+			e.putSession(ps)
+		}
+	}
+}
+
+// takeSession pops a ready parked session, or mints a new one while the
+// population cap allows. Sessions are created lazily, so the pool grows
+// to match demand instead of pre-allocating a guess.
+func (e *engine) takeSession() *pooledSession {
+	now := time.Now()
+	e.mu.Lock()
+	if len(e.ready) > 0 && !e.ready[0].readyAt.After(now) {
+		ps := heap.Pop(&e.ready).(*pooledSession)
+		e.mu.Unlock()
+		return ps
+	}
+	if e.created >= int64(e.cfg.MaxSessions) {
+		e.mu.Unlock()
+		return nil
+	}
+	e.created++
+	e.mu.Unlock()
+
+	s, err := e.src.New()
+	if err != nil {
+		e.mu.Lock()
+		e.created--
+		e.mu.Unlock()
+		return nil
+	}
+	req, ok := s.Next()
+	if !ok {
+		// A profile whose walk ends immediately mints a dead session;
+		// treat as unavailable rather than looping.
+		return nil
+	}
+	return &pooledSession{s: s, next: req}
+}
+
+// putSession parks a session for reuse.
+func (e *engine) putSession(ps *pooledSession) {
+	e.mu.Lock()
+	heap.Push(&e.ready, ps)
+	e.mu.Unlock()
+}
+
+// work is one connection: it executes pending jobs, records them against
+// their intended arrival times, and advances or retires the session.
+func (e *engine) work(ctx context.Context) {
+	for jb := range e.pending {
+		n := e.inflight.Add(1)
+		for {
+			cur := e.peak.Load()
+			if n <= cur || e.peak.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+		before := jb.ps.s.Counters()
+		dispatched := time.Now()
+		err := jb.ps.s.Issue(ctx, jb.ps.next)
+		now := time.Now()
+		e.inflight.Add(-1)
+
+		if jb.measured {
+			if err != nil {
+				e.errors.Add(1)
+				e.tl.Record(jb.intended, 0, true)
+			} else {
+				e.served.Add(1)
+				co := now.Sub(jb.intended)
+				e.histMu.Lock()
+				e.coHist.Record(co.Nanoseconds())
+				e.svcHist.Record(now.Sub(dispatched).Nanoseconds())
+				e.byReq[jb.ps.next].Record(co.Nanoseconds())
+				e.histMu.Unlock()
+				e.tl.Record(jb.intended, co, false)
+			}
+			after := jb.ps.s.Counters()
+			e.counters.Lock()
+			e.counters.Shed += after.Shed - before.Shed
+			e.counters.Retries += after.Retries - before.Retries
+			e.counters.IdempotentRetries += after.IdempotentRetries - before.IdempotentRetries
+			e.counters.IdempotentFailures += after.IdempotentFailures - before.IdempotentFailures
+			e.counters.CheckoutRetries += after.CheckoutRetries - before.CheckoutRetries
+			e.counters.Unlock()
+		}
+
+		next, ok := jb.ps.s.Next()
+		if !ok {
+			continue // walk ended: retire the session
+		}
+		jb.ps.next = next
+		jb.ps.readyAt = now.Add(jb.ps.s.Think())
+		e.putSession(jb.ps)
+	}
+}

@@ -1,0 +1,216 @@
+package openloop
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+// Gate is one pass/fail check over a scenario's measurements.
+type Gate struct {
+	Name   string `json:"name"`
+	Detail string `json:"detail"`
+	Pass   bool   `json:"pass"`
+}
+
+// ReplicaSample is one second of the scalectl replica walk: what the
+// reconciler wanted and what was live, sampled from measurement start
+// and continuing through the post-run watch so the walk back down is on
+// record too.
+type ReplicaSample struct {
+	Second  int `json:"second"`
+	Desired int `json:"desired"`
+	Actual  int `json:"actual"`
+}
+
+// ScenarioResult is one {shape × profile} open-loop run against the
+// autoscaling stack.
+type ScenarioResult struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Shape       string `json:"shape"`
+	Arrivals    string `json:"arrivals"`
+	Profile     string `json:"profile"`
+	// Rate is the configured mean offered rate; DurationSeconds the
+	// measured schedule length.
+	Rate            float64 `json:"rate"`
+	DurationSeconds float64 `json:"durationSeconds"`
+
+	OfferedRate  float64 `json:"offeredRate"`
+	AchievedRate float64 `json:"achievedRate"`
+
+	Offered int64 `json:"offered"`
+	Served  int64 `json:"served"`
+	Errors  int64 `json:"errors"`
+	Dropped int64 `json:"dropped"`
+	Shed    int64 `json:"shed"`
+
+	IdempotentFailures int64 `json:"idempotentFailures"`
+	CheckoutRetries    int64 `json:"checkoutRetries"`
+	SessionsCreated    int64 `json:"sessionsCreated"`
+	PeakInflight       int64 `json:"peakInflight"`
+
+	// P50Ms through P999Ms are the CO-safe percentiles (completion −
+	// intended arrival); ServiceP99Ms is completion − dispatch, the
+	// closed-loop-style number, kept for contrast.
+	P50Ms        float64 `json:"p50Ms"`
+	P99Ms        float64 `json:"p99Ms"`
+	P999Ms       float64 `json:"p999Ms"`
+	ServiceP99Ms float64 `json:"serviceP99Ms"`
+
+	// BurstEndSecond locates the end of the flash shape's burst on the
+	// window axis (flash scenarios only); RecoverySeconds is how long
+	// after it the first of three consecutive calm windows arrived, -1
+	// when the run never calmed down.
+	BurstEndSecond  int     `json:"burstEndSecond,omitempty"`
+	RecoverySeconds float64 `json:"recoverySeconds"`
+
+	// PeakWebuiReplicas / FinalWebuiReplicas summarize the replica walk;
+	// ReplicaWalk is the full per-second trace.
+	PeakWebuiReplicas  int             `json:"peakWebuiReplicas"`
+	FinalWebuiReplicas int             `json:"finalWebuiReplicas"`
+	ReplicaWalk        []ReplicaSample `json:"replicaWalk,omitempty"`
+
+	Windows []loadgen.Window `json:"windows"`
+	Gates   []Gate           `json:"gates"`
+	Pass    bool             `json:"pass"`
+}
+
+// COComparison is the coordinated-omission experiment: a closed-loop run
+// works the stack near its knee and measures its own achieved throughput
+// and p99, then an open-loop run offers 1.5× that rate — far enough past
+// the closed loop's biased-down capacity estimate that overload is
+// certain — and reports the CO-safe p99. Both runs move roughly the same
+// achieved throughput; the ratio between their p99s is what the closed
+// loop was hiding.
+type COComparison struct {
+	ClosedUsers      int     `json:"closedUsers"`
+	ClosedRate       float64 `json:"closedRate"`
+	ClosedP99Ms      float64 `json:"closedP99Ms"`
+	OfferedRate      float64 `json:"offeredRate"`
+	OpenAchievedRate float64 `json:"openAchievedRate"`
+	OpenP99Ms        float64 `json:"openP99Ms"`
+	OpenServiceP99Ms float64 `json:"openServiceP99Ms"`
+	OpenDropped      int64   `json:"openDropped"`
+	RatioP99         float64 `json:"ratioP99"`
+	Gates            []Gate  `json:"gates"`
+	Pass             bool    `json:"pass"`
+}
+
+// Report is the OPENLOOP.json schema.
+type Report struct {
+	GeneratedAt time.Time        `json:"generatedAt"`
+	Mode        string           `json:"mode"` // "quick" or "full"
+	Scenarios   []ScenarioResult `json:"scenarios"`
+	CO          *COComparison    `json:"coComparison,omitempty"`
+	Pass        bool             `json:"pass"`
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads an OPENLOOP.json strictly: unknown fields are a
+// schema-drift error, not silently dropped — the CI gate must never pass
+// because it quietly ignored the field that failed.
+func LoadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	var r Report
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("openloop: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Gate re-derives the verdict from the per-scenario gates, for callers
+// holding a loaded report. An empty report fails: nothing ran.
+func (r *Report) Gate() error {
+	if len(r.Scenarios) == 0 && r.CO == nil {
+		return fmt.Errorf("openloop: report contains no scenarios")
+	}
+	var failed []string
+	for _, sc := range r.Scenarios {
+		for _, g := range sc.Gates {
+			if !g.Pass {
+				failed = append(failed, fmt.Sprintf("%s/%s: %s", sc.Name, g.Name, g.Detail))
+			}
+		}
+	}
+	if r.CO != nil {
+		for _, g := range r.CO.Gates {
+			if !g.Pass {
+				failed = append(failed, fmt.Sprintf("co-comparison/%s: %s", g.Name, g.Detail))
+			}
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("openloop: %d gate(s) failed:\n  %s", len(failed), strings.Join(failed, "\n  "))
+	}
+	return nil
+}
+
+// Markdown renders the scenario and gate tables for CI job summaries.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	verdict := "✅ PASS"
+	if !r.Pass {
+		verdict = "❌ FAIL"
+	}
+	fmt.Fprintf(&b, "## Open-loop workload gates (%s): %s\n\n", r.Mode, verdict)
+	b.WriteString("| scenario | shape × arrivals | profile | offered rps | achieved rps | dropped | shed | errors | p50 | p99 (CO) | p99 (svc) | replicas | recovery |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|---|---|---|---|---|\n")
+	for _, sc := range r.Scenarios {
+		walk := fmt.Sprintf("peak %d → final %d", sc.PeakWebuiReplicas, sc.FinalWebuiReplicas)
+		rec := "—"
+		if sc.BurstEndSecond > 0 {
+			rec = "never"
+			if sc.RecoverySeconds >= 0 {
+				rec = fmt.Sprintf("%.0fs", sc.RecoverySeconds)
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s × %s | %s | %.1f | %.1f | %d | %d | %d | %.1fms | %.1fms | %.1fms | %s | %s |\n",
+			sc.Name, sc.Shape, sc.Arrivals, sc.Profile, sc.OfferedRate, sc.AchievedRate,
+			sc.Dropped, sc.Shed, sc.Errors, sc.P50Ms, sc.P99Ms, sc.ServiceP99Ms, walk, rec)
+	}
+	if r.CO != nil {
+		fmt.Fprintf(&b, "\nCoordinated omission: closed loop (%d users) achieved %.1f rps at p99 %.1fms; "+
+			"open loop offering %.1f rps measured CO-safe p99 %.1fms (service-time view: %.1fms) — ratio %.1f×.\n",
+			r.CO.ClosedUsers, r.CO.ClosedRate, r.CO.ClosedP99Ms,
+			r.CO.OfferedRate, r.CO.OpenP99Ms, r.CO.OpenServiceP99Ms, r.CO.RatioP99)
+	}
+	b.WriteString("\n| scenario | gate | result | detail |\n|---|---|---|---|\n")
+	for _, sc := range r.Scenarios {
+		for _, g := range sc.Gates {
+			mark := "✅"
+			if !g.Pass {
+				mark = "❌"
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", sc.Name, g.Name, mark, g.Detail)
+		}
+	}
+	if r.CO != nil {
+		for _, g := range r.CO.Gates {
+			mark := "✅"
+			if !g.Pass {
+				mark = "❌"
+			}
+			fmt.Fprintf(&b, "| co-comparison | %s | %s | %s |\n", g.Name, mark, g.Detail)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,100 @@
+package openloop
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGoldenReportLoads strictly parses the checked-in OPENLOOP.json:
+// any schema drift between the struct and the artifact — a renamed
+// field, a new column the loader doesn't know — fails here instead of
+// being silently dropped by a lenient decoder.
+func TestGoldenReportLoads(t *testing.T) {
+	r, err := LoadReport(filepath.Join("..", "..", "OPENLOOP.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Pass {
+		t.Fatal("checked-in OPENLOOP.json records a failing run")
+	}
+	if err := r.Gate(); err != nil {
+		t.Fatalf("re-derived gate verdict disagrees with pass=true: %v", err)
+	}
+	if len(r.Scenarios) != len(ScenarioSpecs()) {
+		t.Fatalf("artifact has %d scenarios, runner defines %d", len(r.Scenarios), len(ScenarioSpecs()))
+	}
+	for _, sc := range r.Scenarios {
+		if sc.Offered != sc.Served+sc.Errors+sc.Dropped {
+			t.Errorf("%s: offered %d != served+errors+dropped", sc.Name, sc.Offered)
+		}
+		if len(sc.Windows) == 0 {
+			t.Errorf("%s: no per-second windows recorded", sc.Name)
+		}
+		if len(sc.ReplicaWalk) == 0 {
+			t.Errorf("%s: no replica walk recorded", sc.Name)
+		}
+	}
+	co := r.CO
+	if co == nil {
+		t.Fatal("artifact is missing the coordinated-omission comparison")
+	}
+	// The headline acceptance number: open-loop CO-safe p99 at least 2×
+	// the closed-loop p99 at matched capacity.
+	if co.OpenP99Ms < 2*co.ClosedP99Ms {
+		t.Fatalf("artifact CO ratio %.1f× below the 2× acceptance line", co.RatioP99)
+	}
+}
+
+// TestLoadReportRejectsUnknownFields proves the loader is strict: a
+// report with an extra field is schema drift, not noise.
+func TestLoadReportRejectsUnknownFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "drift.json")
+	if err := os.WriteFile(path, []byte(`{"generatedAt":"2026-08-08T00:00:00Z","mode":"quick","scenarios":[],"pass":true,"bogus":1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("want unknown-field error naming the drifted field, got %v", err)
+	}
+}
+
+// TestReportGateEmptyFails: a report that ran nothing must not pass.
+func TestReportGateEmptyFails(t *testing.T) {
+	r := &Report{GeneratedAt: time.Now(), Mode: "quick", Pass: true}
+	if err := r.Gate(); err == nil {
+		t.Fatal("empty report gated clean")
+	}
+}
+
+// TestReportRoundTrip: WriteFile → LoadReport is lossless under the
+// strict decoder, and a failing gate surfaces through Gate().
+func TestReportRoundTrip(t *testing.T) {
+	r := &Report{
+		GeneratedAt: time.Now().UTC(),
+		Mode:        "quick",
+		Scenarios: []ScenarioResult{{
+			Name: "x", Shape: "steady", Arrivals: "poisson", Profile: "browse",
+			Offered: 10, Served: 9, Errors: 1,
+			Gates: []Gate{{Name: "g", Detail: "d", Pass: false}},
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Scenarios) != 1 || got.Scenarios[0].Name != "x" {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if err := got.Gate(); err == nil || !strings.Contains(err.Error(), "x/g") {
+		t.Fatalf("failing gate not surfaced: %v", err)
+	}
+	if got.Markdown() == "" {
+		t.Fatal("empty markdown")
+	}
+}

@@ -1,5 +1,7 @@
 package workload
 
+import "sort"
+
 // Canonical profiles mirroring the TeaStore load driver's LIMBO behaviour
 // models. Probabilities were chosen to match the published "browse"
 // behaviour: users log in, browse several categories and products, add a
@@ -107,10 +109,101 @@ func Buy() *Profile {
 	}
 }
 
+// CheckoutStorm returns the buy-heavy storm profile: short logged-in
+// sessions that race to checkout and often buy again, so roughly one
+// request in five is a keyed order submission. It exists to exercise the
+// sharded order plane and its idempotency keys under open-loop bursts —
+// a flash sale, not a browsing afternoon.
+func CheckoutStorm() *Profile {
+	return &Profile{
+		Name:  "checkout-storm",
+		Start: ReqHome,
+		Transitions: map[Request][]Edge{
+			ReqHome: {
+				{ReqLogin, 1.0},
+			},
+			ReqLogin: {
+				{ReqProduct, 0.7},
+				{ReqCategory, 0.3},
+			},
+			ReqCategory: {
+				{ReqProduct, 1.0},
+			},
+			ReqProduct: {
+				{ReqAddToCart, 0.85},
+				{ReqProduct, 0.15},
+			},
+			ReqAddToCart: {
+				{ReqCheckout, 0.8},
+				{ReqViewCart, 0.2},
+			},
+			ReqViewCart: {
+				{ReqCheckout, 1.0},
+			},
+			ReqCheckout: {
+				{ReqProduct, 0.45}, // buy again
+				{ReqLogout, 0.55},
+			},
+			ReqProfile: {
+				{ReqLogout, 1.0},
+			},
+			ReqLogout: {
+				{Done, 1.0},
+			},
+		},
+		ThinkMedian:   150e6, // storm shoppers barely hesitate
+		ThinkSigma:    0.5,
+		MaxSessionLen: 40,
+	}
+}
+
+// APIBot returns the login-less scraping profile: long anonymous sessions
+// cycling through the cheap read-only pages (home, category, product)
+// with near-zero think time. No login, no cart, no checkout — the
+// traffic shape of a crawler or a price-comparison bot, and the load
+// that exercises shedding and breakers rather than the order plane.
+func APIBot() *Profile {
+	return &Profile{
+		Name:  "apibot",
+		Start: ReqHome,
+		Transitions: map[Request][]Edge{
+			ReqHome: {
+				{ReqCategory, 1.0},
+			},
+			ReqCategory: {
+				{ReqProduct, 0.75},
+				{ReqCategory, 0.2},
+				{Done, 0.05},
+			},
+			ReqProduct: {
+				{ReqProduct, 0.55},
+				{ReqCategory, 0.4},
+				{Done, 0.05},
+			},
+		},
+		ThinkMedian:   20e6, // 20 ms — a polite crawler, not a human
+		ThinkSigma:    0.3,
+		MaxSessionLen: 150,
+	}
+}
+
 // Profiles returns the named built-in profiles.
 func Profiles() map[string]*Profile {
 	return map[string]*Profile{
-		"browse": Browse(),
-		"buy":    Buy(),
+		"browse":         Browse(),
+		"buy":            Buy(),
+		"checkout-storm": CheckoutStorm(),
+		"apibot":         APIBot(),
 	}
+}
+
+// ProfileNames lists the registered profile names, sorted — the registry
+// front ends validate -profile against and print on a bad name.
+func ProfileNames() []string {
+	names := make([]string, 0, len(Profiles()))
+	for name := range Profiles() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -1,0 +1,76 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestProfileNamesMatchesRegistry(t *testing.T) {
+	names := ProfileNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("ProfileNames not sorted: %v", names)
+	}
+	reg := Profiles()
+	if len(names) != len(reg) {
+		t.Fatalf("ProfileNames has %d entries, registry %d", len(names), len(reg))
+	}
+	for _, n := range names {
+		p, ok := reg[n]
+		if !ok {
+			t.Fatalf("ProfileNames lists %q, absent from Profiles()", n)
+		}
+		if p.Name != n {
+			t.Fatalf("registry key %q holds profile named %q", n, p.Name)
+		}
+	}
+	for _, want := range []string{"browse", "buy", "checkout-storm", "apibot"} {
+		if _, ok := reg[want]; !ok {
+			t.Fatalf("registry missing %q", want)
+		}
+	}
+}
+
+// The storm profile's reason to exist: a far larger share of requests are
+// keyed order submissions than under the browse population.
+func TestCheckoutStormIsBuyHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	storm := CheckoutStorm().Mix(rng, 3000)
+	browse := Browse().Mix(rng, 3000)
+	if storm[ReqCheckout] < 2*browse[ReqCheckout] {
+		t.Fatalf("checkout-storm checkout share %.3f < 2× browse %.3f",
+			storm[ReqCheckout], browse[ReqCheckout])
+	}
+	if storm[ReqCheckout] < 0.10 {
+		t.Fatalf("checkout-storm checkout share %.3f — not much of a storm", storm[ReqCheckout])
+	}
+}
+
+// The bot never authenticates and never touches the order plane: its
+// sessions must visit only the anonymous cheap pages.
+func TestAPIBotStaysAnonymousAndCheap(t *testing.T) {
+	p := APIBot()
+	rng := rand.New(rand.NewSource(12))
+	allowed := map[Request]bool{ReqHome: true, ReqCategory: true, ReqProduct: true}
+	for i := 0; i < 500; i++ {
+		for _, r := range p.Session(rng) {
+			if !allowed[r] {
+				t.Fatalf("apibot session issued %v — bots must stay on anonymous read-only pages", r)
+			}
+		}
+	}
+	if p.ThinkMedian >= Browse().ThinkMedian/5 {
+		t.Fatalf("apibot think median %dns not near-zero vs browse %dns",
+			p.ThinkMedian, Browse().ThinkMedian)
+	}
+}
+
+func TestNewProfilesTerminate(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, p := range []*Profile{CheckoutStorm(), APIBot()} {
+		mean := p.MeanSessionLength(rng, 2000)
+		if mean < 2 || mean >= float64(p.maxLen()) {
+			t.Fatalf("%s mean session length %.1f implausible (max %d)", p.Name, mean, p.maxLen())
+		}
+	}
+}
